@@ -1,0 +1,62 @@
+// E1 / Figure 1: SLP-trees T_{w(i)} for the Example 3.1 program are single
+// branches with active leaf {not u(i)}. Verifies the shape for a sweep of
+// i and benchmarks SLP-tree construction.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/slp_tree.h"
+#include "lang/parser.h"
+#include "util/strings.h"
+#include "workload/generators.h"
+
+using namespace gsls;
+
+namespace {
+
+void PrintVerification() {
+  std::printf("=== E1 / Figure 1: SLP-trees T_{w(i)} ===\n");
+  std::printf("paper: single branch w(i) -> {not u(i)} for every i\n");
+  TermStore store;
+  Program program = MustParseProgram(store, workload::VanGelderProgram());
+  std::printf("%4s  %6s %8s  %-22s %s\n", "i", "nodes", "leaves",
+              "leaf goal", "matches paper");
+  for (int i = 0; i <= 10; ++i) {
+    Goal goal = MustParseQuery(
+        store, StrCat("w(", workload::IntTerm(i), ")"));
+    SlpTree tree = SlpTree::Build(program, goal);
+    auto leaves = tree.ActiveLeaves();
+    std::string leaf = leaves.size() == 1
+                           ? GoalToString(store, leaves[0]->goal)
+                           : "?";
+    bool ok = tree.node_count() == 2 && leaves.size() == 1 &&
+              leaf == StrCat("not u(", workload::IntTerm(i), ")");
+    std::printf("%4d  %6zu %8zu  %-22s %s\n", i, tree.node_count(),
+                leaves.size(), leaf.c_str(), ok ? "yes" : "NO");
+  }
+  std::printf("\n");
+}
+
+void BM_BuildSlpTreeW(benchmark::State& state) {
+  TermStore store;
+  Program program = MustParseProgram(store, workload::VanGelderProgram());
+  Goal goal = MustParseQuery(
+      store,
+      StrCat("w(", workload::IntTerm(static_cast<int>(state.range(0))),
+             ")"));
+  for (auto _ : state) {
+    SlpTree tree = SlpTree::Build(program, goal);
+    benchmark::DoNotOptimize(tree.node_count());
+  }
+}
+BENCHMARK(BM_BuildSlpTreeW)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintVerification();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

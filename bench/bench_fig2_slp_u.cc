@@ -1,0 +1,104 @@
+// E2 / Figures 2-3: SLP-trees T_{u(i)}. For finite i >= 2 the tree has a
+// successor-shift spine of depth i with exactly one active leaf
+// {not w(i-1)}; T_{u(1)} has no active leaves; T_{u(0)} has one active
+// leaf {not w(i)} per positive integer i (infinite, truncated here).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/slp_tree.h"
+#include "lang/parser.h"
+#include "util/strings.h"
+#include "workload/generators.h"
+
+using namespace gsls;
+
+namespace {
+
+void PrintVerification() {
+  TermStore store;
+  Program program = MustParseProgram(store, workload::VanGelderProgram());
+
+  std::printf("=== E2 / Figure 2: T_{u(i)}, i >= 1 ===\n");
+  std::printf("paper: u(1) dead; u(i>=2) single leaf {not w(i-1)} at depth i\n");
+  std::printf("%4s  %8s  %-22s %6s  %s\n", "i", "leaves", "leaf goal",
+              "depth", "matches paper");
+  for (int i = 1; i <= 10; ++i) {
+    Goal goal =
+        MustParseQuery(store, StrCat("u(", workload::IntTerm(i), ")"));
+    SlpTree tree = SlpTree::Build(program, goal);
+    auto leaves = tree.ActiveLeaves();
+    if (i == 1) {
+      std::printf("%4d  %8zu  %-22s %6s  %s\n", i, leaves.size(), "-", "-",
+                  leaves.empty() ? "yes" : "NO");
+      continue;
+    }
+    std::string leaf =
+        leaves.size() == 1 ? GoalToString(store, leaves[0]->goal) : "?";
+    bool ok = leaves.size() == 1 &&
+              leaf == StrCat("not w(", workload::IntTerm(i - 1), ")") &&
+              leaves[0]->depth == static_cast<size_t>(i);
+    std::printf("%4d  %8zu  %-22s %6zu  %s\n", i, leaves.size(),
+                leaf.c_str(), leaves.empty() ? 0 : leaves[0]->depth,
+                ok ? "yes" : "NO");
+  }
+
+  std::printf("\n=== E2 / Figure 3: T_{u(0)} truncated at depth D ===\n");
+  std::printf("paper: active leaves {not w(1)}, {not w(2)}, ... (infinite)\n");
+  std::printf("%6s  %8s  %s\n", "D", "leaves", "prefix correct");
+  for (size_t depth : {4, 8, 16, 32}) {
+    SlpTreeOptions opts;
+    opts.max_depth = depth;
+    SlpTree tree =
+        SlpTree::Build(program, MustParseQuery(store, "u(0)"), opts);
+    auto leaves = tree.ActiveLeaves();
+    bool prefix_ok = true;
+    for (size_t k = 0; k < leaves.size(); ++k) {
+      if (GoalToString(store, leaves[k]->goal) !=
+          StrCat("not w(", workload::IntTerm(static_cast<int>(k) + 1),
+                 ")")) {
+        prefix_ok = false;
+      }
+    }
+    std::printf("%6zu  %8zu  %s\n", depth, leaves.size(),
+                prefix_ok ? "yes" : "NO");
+  }
+  std::printf("\n");
+}
+
+void BM_BuildSlpTreeU(benchmark::State& state) {
+  TermStore store;
+  Program program = MustParseProgram(store, workload::VanGelderProgram());
+  Goal goal = MustParseQuery(
+      store,
+      StrCat("u(", workload::IntTerm(static_cast<int>(state.range(0))),
+             ")"));
+  for (auto _ : state) {
+    SlpTree tree = SlpTree::Build(program, goal);
+    benchmark::DoNotOptimize(tree.node_count());
+  }
+}
+BENCHMARK(BM_BuildSlpTreeU)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_BuildSlpTreeU0Truncated(benchmark::State& state) {
+  TermStore store;
+  Program program = MustParseProgram(store, workload::VanGelderProgram());
+  Goal goal = MustParseQuery(store, "u(0)");
+  SlpTreeOptions opts;
+  opts.max_depth = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    SlpTree tree = SlpTree::Build(program, goal, opts);
+    benchmark::DoNotOptimize(tree.node_count());
+  }
+}
+BENCHMARK(BM_BuildSlpTreeU0Truncated)->Arg(8)->Arg(32)->Arg(128);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintVerification();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,88 @@
+// E3 / Figure 4: the global tree for <- w(n). Verifies the paper's level
+// claims — every w(i) successful, every u(i) failed, level(w(n)) = 2n,
+// level(u(n)) = 2n-1 — and composes the analytic transfinite limit
+// level(w(0)) = w+2. Benchmarks global-tree construction as n grows.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/global_tree.h"
+#include "lang/parser.h"
+#include "util/strings.h"
+#include "workload/generators.h"
+
+using namespace gsls;
+
+namespace {
+
+void PrintVerification() {
+  TermStore store;
+  Program program = MustParseProgram(store, workload::VanGelderProgram());
+  std::printf("=== E3 / Figure 4: global tree for <- w(n) ===\n");
+  std::printf("paper: w(i) successful at level 2i, u(i) failed at 2i-1\n");
+  std::printf("%4s  %-12s %-8s %-8s   %-12s %-8s %-8s\n", "n", "w status",
+              "level", "paper", "u status", "level", "paper");
+  GlobalTreeOptions opts;
+  opts.max_negation_depth = 40;
+  bool all_ok = true;
+  for (int n = 1; n <= 9; ++n) {
+    GlobalTree w = GlobalTree::Build(
+        program,
+        MustParseQuery(store, StrCat("w(", workload::IntTerm(n), ")")),
+        opts);
+    GlobalTree u = GlobalTree::Build(
+        program,
+        MustParseQuery(store, StrCat("u(", workload::IntTerm(n), ")")),
+        opts);
+    bool ok = w.status() == GoalStatus::kSuccessful &&
+              w.level() == Ordinal::Finite(2 * n) &&
+              u.status() == GoalStatus::kFailed &&
+              (n == 1 ? u.level() == Ordinal::Finite(1)
+                      : u.level() == Ordinal::Finite(2 * n - 1));
+    all_ok = all_ok && ok;
+    std::printf("%4d  %-12s %-8s %-8d   %-12s %-8s %-8d\n", n,
+                GoalStatusName(w.status()), w.level().ToString().c_str(),
+                2 * n, GoalStatusName(u.status()),
+                u.level().ToString().c_str(), n == 1 ? 1 : 2 * n - 1);
+  }
+  std::printf("level claims hold for n = 1..9: %s\n",
+              all_ok ? "yes" : "NO");
+
+  // The transfinite composition of Figure 4.
+  Ordinal sup = Ordinal::LimitOfStrictlyIncreasing();  // lub{2n} = w
+  Ordinal u0 = sup + Ordinal::Finite(1);
+  Ordinal w0 = u0 + Ordinal::Finite(1);
+  std::printf(
+      "analytic limit: lub{2n} = %s  =>  level(u(0)) = %s, level(w(0)) = "
+      "%s  (paper: w+2)  %s\n\n",
+      sup.ToString().c_str(), u0.ToString().c_str(), w0.ToString().c_str(),
+      w0 == Ordinal::Omega() + Ordinal::Finite(2) ? "yes" : "NO");
+}
+
+void BM_GlobalTreeWn(benchmark::State& state) {
+  TermStore store;
+  Program program = MustParseProgram(store, workload::VanGelderProgram());
+  Goal goal = MustParseQuery(
+      store,
+      StrCat("w(", workload::IntTerm(static_cast<int>(state.range(0))),
+             ")"));
+  GlobalTreeOptions opts;
+  opts.max_negation_depth = 2 * static_cast<size_t>(state.range(0)) + 4;
+  for (auto _ : state) {
+    GlobalTree tree = GlobalTree::Build(program, goal, opts);
+    benchmark::DoNotOptimize(tree.node_count());
+  }
+  state.counters["nodes"] = static_cast<double>(
+      GlobalTree::Build(program, goal, opts).node_count());
+}
+BENCHMARK(BM_GlobalTreeWn)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(12);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintVerification();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

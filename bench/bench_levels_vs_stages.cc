@@ -1,0 +1,112 @@
+// E8 / Corollary 4.6: the level of a determined ground goal equals the
+// stage of the corresponding literal under the V_P iteration (Def. 2.4).
+// Verifies the correspondence on game chains (where stages grow linearly)
+// and random graphs, then benchmarks stage computation.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/engine.h"
+#include "ground/grounder.h"
+#include "lang/parser.h"
+#include "util/strings.h"
+#include "wfs/wfs.h"
+#include "workload/generators.h"
+
+using namespace gsls;
+
+namespace {
+
+void PrintVerification() {
+  std::printf("=== E8 / Cor. 4.6: level == stage ===\n");
+  std::printf("game chain n1 -> ... -> nK: win(ni) alternates, stage K-i+1\n");
+  std::printf("%6s  %10s %10s %10s  %s\n", "K", "atoms", "checked",
+              "equal", "all match");
+  for (int k : {4, 8, 16, 24}) {
+    TermStore store;
+    Program program = MustParseProgram(store, workload::GameChain(k));
+    GroundingOptions gopts;
+    Result<GroundProgram> gp = GroundRelevant(program, gopts);
+    WfsStages stages = ComputeWfsStages(gp.value());
+    GlobalSlsEngine engine(program);
+    size_t checked = 0, equal = 0;
+    for (AtomId a = 0; a < gp->atom_count(); ++a) {
+      const Term* atom = gp->AtomTerm(a);
+      QueryResult r = engine.SolveAtom(atom);
+      if (r.status == GoalStatus::kSuccessful && r.level_exact) {
+        ++checked;
+        if (r.answers[0].level == Ordinal::Finite(stages.true_stage[a])) {
+          ++equal;
+        }
+      } else if (r.status == GoalStatus::kFailed && r.level_exact) {
+        ++checked;
+        if (r.level == Ordinal::Finite(stages.false_stage[a])) ++equal;
+      }
+    }
+    std::printf("%6d  %10zu %10zu %10zu  %s\n", k, gp->atom_count(),
+                checked, equal, checked == equal ? "yes" : "NO");
+  }
+
+  Rng rng(0xCAFE);
+  size_t checked = 0, equal = 0;
+  for (int t = 0; t < 30; ++t) {
+    std::string src = workload::RandomGame(rng, 5, 30);
+    TermStore store;
+    Program program = MustParseProgram(store, src);
+    GroundingOptions gopts;
+    Result<GroundProgram> gp = GroundRelevant(program, gopts);
+    WfsStages stages = ComputeWfsStages(gp.value());
+    GlobalSlsEngine engine(program);
+    for (AtomId a = 0; a < gp->atom_count(); ++a) {
+      QueryResult r = engine.SolveAtom(gp->AtomTerm(a));
+      if (r.status == GoalStatus::kSuccessful && r.level_exact) {
+        ++checked;
+        equal += r.answers[0].level ==
+                 Ordinal::Finite(stages.true_stage[a]);
+      } else if (r.status == GoalStatus::kFailed && r.level_exact) {
+        ++checked;
+        equal += r.level == Ordinal::Finite(stages.false_stage[a]);
+      }
+    }
+  }
+  std::printf("random games: %zu determined goals checked, %zu equal: %s\n\n",
+              checked, equal, checked == equal ? "yes" : "NO");
+}
+
+void BM_StageComputation(benchmark::State& state) {
+  TermStore store;
+  Program program = MustParseProgram(
+      store, workload::GameChain(static_cast<int>(state.range(0))));
+  GroundingOptions gopts;
+  Result<GroundProgram> gp = GroundRelevant(program, gopts);
+  for (auto _ : state) {
+    WfsStages stages = ComputeWfsStages(gp.value());
+    benchmark::DoNotOptimize(stages.iterations);
+  }
+  state.counters["stages"] = static_cast<double>(
+      ComputeWfsStages(gp.value()).iterations);
+}
+BENCHMARK(BM_StageComputation)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_LevelViaEngine(benchmark::State& state) {
+  TermStore store;
+  Program program = MustParseProgram(
+      store, workload::GameChain(static_cast<int>(state.range(0))));
+  const Term* root = MustParseTerm(store, "win(n1)");
+  for (auto _ : state) {
+    GlobalSlsEngine engine(program);
+    QueryResult r = engine.SolveAtom(root);
+    benchmark::DoNotOptimize(r.level);
+  }
+}
+BENCHMARK(BM_LevelViaEngine)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintVerification();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

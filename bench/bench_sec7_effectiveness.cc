@@ -1,0 +1,144 @@
+// E9 / Section 7: effectiveness. The ideal procedure is not effective, but
+// (a) it terminates on acyclic programs, (b) the memoing engine is
+// effective on all function-free programs, and (c) SLDNF — which does not
+// fail infinite branches — diverges where global SLS-resolution answers.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/engine.h"
+#include "core/tabled.h"
+#include "lang/parser.h"
+#include "sldnf/sldnf.h"
+#include "workload/generators.h"
+
+using namespace gsls;
+
+namespace {
+
+struct CaseResult {
+  const char* name;
+  GoalStatus sls;
+  GoalStatus tabled;
+  GoalStatus sldnf;
+};
+
+void PrintVerification() {
+  std::printf("=== E9 / Sec. 7: effectiveness comparison ===\n");
+  std::printf(
+      "paper: SLDNF (safe rule) is sound for WFS but incomplete — it does\n"
+      "not fail infinite branches and has no undefined value.\n\n");
+  struct Case {
+    const char* name;
+    const char* src;
+    const char* query;
+  } cases[] = {
+      {"positive loop", "p :- p.", "p"},
+      {"mutual pos loop", "p :- q. q :- p.", "p"},
+      {"left recursion",
+       "t(X,Y) :- t(X,Z), e(Z,Y). t(X,Y) :- e(X,Y). e(a,b).", "t(b,a)"},
+      {"neg loop (undefined)", "p :- not q. q :- not p.", "p"},
+      {"loop with escape", "p :- not q. q :- not p. q.", "p"},
+      {"win chain 12", "", "win(n1)"},  // source built per-case below
+  };
+  std::printf("%-22s %-14s %-14s %-14s\n", "program", "global SLS",
+              "tabled SLS", "SLDNF");
+  for (const auto& c : cases) {
+    std::string src = std::string(c.name) == "win chain 12"
+                          ? workload::GameChain(12)
+                          : c.src;
+    TermStore store;
+    Program program = MustParseProgram(store, src);
+    const Term* atom = MustParseTerm(store, c.query);
+
+    GlobalSlsEngine sls(program);
+    Result<TabledEngine> tabled = TabledEngine::Create(program);
+    SldnfOptions sopts;
+    sopts.max_depth = 256;
+    sopts.max_work = 100000;
+    SldnfEngine sldnf(program, sopts);
+
+    std::printf("%-22s %-14s %-14s %-14s\n", c.name,
+                GoalStatusName(sls.StatusOf(atom)),
+                GoalStatusName(tabled->StatusOf(atom)),
+                GoalStatusName(sldnf.SolveAtom(atom).status));
+  }
+  std::printf(
+      "\nExpected shape: the tabled column is always determined (failed /\n"
+      "successful / indeterminate) — the Sec. 7 memoing device is\n"
+      "effective on every function-free program. The search engine prunes\n"
+      "ground loops itself but reports honest 'unknown' on the nonground\n"
+      "left recursion (its goals grow forever — exactly why memoing is\n"
+      "needed). SLDNF reads 'unknown' (divergence) on every loop.\n\n");
+
+  // Termination classes: per-class effectiveness of the search engine.
+  std::printf("%-28s %-10s %-12s\n", "class", "instance", "search engine");
+  {
+    TermStore store;
+    Program acyclic = MustParseProgram(
+        store, "a :- b, not c. b :- d. c :- not d. d.");
+    GlobalSlsEngine engine(acyclic);
+    std::printf("%-28s %-10s %-12s\n", "acyclic (terminates)", "a",
+                GoalStatusName(engine.StatusOf(MustParseTerm(store, "a"))));
+  }
+  {
+    TermStore store;
+    Program fn = MustParseProgram(store, "p(X) :- not p(f(X)).");
+    EngineOptions opts;
+    opts.max_negation_depth = 16;
+    GlobalSlsEngine engine(fn, opts);
+    std::printf("%-28s %-10s %-12s\n",
+                "infinite neg regress (Sec. 7)", "p(a)",
+                GoalStatusName(engine.StatusOf(MustParseTerm(store, "p(a)"))));
+  }
+  std::printf("\n");
+}
+
+void BM_TabledChain(benchmark::State& state) {
+  std::string src = workload::GameChain(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    TermStore store;
+    Program program = MustParseProgram(store, src);
+    Result<TabledEngine> engine = TabledEngine::Create(program);
+    benchmark::DoNotOptimize(
+        engine->StatusOf(MustParseTerm(store, "win(n1)")));
+  }
+}
+BENCHMARK(BM_TabledChain)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_SearchChain(benchmark::State& state) {
+  std::string src = workload::GameChain(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    TermStore store;
+    Program program = MustParseProgram(store, src);
+    EngineOptions opts;
+    opts.max_negation_depth = static_cast<size_t>(state.range(0)) + 8;
+    GlobalSlsEngine engine(program, opts);
+    benchmark::DoNotOptimize(
+        engine.StatusOf(MustParseTerm(store, "win(n1)")));
+  }
+}
+BENCHMARK(BM_SearchChain)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_SldnfChainDivergenceCost(benchmark::State& state) {
+  // SLDNF on the chain is fine (no loops); this measures the baseline.
+  std::string src = workload::GameChain(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    TermStore store;
+    Program program = MustParseProgram(store, src);
+    SldnfEngine engine(program);
+    benchmark::DoNotOptimize(
+        engine.SolveAtom(MustParseTerm(store, "win(n1)")).status);
+  }
+}
+BENCHMARK(BM_SldnfChainDivergenceCost)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintVerification();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,138 @@
+// E11: substrate microbenchmarks — term interning (the manual-memory hash
+// consing layer), unification, substitution application, parsing, and
+// grounding.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "ground/grounder.h"
+#include "lang/parser.h"
+#include "term/substitution.h"
+#include "util/rng.h"
+#include "util/strings.h"
+#include "workload/generators.h"
+
+using namespace gsls;
+
+namespace {
+
+void PrintVerification() {
+  TermStore store;
+  for (int i = 0; i < 1000; ++i) {
+    const Term* t = store.MakeApp(
+        "f", {store.MakeConstant(StrCat("c", i % 10)),
+              store.MakeConstant(StrCat("c", (i * 7) % 10))});
+    benchmark::DoNotOptimize(t);
+  }
+  std::printf("=== E11: substrate sanity ===\n");
+  std::printf(
+      "hash-consed store: %zu interned terms for 1000 constructions, "
+      "%zu arena bytes\n\n",
+      store.interned_count(), store.arena_bytes());
+}
+
+void BM_TermInterning(benchmark::State& state) {
+  TermStore store;
+  Rng rng(1);
+  for (auto _ : state) {
+    const Term* a = store.MakeConstant(StrCat("c", rng.Uniform(64)));
+    const Term* t = store.MakeApp("f", {a, a});
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_TermInterning);
+
+void BM_DeepTermConstruction(benchmark::State& state) {
+  for (auto _ : state) {
+    TermStore store;
+    const Term* t = store.MakeConstant("z");
+    for (int i = 0; i < state.range(0); ++i) {
+      t = store.MakeApp("s", {t});
+    }
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_DeepTermConstruction)->Arg(64)->Arg(512);
+
+void BM_Unification(benchmark::State& state) {
+  TermStore store;
+  // f(g(X, h(Y)), Z) vs f(g(a, h(b)), k(c, d)).
+  const Term* t1 = MustParseTerm(store, "f(g(X, h(Y)), Z)");
+  const Term* t2 = MustParseTerm(store, "f(g(a, h(b)), k(c, d))");
+  for (auto _ : state) {
+    Substitution s;
+    bool ok = Unify(t1, t2, &s);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_Unification);
+
+void BM_UnificationSharedVars(benchmark::State& state) {
+  TermStore store;
+  std::string lhs = "p(X0";
+  std::string rhs = "p(a";
+  for (int i = 1; i < state.range(0); ++i) {
+    lhs += StrCat(", X", i);
+    rhs += StrCat(", X", i - 1);
+  }
+  lhs += ")";
+  rhs += ")";
+  const Term* t1 = MustParseTerm(store, lhs);
+  const Term* t2 = MustParseTerm(store, rhs);
+  for (auto _ : state) {
+    Substitution s;
+    bool ok = Unify(t1, t2, &s);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_UnificationSharedVars)->Arg(4)->Arg(16);
+
+void BM_SubstitutionApply(benchmark::State& state) {
+  TermStore store;
+  const Term* pattern = MustParseTerm(store, "f(g(X, h(Y)), p(X, Y, Z))");
+  std::vector<VarId> vars;
+  CollectVars(pattern, &vars);
+  Substitution s;
+  s.Bind(vars[0], MustParseTerm(store, "k(a, b)"));
+  s.Bind(vars[1], MustParseTerm(store, "c"));
+  s.Bind(vars[2], MustParseTerm(store, "h(h(h(d)))"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.Apply(store, pattern));
+  }
+}
+BENCHMARK(BM_SubstitutionApply);
+
+void BM_ParseProgram(benchmark::State& state) {
+  std::string src = workload::GameChain(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    TermStore store;
+    Program p = MustParseProgram(store, src);
+    benchmark::DoNotOptimize(p.size());
+  }
+}
+BENCHMARK(BM_ParseProgram)->Arg(64)->Arg(512);
+
+void BM_RelevantGrounding(benchmark::State& state) {
+  Rng rng(3);
+  std::string src = workload::ReachabilityWithNegation(
+      rng, static_cast<int>(state.range(0)), 20);
+  for (auto _ : state) {
+    TermStore store;
+    Program program = MustParseProgram(store, src);
+    GroundingOptions gopts;
+    gopts.max_rules = 5'000'000;
+    Result<GroundProgram> gp = GroundRelevant(program, gopts);
+    benchmark::DoNotOptimize(gp->rule_count());
+  }
+}
+BENCHMARK(BM_RelevantGrounding)->Arg(8)->Arg(16)->Arg(24);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintVerification();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Default reasoning with stratified negation: "birds fly unless they are
+// abnormal". On stratified programs the well-founded model is total and
+// coincides with the perfect model (Przymusinski) — this example computes
+// both and cross-checks them, then answers queries top-down.
+
+#include <cstdio>
+
+#include "analysis/dependency_graph.h"
+#include "core/engine.h"
+#include "ground/grounder.h"
+#include "lang/parser.h"
+#include "wfs/perfect.h"
+#include "wfs/wfs.h"
+
+using namespace gsls;
+
+int main() {
+  TermStore store;
+  Program program = MustParseProgram(store, R"(
+      bird(tweety). bird(pingu). bird(pete).
+      penguin(pingu).
+      injured(pete).
+
+      abnormal(X) :- penguin(X).
+      abnormal(X) :- injured(X).
+
+      flies(X) :- bird(X), not abnormal(X).
+
+      % a second default layer: flightless birds get a pool membership
+      swims(X) :- penguin(X).
+      grounded_bird(X) :- bird(X), not flies(X).
+  )");
+  std::printf("Program:\n%s\n", program.ToString().c_str());
+
+  // Stratification analysis (Apt-Blair-Walker).
+  Stratification strat = Stratify(program);
+  std::printf("stratified: %s, strata: %d\n",
+              strat.stratified ? "yes" : "no", strat.stratum_count);
+
+  // Ground, compute the well-founded model and the perfect model.
+  GroundingOptions gopts;
+  Result<GroundProgram> gp = GroundRelevant(program, gopts);
+  if (!gp.ok()) {
+    std::printf("grounding failed: %s\n", gp.status().ToString().c_str());
+    return 1;
+  }
+  WfsModel wfs = ComputeWfs(gp.value());
+  Result<Interpretation> perfect = ComputePerfectModel(gp.value(), strat);
+  if (!perfect.ok()) {
+    std::printf("perfect model failed: %s\n",
+                perfect.status().ToString().c_str());
+    return 1;
+  }
+  bool agree = wfs.model == perfect.value();
+  std::printf("well-founded model total: %s; equals perfect model: %s\n\n",
+              wfs.model.IsTotal() ? "yes" : "no", agree ? "yes" : "no");
+
+  // Top-down query answering.
+  GlobalSlsEngine engine(program);
+  for (const char* q : {"flies(tweety)", "flies(pingu)", "flies(pete)",
+                        "grounded_bird(pingu)", "swims(pingu)",
+                        "grounded_bird(tweety)"}) {
+    const Term* atom = MustParseTerm(store, q);
+    std::printf("?- %-24s %s\n", q, GoalStatusName(engine.StatusOf(atom)));
+  }
+
+  Goal query = MustParseQuery(store, "flies(X)");
+  QueryResult r = engine.Solve(query);
+  std::printf("\n?- flies(X).  answers:");
+  for (const Answer& a : r.answers) {
+    std::printf(" %s",
+                store.ToString(a.theta.Apply(store, query[0].atom->arg(0)))
+                    .c_str());
+  }
+  std::printf("\n\nDefaults work as expected: tweety flies (no exception\n"
+              "applies), pingu and pete do not (penguin / injured), and the\n"
+              "second default layer correctly derives grounded_bird for\n"
+              "exactly the non-flying birds.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Quickstart: parse a normal logic program, evaluate queries under the
+// well-founded semantics with both engines, and inspect three-valued
+// results.
+//
+// Build and run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/engine.h"
+#include "core/tabled.h"
+#include "lang/parser.h"
+
+using namespace gsls;
+
+int main() {
+  TermStore store;
+
+  // A little deductive database: employees, managers, and a default rule
+  // "X gets a bonus unless X is flagged" — plus a deliberately paradoxical
+  // committee rule to show the third truth value.
+  Program program = MustParseProgram(store, R"(
+      employee(ann). employee(bob). employee(cyd).
+      manages(ann, bob). manages(bob, cyd).
+
+      boss(X, Y) :- manages(X, Y).
+      boss(X, Y) :- manages(X, Z), boss(Z, Y).
+
+      flagged(bob).
+      bonus(X) :- employee(X), not flagged(X).
+
+      % "cyd chairs the committee iff she does not chair it" - undefined.
+      chairs(cyd) :- not chairs(cyd).
+  )");
+
+  std::printf("Program:\n%s\n", program.ToString().c_str());
+
+  // --- Engine 1: the effective memoing engine (function-free programs). --
+  Result<TabledEngine> tabled = TabledEngine::Create(program);
+  if (!tabled.ok()) {
+    std::printf("tabling failed: %s\n", tabled.status().ToString().c_str());
+    return 1;
+  }
+
+  Goal q1 = MustParseQuery(store, "boss(ann, X)");
+  QueryResult r1 = tabled->Solve(q1);
+  std::printf("?- boss(ann, X).        %s\n", GoalStatusName(r1.status));
+  for (const Answer& a : r1.answers) {
+    std::printf("   X = %s   (level %s)\n",
+                store.ToString(a.theta.Apply(store, q1[0].atom->arg(1)))
+                    .c_str(),
+                a.level.ToString().c_str());
+  }
+
+  Goal q2 = MustParseQuery(store, "bonus(X)");
+  QueryResult r2 = tabled->Solve(q2);
+  std::printf("?- bonus(X).            %s\n", GoalStatusName(r2.status));
+  for (const Answer& a : r2.answers) {
+    std::printf("   X = %s\n",
+                store.ToString(a.theta.Apply(store, q2[0].atom->arg(0)))
+                    .c_str());
+  }
+
+  // Three-valued ground queries.
+  for (const char* atom_src :
+       {"bonus(ann)", "bonus(bob)", "chairs(cyd)", "boss(cyd, ann)"}) {
+    const Term* atom = MustParseTerm(store, atom_src);
+    std::printf("?- %-18s  %s\n", atom_src,
+                GoalStatusName(tabled->StatusOf(atom)));
+  }
+
+  // --- Engine 2: the faithful top-down search engine. ------------------
+  GlobalSlsEngine search(program);
+  QueryResult r3 = search.Solve(MustParseQuery(store, "bonus(X)"));
+  std::printf(
+      "\nGlobal SLS search agrees: ?- bonus(X) is %s with %zu answer(s), "
+      "%zu resolution steps, %zu negation nodes.\n",
+      GoalStatusName(r3.status), r3.answers.size(), r3.work,
+      r3.negation_nodes);
+
+  const Term* chairs = MustParseTerm(store, "chairs(cyd)");
+  std::printf(
+      "The committee paradox is %s: recursion through negation leaves the "
+      "atom undefined in the well-founded model.\n",
+      GoalStatusName(search.StatusOf(chairs)));
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Example 6.1: the universal query problem, and how the augmented program
+// P' (Def. 6.1) solves it. With P = {p(a)}, every Herbrand model of P
+// satisfies "forall x. p(x)" — yet it is not a logical consequence of P,
+// and no resolution procedure returns the identity answer for ?- p(X).
+// Adding an unrelated fact (q(b)) breaks the universal truth; augmenting P
+// with a fact over fresh symbols makes the Herbrand universe rich enough
+// that most-general answers mean what they say (Thm. 6.2(3)).
+//
+// The example also shows the term/1 guard of Sec. 6 removing floundering.
+
+#include <cstdio>
+
+#include "core/engine.h"
+#include "lang/parser.h"
+#include "lang/transforms.h"
+
+using namespace gsls;
+
+namespace {
+
+void ShowAnswers(TermStore& store, const char* label, const Goal& query,
+                 const QueryResult& r) {
+  std::printf("%-34s %s;", label, GoalStatusName(r.status));
+  for (const Answer& a : r.answers) {
+    std::printf(" %s",
+                store.ToString(a.theta.Apply(store, query[0].atom)).c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Example 6.1: universal query problem ===\n");
+  {
+    TermStore store;
+    Program p = MustParseProgram(store, "p(a).");
+    GlobalSlsEngine engine(p);
+    Goal query = MustParseQuery(store, "p(X)");
+    QueryResult r = engine.Solve(query);
+    ShowAnswers(store, "P = {p(a)}:        ?- p(X)", query, r);
+    std::printf(
+        "  The only answer is X = a: 'forall x p(x)' holds in the single\n"
+        "  Herbrand model, but resolution (rightly) cannot certify it.\n");
+  }
+  {
+    TermStore store;
+    Program p = MustParseProgram(store, "p(a). q(b).");
+    GlobalSlsEngine engine(p);
+    Goal query = MustParseQuery(store, "p(X)");
+    QueryResult r = engine.Solve(query);
+    ShowAnswers(store, "P + {q(b)}:        ?- p(X)", query, r);
+    std::printf(
+        "  The unrelated fact q(b) adds b to the universe, and p(b) is\n"
+        "  false: universal truth in Herbrand models was an artifact.\n");
+  }
+  {
+    TermStore store;
+    Program p = MustParseProgram(store, "p(a).");
+    Program aug = AugmentProgram(p);
+    std::printf("\nAugmented program P' (Def. 6.1):\n%s",
+                aug.ToString().c_str());
+    GlobalSlsEngine engine(aug);
+    Goal query = MustParseQuery(store, "p(X)");
+    QueryResult r = engine.Solve(query);
+    ShowAnswers(store, "P' = P + {$aug($f($c))}: ?- p(X)", query, r);
+    std::printf(
+        "  P' has infinitely many ground terms absent from P, so an answer\n"
+        "  substitution is most general exactly when it deserves to be:\n"
+        "  ?- p(X) still answers only X = a, certifying that P does NOT\n"
+        "  entail forall x p(x) (Thm. 6.2(3) reads answers over P').\n");
+  }
+
+  std::printf("\n=== Sec. 6: the term/1 guard removes floundering ===\n");
+  {
+    TermStore store;
+    Program p = MustParseProgram(store, "p(X) :- not q(f(X)). q(a).");
+    GlobalSlsEngine engine(p);
+    Goal query = MustParseQuery(store, "p(X)");
+    QueryResult r = engine.Solve(query);
+    ShowAnswers(store, "unguarded:         ?- p(X)", query, r);
+
+    Program guarded = AddTermGuard(p);
+    std::printf("guarded program:\n%s", guarded.ToString().c_str());
+    // The guarded query has infinitely many answers (every ground term
+    // works); cap the enumeration.
+    EngineOptions gopts;
+    gopts.max_answers = 6;
+    gopts.max_slp_depth = 64;
+    GlobalSlsEngine guarded_engine(guarded, gopts);
+    Goal gquery = GuardGoal(guarded, store, MustParseQuery(store, "p(X)"));
+    QueryResult gr = guarded_engine.Solve(gquery);
+    std::printf("guarded:           ?- p(X), term(X)   %s; first answers:",
+                GoalStatusName(gr.status));
+    size_t shown = 0;
+    for (const Answer& a : gr.answers) {
+      if (shown++ == 4) break;
+      std::printf(" %s",
+                  store.ToString(a.theta.Apply(store, gquery[0].atom))
+                      .c_str());
+    }
+    std::printf(
+        "\n  term/1 enumerates the Herbrand universe, so every negative\n"
+        "  subgoal is eventually ground: the guarded query cannot\n"
+        "  flounder, at the price of enumerating instances.\n");
+  }
+  return 0;
+}

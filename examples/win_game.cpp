@@ -1,0 +1,74 @@
+// Game analysis under the well-founded semantics: the classic
+//   win(X) :- move(X, Y), not win(Y).
+// Three-valued reading: a position is WON when some move reaches a lost
+// position, LOST when every move reaches a won position (or no move
+// exists), and DRAWN (undefined) when optimal play cycles forever. The
+// drawn positions are exactly what two-valued semantics cannot express and
+// what the well-founded semantics gets right.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/tabled.h"
+#include "lang/parser.h"
+#include "util/strings.h"
+
+using namespace gsls;
+
+int main() {
+  TermStore store;
+  // A board with a winning ladder (a->b->c), a draw cycle (d<->e with an
+  // escape to the ladder), and an isolated mutual cycle (f<->g).
+  Program program = MustParseProgram(store, R"(
+      win(X) :- move(X, Y), not win(Y).
+
+      % ladder: c is terminal (lost), b beats c, a must hand b the win
+      move(a, b). move(b, c).
+      % cycle with an escape: e can move into the ladder at c
+      move(d, e). move(e, d). move(e, c).
+      % pure cycle: perpetual check
+      move(f, g). move(g, f).
+  )");
+  std::printf("Game program:\n%s\n", program.ToString().c_str());
+
+  Result<TabledEngine> engine = TabledEngine::Create(program);
+  if (!engine.ok()) {
+    std::printf("error: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%-10s %-14s %-18s\n", "position", "verdict", "level (stage)");
+  for (const char* pos : {"a", "b", "c", "d", "e", "f", "g"}) {
+    const Term* atom = MustParseTerm(store, StrCat("win(", pos, ")"));
+    const char* verdict = "";
+    switch (engine->ValueOf(atom)) {
+      case TruthValue::kTrue: verdict = "WON"; break;
+      case TruthValue::kFalse: verdict = "LOST"; break;
+      case TruthValue::kUndefined: verdict = "DRAWN"; break;
+    }
+    auto level = engine->LevelOf(atom);
+    std::printf("%-10s %-14s %-18s\n", pos, verdict,
+                level.has_value() ? level->ToString().c_str() : "-");
+  }
+
+  // Which opening positions are winning? A single nonground query.
+  Goal query = MustParseQuery(store, "win(X)");
+  QueryResult r = engine->Solve(query);
+  std::printf("\n?- win(X).  %s;", GoalStatusName(r.status));
+  std::printf(" winning positions:");
+  for (const Answer& a : r.answers) {
+    std::printf(" %s",
+                store.ToString(a.theta.Apply(store, query[0].atom->arg(0)))
+                    .c_str());
+  }
+  std::printf("\n");
+
+  std::printf(
+      "\nReading the table: e is WON (it can escape into the ladder and\n"
+      "hand c, a lost position, to the opponent); d is LOST because its\n"
+      "only move gifts e the win; f and g are DRAWN - with optimal play\n"
+      "the f<->g game never ends, which the well-founded model represents\n"
+      "as 'undefined' rather than forcing an arbitrary verdict.\n");
+  return 0;
+}

@@ -1,0 +1,197 @@
+#include "analysis/dependency_graph.h"
+
+#include <algorithm>
+
+namespace gsls {
+
+DependencyGraph::DependencyGraph(const Program& program) {
+  std::unordered_set<FunctorId> seen;
+  auto add_pred = [&](FunctorId f) {
+    if (seen.insert(f).second) predicates_.push_back(f);
+  };
+  for (const Clause& c : program.clauses()) {
+    add_pred(c.predicate());
+    for (const Literal& l : c.body) {
+      add_pred(l.predicate());
+      Edge e{c.predicate(), l.predicate(), l.positive};
+      edges_.push_back(e);
+      out_edges_[c.predicate()].push_back(e);
+    }
+  }
+}
+
+const std::vector<DependencyGraph::Edge>& DependencyGraph::EdgesFrom(
+    FunctorId pred) const {
+  auto it = out_edges_.find(pred);
+  return it == out_edges_.end() ? no_edges_ : it->second;
+}
+
+namespace {
+
+/// Iterative Tarjan SCC over predicate ids.
+class TarjanScc {
+ public:
+  explicit TarjanScc(const DependencyGraph& graph) : graph_(graph) {}
+
+  std::vector<std::vector<FunctorId>> Run() {
+    for (FunctorId p : graph_.predicates()) {
+      if (index_.find(p) == index_.end()) Visit(p);
+    }
+    return components_;
+  }
+
+ private:
+  struct Frame {
+    FunctorId pred;
+    size_t edge_pos;
+  };
+
+  void Visit(FunctorId root) {
+    std::vector<Frame> frames;
+    frames.push_back(Frame{root, 0});
+    Begin(root);
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const auto& edges = graph_.EdgesFrom(f.pred);
+      if (f.edge_pos < edges.size()) {
+        FunctorId next = edges[f.edge_pos++].to;
+        auto it = index_.find(next);
+        if (it == index_.end()) {
+          Begin(next);
+          frames.push_back(Frame{next, 0});
+        } else if (on_stack_.count(next) > 0) {
+          lowlink_[f.pred] = std::min(lowlink_[f.pred], index_[next]);
+        }
+        continue;
+      }
+      // Finished this node.
+      FunctorId done = f.pred;
+      frames.pop_back();
+      if (!frames.empty()) {
+        lowlink_[frames.back().pred] =
+            std::min(lowlink_[frames.back().pred], lowlink_[done]);
+      }
+      if (lowlink_[done] == index_[done]) {
+        std::vector<FunctorId> component;
+        while (true) {
+          FunctorId w = stack_.back();
+          stack_.pop_back();
+          on_stack_.erase(w);
+          component.push_back(w);
+          if (w == done) break;
+        }
+        components_.push_back(std::move(component));
+      }
+    }
+  }
+
+  void Begin(FunctorId p) {
+    index_[p] = counter_;
+    lowlink_[p] = counter_;
+    ++counter_;
+    stack_.push_back(p);
+    on_stack_.insert(p);
+  }
+
+  const DependencyGraph& graph_;
+  size_t counter_ = 0;
+  std::unordered_map<FunctorId, size_t> index_;
+  std::unordered_map<FunctorId, size_t> lowlink_;
+  std::vector<FunctorId> stack_;
+  std::unordered_set<FunctorId> on_stack_;
+  std::vector<std::vector<FunctorId>> components_;
+};
+
+}  // namespace
+
+std::vector<std::vector<FunctorId>>
+DependencyGraph::StronglyConnectedComponents() const {
+  return TarjanScc(*this).Run();
+}
+
+std::unordered_map<FunctorId, size_t> DependencyGraph::ComponentIds() const {
+  std::unordered_map<FunctorId, size_t> ids;
+  auto components = StronglyConnectedComponents();
+  for (size_t i = 0; i < components.size(); ++i) {
+    for (FunctorId p : components[i]) ids[p] = i;
+  }
+  return ids;
+}
+
+bool DependencyGraph::HasNegativeCycle() const {
+  auto ids = ComponentIds();
+  for (const Edge& e : edges_) {
+    if (!e.positive && ids[e.from] == ids[e.to]) return true;
+  }
+  return false;
+}
+
+bool DependencyGraph::IsAcyclic() const {
+  auto components = StronglyConnectedComponents();
+  for (const auto& comp : components) {
+    if (comp.size() > 1) return false;
+  }
+  // Single-node components may still have self loops.
+  for (const Edge& e : edges_) {
+    if (e.from == e.to) return false;
+  }
+  return true;
+}
+
+std::unordered_set<FunctorId> DependencyGraph::ReachableFrom(
+    const std::vector<FunctorId>& roots) const {
+  std::unordered_set<FunctorId> seen;
+  std::vector<FunctorId> work;
+  for (FunctorId r : roots) {
+    if (seen.insert(r).second) work.push_back(r);
+  }
+  while (!work.empty()) {
+    FunctorId p = work.back();
+    work.pop_back();
+    for (const Edge& e : EdgesFrom(p)) {
+      if (seen.insert(e.to).second) work.push_back(e.to);
+    }
+  }
+  return seen;
+}
+
+Stratification Stratify(const Program& program) {
+  DependencyGraph graph(program);
+  Stratification out;
+  auto components = graph.StronglyConnectedComponents();
+  auto ids = graph.ComponentIds();
+  for (const auto& e : graph.edges()) {
+    if (!e.positive && ids[e.from] == ids[e.to]) {
+      out.stratified = false;
+      return out;
+    }
+  }
+  out.stratified = true;
+  // Components are in reverse topological order (callees first), so a
+  // single left-to-right pass computes strata:
+  //   stratum(C) = max over edges C -> D of (stratum(D) + (edge negative)).
+  std::vector<int> comp_stratum(components.size(), 0);
+  for (size_t i = 0; i < components.size(); ++i) {
+    int s = 0;
+    for (FunctorId p : components[i]) {
+      for (const auto& e : graph.EdgesFrom(p)) {
+        size_t target = ids[e.to];
+        if (target == i) continue;
+        int need = comp_stratum[target] + (e.positive ? 0 : 1);
+        s = std::max(s, need);
+      }
+    }
+    comp_stratum[i] = s;
+  }
+  int max_stratum = 0;
+  for (size_t i = 0; i < components.size(); ++i) {
+    for (FunctorId p : components[i]) {
+      out.strata[p] = comp_stratum[i];
+    }
+    max_stratum = std::max(max_stratum, comp_stratum[i]);
+  }
+  out.stratum_count = components.empty() ? 0 : max_stratum + 1;
+  return out;
+}
+
+}  // namespace gsls

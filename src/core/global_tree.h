@@ -1,0 +1,66 @@
+#ifndef GSLS_CORE_GLOBAL_TREE_H_
+#define GSLS_CORE_GLOBAL_TREE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/ordinal.h"
+#include "core/slp_tree.h"
+
+namespace gsls {
+
+/// Node kinds of a global tree (Def. 3.3).
+enum class GlobalNodeKind : uint8_t { kTree, kNegation, kNonground };
+
+/// A node of an explicitly materialized global tree: tree nodes carry their
+/// SLP-tree; negation nodes correspond to active leaves; nonground nodes
+/// mark unsafe negative subgoals. Statuses and ordinal levels are computed
+/// bottom-up by the rules of Def. 3.3 (with `kUnknown` for subtrees cut off
+/// by a budget, and `kIndeterminate` for detected negative loops).
+struct GlobalNode {
+  GlobalNodeKind kind;
+  /// Tree nodes: the goal of the SLP-tree. Negation nodes: the active leaf
+  /// they correspond to. Nonground nodes: the single offending literal.
+  Goal goal;
+  std::unique_ptr<SlpTree> slp;  ///< Only for tree nodes.
+  GoalStatus status = GoalStatus::kUnknown;
+  Ordinal level;
+  bool level_exact = false;
+  std::vector<std::unique_ptr<GlobalNode>> children;
+};
+
+struct GlobalTreeOptions {
+  SlpTreeOptions slp;
+  /// Maximum nesting of negation nodes below the root.
+  size_t max_negation_depth = 16;
+  size_t max_nodes = 200'000;
+};
+
+/// Materializes the global tree for a goal (Def. 3.3), for inspection and
+/// figure reproduction. Statuses/levels follow the bottom-up calculus; a
+/// ground subgoal already being expanded on the current path (negative
+/// loop) is reported as `kIndeterminate`.
+class GlobalTree {
+ public:
+  static GlobalTree Build(const Program& program, const Goal& root,
+                          GlobalTreeOptions opts = {});
+
+  const GlobalNode& root() const { return *root_; }
+  GoalStatus status() const { return root_->status; }
+  const Ordinal& level() const { return root_->level; }
+  bool level_exact() const { return root_->level_exact; }
+  size_t node_count() const { return node_count_; }
+
+  /// Indented rendering in the style of Figure 4: tree nodes, negation
+  /// nodes (rendered as `(neg)`), statuses, levels.
+  std::string ToString(const TermStore& store) const;
+
+ private:
+  std::unique_ptr<GlobalNode> root_;
+  size_t node_count_ = 0;
+};
+
+}  // namespace gsls
+
+#endif  // GSLS_CORE_GLOBAL_TREE_H_

@@ -1,0 +1,91 @@
+#include "core/ordinal.h"
+
+#include <cassert>
+
+#include "util/strings.h"
+
+namespace gsls {
+
+Ordinal Ordinal::Finite(uint64_t n) {
+  Ordinal o;
+  if (n > 0) o.terms_.push_back(Term{0, n});
+  return o;
+}
+
+Ordinal Ordinal::OmegaPower(uint32_t k) { return OmegaTerm(k, 1); }
+
+Ordinal Ordinal::OmegaTerm(uint32_t k, uint64_t c) {
+  Ordinal o;
+  if (c > 0) o.terms_.push_back(Term{k, c});
+  return o;
+}
+
+uint64_t Ordinal::FiniteValue() const {
+  assert(IsFinite());
+  return terms_.empty() ? 0 : terms_[0].coefficient;
+}
+
+Ordinal Ordinal::operator+(const Ordinal& other) const {
+  if (other.IsZero()) return *this;
+  if (IsZero()) return other;
+  Ordinal out;
+  uint32_t lead = other.terms_[0].exponent;
+  // Left addend terms with exponent below the right addend's leading
+  // exponent are absorbed.
+  for (const Term& t : terms_) {
+    if (t.exponent > lead) {
+      out.terms_.push_back(t);
+    } else if (t.exponent == lead) {
+      out.terms_.push_back(
+          Term{lead, t.coefficient + other.terms_[0].coefficient});
+    }
+  }
+  if (out.terms_.empty() || out.terms_.back().exponent != lead) {
+    out.terms_.push_back(other.terms_[0]);
+  }
+  for (size_t i = 1; i < other.terms_.size(); ++i) {
+    out.terms_.push_back(other.terms_[i]);
+  }
+  return out;
+}
+
+Ordinal Ordinal::Predecessor() const {
+  assert(IsSuccessor());
+  Ordinal out = *this;
+  if (out.terms_.back().coefficient == 1) {
+    out.terms_.pop_back();
+  } else {
+    out.terms_.back().coefficient -= 1;
+  }
+  return out;
+}
+
+std::strong_ordering Ordinal::operator<=>(const Ordinal& other) const {
+  size_t n = std::min(terms_.size(), other.terms_.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (terms_[i].exponent != other.terms_[i].exponent) {
+      return terms_[i].exponent <=> other.terms_[i].exponent;
+    }
+    if (terms_[i].coefficient != other.terms_[i].coefficient) {
+      return terms_[i].coefficient <=> other.terms_[i].coefficient;
+    }
+  }
+  return terms_.size() <=> other.terms_.size();
+}
+
+std::string Ordinal::ToString() const {
+  if (terms_.empty()) return "0";
+  std::vector<std::string> parts;
+  for (const Term& t : terms_) {
+    if (t.exponent == 0) {
+      parts.push_back(StrCat(t.coefficient));
+    } else {
+      std::string base = t.exponent == 1 ? "w" : StrCat("w^", t.exponent);
+      parts.push_back(t.coefficient == 1 ? base
+                                         : StrCat(base, "*", t.coefficient));
+    }
+  }
+  return StrJoin(parts, "+");
+}
+
+}  // namespace gsls

@@ -1,0 +1,81 @@
+#ifndef GSLS_CORE_ORDINAL_H_
+#define GSLS_CORE_ORDINAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gsls {
+
+/// A countable ordinal in Cantor normal form with finite exponents:
+/// `w^k_1 * c_1 + ... + w^k_m * c_m` with `k_1 > ... > k_m >= 0` and
+/// coefficients `c_i >= 1`. This covers every level a global tree can take
+/// in this library (Example 3.1's `<- w(0)` has level w+2) while keeping
+/// arithmetic exact and cheap.
+class Ordinal {
+ public:
+  /// Zero.
+  Ordinal() = default;
+
+  static Ordinal Finite(uint64_t n);
+  static Ordinal Omega() { return OmegaPower(1); }
+  /// w^k.
+  static Ordinal OmegaPower(uint32_t k);
+  /// w^k * c (c >= 1; c == 0 yields zero).
+  static Ordinal OmegaTerm(uint32_t k, uint64_t c);
+
+  bool IsZero() const { return terms_.empty(); }
+  bool IsFinite() const {
+    return terms_.empty() || (terms_.size() == 1 && terms_[0].exponent == 0);
+  }
+  /// Value when finite; requires `IsFinite()`.
+  uint64_t FiniteValue() const;
+
+  /// A successor ordinal ends in a finite part > 0; limit ordinals
+  /// (including 0 by the paper's convention in Def. 2.4) do not.
+  bool IsSuccessor() const {
+    return !terms_.empty() && terms_.back().exponent == 0;
+  }
+  bool IsLimit() const { return !IsSuccessor(); }
+
+  /// Ordinal addition (associative, left-absorbing: n + w == w).
+  Ordinal operator+(const Ordinal& other) const;
+  Ordinal Successor() const { return *this + Finite(1); }
+
+  /// The predecessor of a successor ordinal; requires `IsSuccessor()`.
+  Ordinal Predecessor() const;
+
+  /// Comparison is the canonical ordinal order.
+  std::strong_ordering operator<=>(const Ordinal& other) const;
+  bool operator==(const Ordinal& other) const = default;
+
+  /// Least upper bound of two ordinals (their maximum).
+  static Ordinal Lub(const Ordinal& a, const Ordinal& b) {
+    return a < b ? b : a;
+  }
+
+  /// The least ordinal strictly greater than every element of an infinite
+  /// strictly increasing family {f(n)} whose terms are all below w^(k+1):
+  /// callers use this to express analytic limits such as
+  /// lub{2n : n in N} = w. `witness_exponent` is the exponent k+1 of the
+  /// resulting w-power.
+  static Ordinal LimitOfStrictlyIncreasing(uint32_t witness_exponent = 1) {
+    return OmegaPower(witness_exponent);
+  }
+
+  /// Renders e.g. `0`, `17`, `w`, `w*2+3`, `w^2+w*4+1`.
+  std::string ToString() const;
+
+ private:
+  struct Term {
+    uint32_t exponent;
+    uint64_t coefficient;
+    bool operator==(const Term&) const = default;
+  };
+  // Invariant: exponents strictly decreasing, coefficients >= 1.
+  std::vector<Term> terms_;
+};
+
+}  // namespace gsls
+
+#endif  // GSLS_CORE_ORDINAL_H_

@@ -1,0 +1,75 @@
+#ifndef GSLS_CORE_SLP_TREE_H_
+#define GSLS_CORE_SLP_TREE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "lang/program.h"
+#include "term/substitution.h"
+
+namespace gsls {
+
+/// Kind of a materialized SLP-tree node.
+enum class SlpNodeKind : uint8_t {
+  kInternal,     ///< A positive literal was selected and resolved.
+  kActiveLeaf,   ///< Empty or all-negative goal (Def. 3.2).
+  kDeadLeaf,     ///< Selected positive literal unifies with no clause head.
+  kTruncated,    ///< Expansion stopped by a budget (depth/node cap).
+  kInfiniteLoop, ///< The ground goal repeats along its branch: the branch
+                 ///< is infinite and (Sec. 7 item 1) contributes no active
+                 ///< leaves. Not a truncation: statuses stay exact.
+};
+
+/// A node of an explicitly materialized SLP-tree (Def. 3.2). Used by the
+/// figure-reproduction benches and examples; the query engine itself
+/// searches without materializing.
+struct SlpNode {
+  Goal goal;
+  SlpNodeKind kind = SlpNodeKind::kInternal;
+  size_t depth = 0;
+  /// Index of the program clause resolved to reach this node (SIZE_MAX for
+  /// the root).
+  size_t clause_index = SIZE_MAX;
+  /// Composition of the mgus along the branch to this node: for active
+  /// leaves this is the computed most general unifier of Def. 3.2.
+  Substitution computed_mgu;
+  std::vector<std::unique_ptr<SlpNode>> children;
+};
+
+struct SlpTreeOptions {
+  size_t max_depth = 128;
+  size_t max_nodes = 100'000;
+  /// Detect ground goals repeating along a branch and close the branch as
+  /// an infinite (failed) one instead of expanding it forever.
+  bool prune_repeated_goals = true;
+};
+
+/// An SLP-tree for a goal under the positivistic leftmost selection rule,
+/// materialized breadth-first up to the configured budgets.
+class SlpTree {
+ public:
+  static SlpTree Build(const Program& program, const Goal& root,
+                       SlpTreeOptions opts = {});
+
+  const SlpNode& root() const { return *root_; }
+  size_t node_count() const { return node_count_; }
+  /// True iff some branch hit a budget before resolving.
+  bool truncated() const { return truncated_; }
+
+  /// Active leaves in left-to-right order.
+  std::vector<const SlpNode*> ActiveLeaves() const;
+
+  /// Indented rendering, one goal per line (the shape of Figures 1-3).
+  std::string ToString(const TermStore& store) const;
+
+ private:
+  std::unique_ptr<SlpNode> root_;
+  size_t node_count_ = 0;
+  bool truncated_ = false;
+};
+
+}  // namespace gsls
+
+#endif  // GSLS_CORE_SLP_TREE_H_

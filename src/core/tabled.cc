@@ -1,0 +1,207 @@
+#include "core/tabled.h"
+
+#include <algorithm>
+
+#include "term/substitution.h"
+#include "util/strings.h"
+
+namespace gsls {
+
+Result<TabledEngine> TabledEngine::Create(const Program& program,
+                                          TabledOptions opts) {
+  Result<GroundProgram> gp = GroundRelevant(program, opts.grounding);
+  if (!gp.ok()) return gp.status();
+  WfsStages stages = ComputeWfsStages(gp.value());
+  TabledEngine engine(program, std::move(gp.value()), std::move(stages));
+  engine.opts_ = opts;
+  return engine;
+}
+
+Result<TabledEngine> TabledEngine::CreateForQuery(const Program& program,
+                                                  const Goal& query,
+                                                  TabledOptions opts) {
+  Result<GroundProgram> gp = GroundRelevant(program, opts.grounding);
+  if (!gp.ok()) return gp.status();
+  std::vector<const Term*> roots;
+  roots.reserve(query.size());
+  for (const Literal& l : query) roots.push_back(l.atom);
+  GroundProgram restricted = RestrictToRelevant(gp.value(), roots);
+  WfsStages stages = ComputeWfsStages(restricted);
+  TabledEngine engine(program, std::move(restricted), std::move(stages));
+  engine.opts_ = opts;
+  return engine;
+}
+
+TruthValue TabledEngine::ValueOf(const Term* ground_atom) const {
+  std::optional<AtomId> id = ground_->FindAtom(ground_atom);
+  // Atoms outside the relevant instantiation have no derivation, hence are
+  // unfounded at the first stage.
+  if (!id.has_value()) return TruthValue::kFalse;
+  return stages_.model.Value(*id);
+}
+
+GoalStatus TabledEngine::StatusOf(const Term* ground_atom) const {
+  switch (ValueOf(ground_atom)) {
+    case TruthValue::kTrue: return GoalStatus::kSuccessful;
+    case TruthValue::kFalse: return GoalStatus::kFailed;
+    case TruthValue::kUndefined: return GoalStatus::kIndeterminate;
+  }
+  return GoalStatus::kUnknown;
+}
+
+std::optional<Ordinal> TabledEngine::LevelOf(const Term* ground_atom) const {
+  std::optional<AtomId> id = ground_->FindAtom(ground_atom);
+  if (!id.has_value()) return Ordinal::Finite(1);  // fails at stage 1
+  switch (stages_.model.Value(*id)) {
+    case TruthValue::kTrue:
+      return Ordinal::Finite(stages_.true_stage[*id]);
+    case TruthValue::kFalse:
+      return Ordinal::Finite(stages_.false_stage[*id]);
+    case TruthValue::kUndefined:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+template <typename Fn>
+void TabledEngine::MatchPositives(const Goal& goal, size_t index,
+                                  Substitution& subst,
+                                  Fn&& on_complete) const {
+  while (index < goal.size() && !goal[index].positive) ++index;
+  if (index == goal.size()) {
+    on_complete(subst);
+    return;
+  }
+  const Term* pattern = goal[index].atom;
+  // Candidate atoms: every registered atom of the same predicate whose
+  // value is not false (false atoms cannot contribute to a success or to an
+  // undefined instance; instances using them are failed and enumerate to
+  // nothing).
+  for (AtomId a = 0; a < ground_->atom_count(); ++a) {
+    const Term* atom = ground_->AtomTerm(a);
+    if (atom->functor() != pattern->functor()) continue;
+    if (stages_.model.IsFalse(a)) continue;
+    Substitution extended = subst;
+    if (!Unify(pattern, atom, &extended)) continue;
+    MatchPositives(goal, index + 1, extended, on_complete);
+  }
+}
+
+QueryResult TabledEngine::Solve(const Goal& goal) const {
+  QueryResult result;
+  TermStore& store = program_->store();
+  std::vector<VarId> goal_vars;
+  for (const Literal& l : goal) CollectVars(l.atom, &goal_vars);
+
+  bool any_success = false;
+  bool any_undefined = false;
+  bool any_floundered = false;
+  Ordinal min_success;
+  bool have_min = false;
+
+  Substitution empty;
+  Substitution scratch = empty;
+  MatchPositives(goal, 0, scratch, [&](const Substitution& subst) {
+    // All positive literals are matched to non-false registered atoms.
+    // Evaluate the instance three-valued.
+    bool instance_true = true;
+    bool instance_false = false;
+    Ordinal level;  // max stage over the literals (Thm. 4.5)
+    for (const Literal& l : goal) {
+      const Term* atom = subst.Apply(store, l.atom);
+      if (l.positive) {
+        std::optional<AtomId> id = ground_->FindAtom(atom);
+        // Positive literals were matched against registered atoms.
+        TruthValue v = stages_.model.Value(*id);
+        if (v == TruthValue::kUndefined) instance_true = false;
+        if (v == TruthValue::kTrue) {
+          level = Ordinal::Lub(level,
+                               Ordinal::Finite(stages_.true_stage[*id]));
+        }
+      } else {
+        if (!atom->ground()) {
+          // A variable occurs only in negative literals: the instance
+          // flounders (cf. the `term` guard of Sec. 6 to prevent this).
+          any_floundered = true;
+          instance_true = false;
+          instance_false = true;
+          break;
+        }
+        switch (ValueOf(atom)) {
+          case TruthValue::kTrue:
+            instance_false = true;
+            instance_true = false;
+            break;
+          case TruthValue::kUndefined:
+            instance_true = false;
+            break;
+          case TruthValue::kFalse: {
+            std::optional<AtomId> id = ground_->FindAtom(atom);
+            uint32_t stage = id.has_value() ? stages_.false_stage[*id] : 1;
+            level = Ordinal::Lub(level, Ordinal::Finite(stage));
+            break;
+          }
+        }
+      }
+      if (instance_false) break;
+    }
+    if (instance_false) return;
+    if (!instance_true) {
+      any_undefined = true;
+      return;
+    }
+    any_success = true;
+    if (result.answers.size() >= opts_.max_answers) return;
+    Answer ans;
+    for (VarId v : goal_vars) {
+      const Term* image = subst.Apply(store, store.Var(v));
+      if (!(image->IsVar() && image->var() == v)) ans.theta.Bind(v, image);
+    }
+    ans.level = level;
+    ans.level_exact = true;
+    if (!have_min || ans.level < min_success) {
+      min_success = ans.level;
+      have_min = true;
+    }
+    result.answers.push_back(std::move(ans));
+  });
+
+  // Deduplicate answers (different matchings can induce the same grounding
+  // of the goal variables).
+  {
+    std::unordered_set<uint64_t> seen;
+    std::vector<Answer> unique;
+    for (Answer& a : result.answers) {
+      uint64_t h = 0x9e3779b97f4a7c15ULL;
+      for (const Literal& l : goal) {
+        h = h * 0xff51afd7ed558ccdULL + a.theta.Apply(store, l.atom)->hash();
+      }
+      if (seen.insert(h).second) unique.push_back(std::move(a));
+    }
+    result.answers = std::move(unique);
+  }
+
+  if (any_success) {
+    result.status = GoalStatus::kSuccessful;
+    result.level = min_success;
+    result.level_exact = true;
+  } else if (any_floundered) {
+    result.status = GoalStatus::kFloundered;
+  } else if (any_undefined) {
+    result.status = GoalStatus::kIndeterminate;
+  } else {
+    result.status = GoalStatus::kFailed;
+    // Failure level of a compound goal is not reconstructed here; atom
+    // queries get it from `LevelOf`.
+    if (goal.size() == 1 && goal[0].positive && goal[0].atom->ground()) {
+      if (auto lvl = LevelOf(goal[0].atom); lvl.has_value()) {
+        result.level = *lvl;
+        result.level_exact = true;
+      }
+    }
+  }
+  result.floundered_somewhere = any_floundered;
+  return result;
+}
+
+}  // namespace gsls

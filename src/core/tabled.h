@@ -1,0 +1,86 @@
+#ifndef GSLS_CORE_TABLED_H_
+#define GSLS_CORE_TABLED_H_
+
+#include <memory>
+#include <optional>
+
+#include "core/engine.h"
+#include "ground/grounder.h"
+#include "util/status.h"
+#include "wfs/wfs.h"
+
+namespace gsls {
+
+/// Options for `TabledEngine`.
+struct TabledOptions {
+  GroundingOptions grounding;
+  size_t max_answers = 1'000'000;
+};
+
+/// The effective variant of global SLS-resolution for function-free
+/// programs (Sec. 7): memoing prunes positive loops (tabling over the
+/// relevant Herbrand instantiation) and negative loops (bottom-up
+/// well-founded fixpoint, the polynomial algorithm of footnote 5). Query
+/// answering then uses the exact correspondence of Theorem 4.7:
+/// a ground goal is successful iff its positive atoms are well-founded-true
+/// and its negated atoms well-founded-false, and the level of a determined
+/// goal equals the maximum stage of its literals (Thm. 4.5 / Cor. 4.6).
+///
+/// Termination is guaranteed whenever the grounding fits the configured
+/// budgets — always achievable for function-free programs, where the
+/// relevant instantiation is finite. Programs with function symbols can be
+/// handled up to a universe depth bound (the result is then exact for goals
+/// whose derivations stay within the bound).
+class TabledEngine {
+ public:
+  /// Grounds `program` and computes its well-founded model with stages.
+  static Result<TabledEngine> Create(const Program& program,
+                                     TabledOptions opts = {});
+
+  /// Like `Create`, but restricts the tables to the rules relevant to
+  /// `roots` (goal-directed memoing; sound by the relevance property of the
+  /// well-founded semantics).
+  static Result<TabledEngine> CreateForQuery(const Program& program,
+                                             const Goal& query,
+                                             TabledOptions opts = {});
+
+  /// Well-founded truth value of a ground atom. Atoms outside the relevant
+  /// instantiation are false.
+  TruthValue ValueOf(const Term* ground_atom) const;
+
+  /// Status of the goal `<- atom` under global SLS-resolution (Thm. 4.7).
+  GoalStatus StatusOf(const Term* ground_atom) const;
+
+  /// Level of `<- atom`: the stage of the corresponding literal
+  /// (Cor. 4.6). Empty for undefined atoms (no level exists).
+  std::optional<Ordinal> LevelOf(const Term* ground_atom) const;
+
+  /// Evaluates a (possibly nonground) goal: enumerates every answer
+  /// substitution grounding the goal into well-founded truth, with levels.
+  QueryResult Solve(const Goal& goal) const;
+
+  const GroundProgram& ground() const { return *ground_; }
+  const WfsStages& stages() const { return stages_; }
+  const Program& program() const { return *program_; }
+
+ private:
+  TabledEngine(const Program& program, GroundProgram ground, WfsStages stages)
+      : program_(&program),
+        ground_(std::make_unique<GroundProgram>(std::move(ground))),
+        stages_(std::move(stages)) {}
+
+  /// Backtracking matcher over the atom registry for the positive part of
+  /// a goal; `on_complete` is invoked once per grounding substitution.
+  template <typename Fn>
+  void MatchPositives(const Goal& goal, size_t index, Substitution& subst,
+                      Fn&& on_complete) const;
+
+  const Program* program_;
+  std::unique_ptr<GroundProgram> ground_;
+  WfsStages stages_;
+  TabledOptions opts_;
+};
+
+}  // namespace gsls
+
+#endif  // GSLS_CORE_TABLED_H_

@@ -1,0 +1,229 @@
+#include "ground/ground_program.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/strings.h"
+
+namespace gsls {
+
+AtomId GroundProgram::InternAtom(const Term* atom) {
+  assert(atom->ground());
+  auto it = atom_ids_.find(atom);
+  if (it != atom_ids_.end()) return it->second;
+  AtomId id = static_cast<AtomId>(atom_terms_.size());
+  atom_terms_.push_back(atom);
+  atom_ids_.emplace(atom, id);
+  return id;
+}
+
+std::optional<AtomId> GroundProgram::FindAtom(const Term* atom) const {
+  auto it = atom_ids_.find(atom);
+  if (it == atom_ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+namespace {
+uint64_t RuleFingerprint(const GroundRule& r) {
+  uint64_t h = r.head * 0x9e3779b97f4a7c15ULL + 1;
+  for (AtomId a : r.pos) h = h * 0xff51afd7ed558ccdULL + a + 0x100;
+  for (AtomId a : r.neg) h = h * 0xc4ceb9fe1a85ec53ULL + a + 0x200;
+  return h;
+}
+}  // namespace
+
+void GroundProgram::AddRule(GroundRule rule) {
+  // Normalize body order for deduplication (body literal order is
+  // semantically irrelevant in a ground rule).
+  std::sort(rule.pos.begin(), rule.pos.end());
+  rule.pos.erase(std::unique(rule.pos.begin(), rule.pos.end()),
+                 rule.pos.end());
+  std::sort(rule.neg.begin(), rule.neg.end());
+  rule.neg.erase(std::unique(rule.neg.begin(), rule.neg.end()),
+                 rule.neg.end());
+
+  uint64_t fp = RuleFingerprint(rule);
+  auto& bucket = rule_dedup_[fp];
+  for (RuleId id : bucket) {
+    const GroundRule& existing = rules_[id];
+    if (existing.head == rule.head && existing.pos == rule.pos &&
+        existing.neg == rule.neg) {
+      return;
+    }
+  }
+  RuleId id = static_cast<RuleId>(rules_.size());
+  bucket.push_back(id);
+
+  EnsureIndex(rule.head);
+  rules_for_[rule.head].push_back(id);
+  for (AtomId a : rule.pos) {
+    EnsureIndex(a);
+    pos_occ_[a].push_back(id);
+  }
+  for (AtomId a : rule.neg) {
+    EnsureIndex(a);
+    neg_occ_[a].push_back(id);
+  }
+  rules_.push_back(std::move(rule));
+}
+
+void GroundProgram::EnsureIndex(AtomId atom) {
+  size_t need = static_cast<size_t>(atom) + 1;
+  if (rules_for_.size() < atom_terms_.size()) {
+    rules_for_.resize(atom_terms_.size());
+    pos_occ_.resize(atom_terms_.size());
+    neg_occ_.resize(atom_terms_.size());
+  }
+  if (rules_for_.size() < need) {
+    rules_for_.resize(need);
+    pos_occ_.resize(need);
+    neg_occ_.resize(need);
+  }
+}
+
+const std::vector<RuleId>& GroundProgram::RulesFor(AtomId atom) const {
+  static const std::vector<RuleId> kEmpty;
+  if (atom >= rules_for_.size()) return kEmpty;
+  return rules_for_[atom];
+}
+
+const std::vector<RuleId>& GroundProgram::PositiveOccurrences(
+    AtomId atom) const {
+  static const std::vector<RuleId> kEmpty;
+  if (atom >= pos_occ_.size()) return kEmpty;
+  return pos_occ_[atom];
+}
+
+const std::vector<RuleId>& GroundProgram::NegativeOccurrences(
+    AtomId atom) const {
+  static const std::vector<RuleId> kEmpty;
+  if (atom >= neg_occ_.size()) return kEmpty;
+  return neg_occ_[atom];
+}
+
+std::string GroundProgram::ToString() const {
+  std::string out;
+  for (const GroundRule& r : rules_) {
+    out += store_->ToString(atom_terms_[r.head]);
+    if (!r.pos.empty() || !r.neg.empty()) {
+      out += " :- ";
+      bool first = true;
+      for (AtomId a : r.pos) {
+        if (!first) out += ", ";
+        first = false;
+        out += store_->ToString(atom_terms_[a]);
+      }
+      for (AtomId a : r.neg) {
+        if (!first) out += ", ";
+        first = false;
+        out += "not ";
+        out += store_->ToString(atom_terms_[a]);
+      }
+    }
+    out += ".\n";
+  }
+  return out;
+}
+
+namespace {
+
+/// Iterative Tarjan over atom ids; returns component id per atom.
+std::vector<uint32_t> AtomSccIds(const GroundProgram& gp, bool* has_neg_in_scc,
+                                 bool* has_any_cycle) {
+  size_t n = gp.atom_count();
+  // Adjacency: head -> body atoms (either sign), built once.
+  std::vector<std::vector<std::pair<AtomId, bool>>> adj(n);
+  for (const GroundRule& r : gp.rules()) {
+    for (AtomId a : r.pos) adj[r.head].emplace_back(a, true);
+    for (AtomId a : r.neg) adj[r.head].emplace_back(a, false);
+  }
+  std::vector<uint32_t> comp(n, UINT32_MAX);
+  std::vector<uint32_t> index(n, UINT32_MAX);
+  std::vector<uint32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<AtomId> stack;
+  uint32_t counter = 0;
+  uint32_t comp_count = 0;
+  std::vector<size_t> comp_size;
+
+  struct Frame {
+    AtomId atom;
+    size_t pos;
+  };
+  for (AtomId root = 0; root < n; ++root) {
+    if (index[root] != UINT32_MAX) continue;
+    std::vector<Frame> frames{{root, 0}};
+    index[root] = lowlink[root] = counter++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      if (f.pos < adj[f.atom].size()) {
+        AtomId next = adj[f.atom][f.pos++].first;
+        if (index[next] == UINT32_MAX) {
+          index[next] = lowlink[next] = counter++;
+          stack.push_back(next);
+          on_stack[next] = true;
+          frames.push_back({next, 0});
+        } else if (on_stack[next]) {
+          lowlink[f.atom] = std::min(lowlink[f.atom], index[next]);
+        }
+        continue;
+      }
+      AtomId done = f.atom;
+      frames.pop_back();
+      if (!frames.empty()) {
+        lowlink[frames.back().atom] =
+            std::min(lowlink[frames.back().atom], lowlink[done]);
+      }
+      if (lowlink[done] == index[done]) {
+        size_t size = 0;
+        while (true) {
+          AtomId w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          comp[w] = comp_count;
+          ++size;
+          if (w == done) break;
+        }
+        comp_size.push_back(size);
+        ++comp_count;
+      }
+    }
+  }
+  *has_neg_in_scc = false;
+  *has_any_cycle = false;
+  for (size_t c = 0; c < comp_size.size(); ++c) {
+    if (comp_size[c] > 1) *has_any_cycle = true;
+  }
+  for (const GroundRule& r : gp.rules()) {
+    for (AtomId a : r.pos) {
+      if (a == r.head) *has_any_cycle = true;  // positive self-loop
+    }
+    for (AtomId a : r.neg) {
+      if (comp[a] == comp[r.head]) {
+        *has_neg_in_scc = true;
+        if (a == r.head) *has_any_cycle = true;
+      }
+    }
+  }
+  return comp;
+}
+
+}  // namespace
+
+bool GroundProgram::IsLocallyStratified() const {
+  bool neg_in_scc = false;
+  bool any_cycle = false;
+  AtomSccIds(*this, &neg_in_scc, &any_cycle);
+  return !neg_in_scc;
+}
+
+bool GroundProgram::IsAtomAcyclic() const {
+  bool neg_in_scc = false;
+  bool any_cycle = false;
+  AtomSccIds(*this, &neg_in_scc, &any_cycle);
+  return !any_cycle && !neg_in_scc;
+}
+
+}  // namespace gsls

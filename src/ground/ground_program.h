@@ -1,0 +1,87 @@
+#ifndef GSLS_GROUND_GROUND_PROGRAM_H_
+#define GSLS_GROUND_GROUND_PROGRAM_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "lang/program.h"
+#include "term/term_store.h"
+
+namespace gsls {
+
+/// Dense id of a ground atom within one `GroundProgram`.
+using AtomId = uint32_t;
+
+/// Dense id of a ground rule within one `GroundProgram`.
+using RuleId = uint32_t;
+
+/// A ground (instantiated) rule with body split by sign.
+struct GroundRule {
+  AtomId head;
+  std::vector<AtomId> pos;
+  std::vector<AtomId> neg;
+};
+
+/// A finite fragment of the Herbrand instantiation of a program (Def. 1.5):
+/// ground atoms with dense ids, ground rules, and the occurrence indexes
+/// needed by linear-time fixpoint algorithms.
+class GroundProgram {
+ public:
+  explicit GroundProgram(TermStore* store) : store_(store) {}
+
+  TermStore& store() const { return *store_; }
+
+  /// Interns `atom` (must be ground), returning its dense id.
+  AtomId InternAtom(const Term* atom);
+
+  /// The id of `atom` if present.
+  std::optional<AtomId> FindAtom(const Term* atom) const;
+
+  const Term* AtomTerm(AtomId id) const { return atom_terms_[id]; }
+  size_t atom_count() const { return atom_terms_.size(); }
+
+  /// Adds a rule (deduplicated: an identical rule is added once).
+  void AddRule(GroundRule rule);
+
+  const std::vector<GroundRule>& rules() const { return rules_; }
+  size_t rule_count() const { return rules_.size(); }
+
+  /// Ids of the rules whose head is `atom`.
+  const std::vector<RuleId>& RulesFor(AtomId atom) const;
+
+  /// Ids of the rules where `atom` occurs in a positive body position.
+  const std::vector<RuleId>& PositiveOccurrences(AtomId atom) const;
+  /// Ids of the rules where `atom` occurs in a negative body position.
+  const std::vector<RuleId>& NegativeOccurrences(AtomId atom) const;
+
+  /// One `head :- body.` line per rule.
+  std::string ToString() const;
+
+  /// True iff the atom-level dependency graph has no cycle containing a
+  /// negative edge. For ground programs this is exactly local
+  /// stratification (Przymusinski); on such programs the well-founded model
+  /// is total and equals the perfect model.
+  bool IsLocallyStratified() const;
+
+  /// True iff the atom-level dependency graph (both signs) is acyclic —
+  /// the paper's "acyclic programs" effectiveness class (Sec. 7).
+  bool IsAtomAcyclic() const;
+
+ private:
+  void EnsureIndex(AtomId atom);
+
+  TermStore* store_;
+  std::vector<const Term*> atom_terms_;
+  std::unordered_map<const Term*, AtomId> atom_ids_;
+  std::vector<GroundRule> rules_;
+  std::unordered_map<uint64_t, std::vector<RuleId>> rule_dedup_;
+  std::vector<std::vector<RuleId>> rules_for_;
+  std::vector<std::vector<RuleId>> pos_occ_;
+  std::vector<std::vector<RuleId>> neg_occ_;
+};
+
+}  // namespace gsls
+
+#endif  // GSLS_GROUND_GROUND_PROGRAM_H_

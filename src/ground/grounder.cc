@@ -1,0 +1,266 @@
+#include "ground/grounder.h"
+
+#include <deque>
+#include <unordered_set>
+
+#include "term/substitution.h"
+#include "util/strings.h"
+
+namespace gsls {
+
+namespace {
+
+/// Shared instantiation machinery for the relevant grounder.
+class RelevantGrounder {
+ public:
+  RelevantGrounder(const Program& program, const GroundingOptions& opts)
+      : program_(program),
+        store_(program.store()),
+        opts_(opts),
+        ground_(&program.store()) {}
+
+  Result<GroundProgram> Run() {
+    Result<std::vector<const Term*>> universe =
+        EnumerateUniverse(program_, opts_.universe);
+    if (!universe.ok()) return universe.status();
+    universe_ = std::move(universe.value());
+
+    // Seed: instantiate every clause against the (initially empty) derived
+    // set; clauses with no positive body fire immediately.
+    for (size_t ci = 0; ci < program_.clauses().size(); ++ci) {
+      Substitution empty;
+      Status s = MatchBody(ci, /*delta_pos=*/SIZE_MAX, nullptr, 0, empty);
+      if (!s.ok()) return s;
+    }
+    // Propagate.
+    while (!queue_.empty()) {
+      const Term* atom = queue_.front();
+      queue_.pop_front();
+      for (size_t ci = 0; ci < program_.clauses().size(); ++ci) {
+        const Clause& clause = program_.clauses()[ci];
+        for (size_t li = 0; li < clause.body.size(); ++li) {
+          if (!clause.body[li].positive) continue;
+          if (clause.body[li].predicate() != atom->functor()) continue;
+          Substitution empty;
+          Status s = MatchBody(ci, li, atom, 0, empty);
+          if (!s.ok()) return s;
+        }
+      }
+    }
+    return std::move(ground_);
+  }
+
+ private:
+  /// Recursively matches the positive body literals of clause `ci` against
+  /// derived atoms. Literal index `delta_pos` (if != SIZE_MAX) is pinned to
+  /// `delta_atom`; all other positive literals range over the full derived
+  /// set. `next` is the next body position to process.
+  Status MatchBody(size_t ci, size_t delta_pos, const Term* delta_atom,
+                   size_t next, const Substitution& subst) {
+    const Clause& clause = program_.clauses()[ci];
+    if (next == clause.body.size()) {
+      return EmitRule(clause, subst);
+    }
+    const Literal& lit = clause.body[next];
+    if (!lit.positive) {
+      // Negative literals do not constrain the over-approximation.
+      return MatchBody(ci, delta_pos, delta_atom, next + 1, subst);
+    }
+    if (next == delta_pos) {
+      Substitution extended = subst;
+      if (Unify(lit.atom, delta_atom, &extended)) {
+        Status s = MatchBody(ci, delta_pos, delta_atom, next + 1, extended);
+        if (!s.ok()) return s;
+      }
+      return Status::Ok();
+    }
+    const Term* walked = subst.Apply(store_, lit.atom);
+    auto it = derived_by_pred_.find(walked->functor());
+    if (it == derived_by_pred_.end()) return Status::Ok();
+    // Iterate by index: EmitRule may extend the per-predicate vectors.
+    const std::vector<const Term*>& candidates = it->second;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      const Term* cand = candidates[i];
+      Substitution extended = subst;
+      if (Unify(lit.atom, cand, &extended)) {
+        Status s = MatchBody(ci, delta_pos, delta_atom, next + 1, extended);
+        if (!s.ok()) return s;
+      }
+    }
+    return Status::Ok();
+  }
+
+  /// Grounds the remaining free variables of the clause over the universe
+  /// and emits every completion.
+  Status EmitRule(const Clause& clause, const Substitution& subst) {
+    Clause grounded = ApplyToClause(store_, subst, clause);
+    std::vector<VarId> free_vars = grounded.Variables();
+    if (free_vars.empty()) {
+      return AddGroundRule(grounded);
+    }
+    // Odometer over universe^free_vars.
+    std::vector<size_t> idx(free_vars.size(), 0);
+    while (true) {
+      Substitution completion;
+      for (size_t i = 0; i < free_vars.size(); ++i) {
+        completion.Bind(free_vars[i], universe_[idx[i]]);
+      }
+      Status s = AddGroundRule(ApplyToClause(store_, completion, grounded));
+      if (!s.ok()) return s;
+      size_t pos = 0;
+      for (; pos < free_vars.size(); ++pos) {
+        if (++idx[pos] < universe_.size()) break;
+        idx[pos] = 0;
+      }
+      if (pos == free_vars.size()) break;
+    }
+    return Status::Ok();
+  }
+
+  Status AddGroundRule(const Clause& clause) {
+    // Depth cap: drop instances mentioning terms beyond the bound (keeps
+    // the derivation finite when rule heads contain function symbols).
+    uint32_t cap = opts_.max_atom_arg_depth != 0
+                       ? opts_.max_atom_arg_depth
+                       : opts_.universe.max_term_depth;
+    auto too_deep = [cap](const Term* atom) {
+      for (const Term* arg : atom->args()) {
+        if (arg->depth() > cap) return true;
+      }
+      return false;
+    };
+    if (too_deep(clause.head)) return Status::Ok();
+    for (const Literal& l : clause.body) {
+      if (too_deep(l.atom)) return Status::Ok();
+    }
+    if (ground_.rule_count() >= opts_.max_rules) {
+      return Status::ResourceExhausted(
+          StrCat("grounding exceeds max_rules=", opts_.max_rules));
+    }
+    GroundRule rule;
+    rule.head = ground_.InternAtom(clause.head);
+    for (const Literal& l : clause.body) {
+      AtomId id = ground_.InternAtom(l.atom);
+      (l.positive ? rule.pos : rule.neg).push_back(id);
+    }
+    if (ground_.atom_count() > opts_.max_atoms) {
+      return Status::ResourceExhausted(
+          StrCat("grounding exceeds max_atoms=", opts_.max_atoms));
+    }
+    ground_.AddRule(std::move(rule));
+    Derive(clause.head);
+    return Status::Ok();
+  }
+
+  void Derive(const Term* atom) {
+    if (!derived_.insert(atom).second) return;
+    derived_by_pred_[atom->functor()].push_back(atom);
+    queue_.push_back(atom);
+  }
+
+  const Program& program_;
+  TermStore& store_;
+  GroundingOptions opts_;
+  GroundProgram ground_;
+  std::vector<const Term*> universe_;
+  std::unordered_set<const Term*> derived_;
+  std::unordered_map<FunctorId, std::vector<const Term*>> derived_by_pred_;
+  std::deque<const Term*> queue_;
+};
+
+}  // namespace
+
+Result<GroundProgram> GroundRelevant(const Program& program,
+                                     const GroundingOptions& opts) {
+  return RelevantGrounder(program, opts).Run();
+}
+
+Result<GroundProgram> FullyInstantiate(const Program& program,
+                                       const GroundingOptions& opts) {
+  Result<std::vector<const Term*>> universe =
+      EnumerateUniverse(program, opts.universe);
+  if (!universe.ok()) return universe.status();
+  TermStore& store = program.store();
+  GroundProgram out(&store);
+  for (const Clause& clause : program.clauses()) {
+    std::vector<VarId> vars = clause.Variables();
+    std::vector<size_t> idx(vars.size(), 0);
+    while (true) {
+      Substitution s;
+      for (size_t i = 0; i < vars.size(); ++i) {
+        s.Bind(vars[i], universe.value()[idx[i]]);
+      }
+      Clause grounded = ApplyToClause(store, s, clause);
+      if (out.rule_count() >= opts.max_rules) {
+        return Status::ResourceExhausted(
+            StrCat("instantiation exceeds max_rules=", opts.max_rules));
+      }
+      GroundRule rule;
+      rule.head = out.InternAtom(grounded.head);
+      for (const Literal& l : grounded.body) {
+        AtomId id = out.InternAtom(l.atom);
+        (l.positive ? rule.pos : rule.neg).push_back(id);
+      }
+      out.AddRule(std::move(rule));
+      if (vars.empty()) break;
+      size_t pos = 0;
+      for (; pos < vars.size(); ++pos) {
+        if (++idx[pos] < universe.value().size()) break;
+        idx[pos] = 0;
+      }
+      if (pos == vars.size()) break;
+    }
+  }
+  return out;
+}
+
+GroundProgram RestrictToRelevant(const GroundProgram& gp,
+                                 const std::vector<const Term*>& roots) {
+  TermStore& store = gp.store();
+  // Find seed atoms: registered atoms unifying with some root.
+  std::vector<bool> relevant(gp.atom_count(), false);
+  std::vector<AtomId> work;
+  auto mark = [&](AtomId id) {
+    if (!relevant[id]) {
+      relevant[id] = true;
+      work.push_back(id);
+    }
+  };
+  for (const Term* root : roots) {
+    if (root->ground()) {
+      if (auto id = gp.FindAtom(root)) mark(*id);
+      continue;
+    }
+    for (AtomId id = 0; id < gp.atom_count(); ++id) {
+      if (gp.AtomTerm(id)->functor() != root->functor()) continue;
+      Substitution s;
+      if (Unify(root, gp.AtomTerm(id), &s)) mark(id);
+    }
+  }
+  while (!work.empty()) {
+    AtomId a = work.back();
+    work.pop_back();
+    for (RuleId rid : gp.RulesFor(a)) {
+      const GroundRule& r = gp.rules()[rid];
+      for (AtomId b : r.pos) mark(b);
+      for (AtomId b : r.neg) mark(b);
+    }
+  }
+  GroundProgram out(&store);
+  // Preserve atom registration for every relevant atom (even ruleless ones,
+  // so queries about them resolve to ids).
+  for (AtomId id = 0; id < gp.atom_count(); ++id) {
+    if (relevant[id]) out.InternAtom(gp.AtomTerm(id));
+  }
+  for (const GroundRule& r : gp.rules()) {
+    if (!relevant[r.head]) continue;
+    GroundRule nr;
+    nr.head = out.InternAtom(gp.AtomTerm(r.head));
+    for (AtomId b : r.pos) nr.pos.push_back(out.InternAtom(gp.AtomTerm(b)));
+    for (AtomId b : r.neg) nr.neg.push_back(out.InternAtom(gp.AtomTerm(b)));
+    out.AddRule(std::move(nr));
+  }
+  return out;
+}
+
+}  // namespace gsls

@@ -1,0 +1,67 @@
+#include "ground/herbrand.h"
+
+#include "util/strings.h"
+
+namespace gsls {
+
+Result<std::vector<const Term*>> EnumerateUniverse(
+    const Program& program, const UniverseOptions& opts) {
+  TermStore& store = program.store();
+  std::vector<const Term*> universe = program.Constants();
+  if (universe.empty()) {
+    universe.push_back(store.MakeConstant("$k"));
+  }
+  std::vector<FunctorId> functions = program.FunctionSymbols();
+  if (functions.empty() || opts.max_term_depth <= 1) {
+    if (universe.size() > opts.max_terms) {
+      return Status::ResourceExhausted(
+          StrCat("universe exceeds max_terms=", opts.max_terms));
+    }
+    return universe;
+  }
+
+  // Frontier construction: depth d+1 terms have at least one depth-d child.
+  std::vector<const Term*> previous_depths = universe;  // depth <= d
+  std::vector<const Term*> frontier = universe;         // depth == d
+  for (uint32_t depth = 2; depth <= opts.max_term_depth; ++depth) {
+    std::vector<const Term*> next;
+    for (FunctorId f : functions) {
+      uint32_t arity = store.symbols().FunctorArity(f);
+      // Enumerate argument tuples over previous_depths with at least one
+      // argument from the frontier.
+      std::vector<const Term*> args(arity, nullptr);
+      std::vector<size_t> idx(arity, 0);
+      // Simple odometer over previous_depths^arity.
+      while (true) {
+        bool uses_frontier = false;
+        for (uint32_t i = 0; i < arity; ++i) {
+          args[i] = previous_depths[idx[i]];
+          if (args[i]->depth() == depth - 1) uses_frontier = true;
+        }
+        if (uses_frontier) {
+          next.push_back(store.MakeCompound(f, args));
+          if (previous_depths.size() + next.size() > opts.max_terms) {
+            return Status::ResourceExhausted(
+                StrCat("universe exceeds max_terms=", opts.max_terms,
+                       " at depth ", depth));
+          }
+        }
+        // Advance odometer.
+        uint32_t pos = 0;
+        for (; pos < arity; ++pos) {
+          if (++idx[pos] < previous_depths.size()) break;
+          idx[pos] = 0;
+        }
+        if (pos == arity) break;
+        if (arity == 0) break;
+      }
+      if (arity == 0) continue;
+    }
+    previous_depths.insert(previous_depths.end(), next.begin(), next.end());
+    frontier = std::move(next);
+    if (frontier.empty()) break;
+  }
+  return previous_depths;
+}
+
+}  // namespace gsls

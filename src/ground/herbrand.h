@@ -1,0 +1,28 @@
+#ifndef GSLS_GROUND_HERBRAND_H_
+#define GSLS_GROUND_HERBRAND_H_
+
+#include <vector>
+
+#include "lang/program.h"
+#include "util/status.h"
+
+namespace gsls {
+
+/// Options bounding Herbrand universe enumeration. With function symbols
+/// the universe is infinite (Def. 1.2); callers choose a term-depth bound
+/// and a hard cap on the number of terms.
+struct UniverseOptions {
+  uint32_t max_term_depth = 1;  ///< 1 = constants only (function-free case).
+  size_t max_terms = 100000;    ///< Hard cap; exceeding it is an error.
+};
+
+/// Enumerates the ground terms of the Herbrand universe of `program` up to
+/// the configured depth, smallest depth first. If the program has no
+/// constants, a synthetic constant `$k` is used, following the Def. 1.2
+/// convention. Fails with ResourceExhausted if `max_terms` is exceeded.
+Result<std::vector<const Term*>> EnumerateUniverse(const Program& program,
+                                                   const UniverseOptions& opts);
+
+}  // namespace gsls
+
+#endif  // GSLS_GROUND_HERBRAND_H_

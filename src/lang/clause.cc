@@ -1,0 +1,89 @@
+#include "lang/clause.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/strings.h"
+
+namespace gsls {
+
+void CollectVars(const Term* t, std::vector<VarId>* out) {
+  if (t->ground()) return;
+  if (t->IsVar()) {
+    if (std::find(out->begin(), out->end(), t->var()) == out->end()) {
+      out->push_back(t->var());
+    }
+    return;
+  }
+  for (const Term* a : t->args()) CollectVars(a, out);
+}
+
+bool Clause::ground() const {
+  if (!head->ground()) return false;
+  for (const Literal& l : body) {
+    if (!l.ground()) return false;
+  }
+  return true;
+}
+
+std::vector<VarId> Clause::Variables() const {
+  std::vector<VarId> vars;
+  CollectVars(head, &vars);
+  for (const Literal& l : body) CollectVars(l.atom, &vars);
+  return vars;
+}
+
+std::string Clause::ToString(const TermStore& store) const {
+  if (body.empty()) return StrCat(store.ToString(head), ".");
+  return StrCat(store.ToString(head), " :- ", GoalToString(store, body), ".");
+}
+
+Clause RenameApart(TermStore& store, const Clause& clause) {
+  std::vector<VarId> vars = clause.Variables();
+  if (vars.empty()) return clause;
+  Substitution renaming;
+  for (VarId v : vars) {
+    renaming.Bind(v, store.NewVar(store.VarName(v)));
+  }
+  return ApplyToClause(store, renaming, clause);
+}
+
+Clause ApplyToClause(TermStore& store, const Substitution& s,
+                     const Clause& clause) {
+  Clause out;
+  out.head = s.Apply(store, clause.head);
+  out.body.reserve(clause.body.size());
+  for (const Literal& l : clause.body) {
+    out.body.push_back(Literal{s.Apply(store, l.atom), l.positive});
+  }
+  return out;
+}
+
+Goal ApplyToGoal(TermStore& store, const Substitution& s, const Goal& goal) {
+  Goal out;
+  out.reserve(goal.size());
+  for (const Literal& l : goal) {
+    out.push_back(Literal{s.Apply(store, l.atom), l.positive});
+  }
+  return out;
+}
+
+bool IsRangeRestricted(const Clause& clause) {
+  std::vector<VarId> positive_vars;
+  for (const Literal& l : clause.body) {
+    if (l.positive) CollectVars(l.atom, &positive_vars);
+  }
+  std::unordered_set<VarId> allowed(positive_vars.begin(),
+                                    positive_vars.end());
+  std::vector<VarId> constrained;
+  CollectVars(clause.head, &constrained);
+  for (const Literal& l : clause.body) {
+    if (!l.positive) CollectVars(l.atom, &constrained);
+  }
+  for (VarId v : constrained) {
+    if (allowed.find(v) == allowed.end()) return false;
+  }
+  return true;
+}
+
+}  // namespace gsls

@@ -1,0 +1,55 @@
+#ifndef GSLS_LANG_CLAUSE_H_
+#define GSLS_LANG_CLAUSE_H_
+
+#include <string>
+#include <vector>
+
+#include "lang/literal.h"
+#include "term/substitution.h"
+#include "term/term_store.h"
+
+namespace gsls {
+
+/// A normal program clause `A <- L1, ..., Ln` (Def. 1.1). Facts have an
+/// empty body. All variables are implicitly universally quantified.
+struct Clause {
+  const Term* head = nullptr;
+  std::vector<Literal> body;
+
+  FunctorId predicate() const { return head->functor(); }
+
+  bool IsFact() const { return body.empty(); }
+
+  /// True iff head and all body literals are variable-free.
+  bool ground() const;
+
+  /// Variables occurring anywhere in the clause, in first-occurrence order.
+  std::vector<VarId> Variables() const;
+
+  /// `head :- body.` or `head.` for facts.
+  std::string ToString(const TermStore& store) const;
+};
+
+/// Collects the variables of `t` into `out` in first-occurrence order
+/// (no duplicates).
+void CollectVars(const Term* t, std::vector<VarId>* out);
+
+/// Returns a variant of `clause` whose variables are fresh in `store`
+/// (standardizing apart, used before each resolution step).
+Clause RenameApart(TermStore& store, const Clause& clause);
+
+/// Applies `s` to every atom of `clause`.
+Clause ApplyToClause(TermStore& store, const Substitution& s,
+                     const Clause& clause);
+
+/// Applies `s` to every literal of `goal`.
+Goal ApplyToGoal(TermStore& store, const Substitution& s, const Goal& goal);
+
+/// A clause is range-restricted ("allowed", Sec. 6) when every variable in
+/// the head or in a negative body literal also occurs in some positive body
+/// literal. Allowed programs with allowed queries never flounder.
+bool IsRangeRestricted(const Clause& clause);
+
+}  // namespace gsls
+
+#endif  // GSLS_LANG_CLAUSE_H_

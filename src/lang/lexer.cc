@@ -1,0 +1,141 @@
+#include "lang/lexer.h"
+
+#include <cctype>
+
+#include "util/strings.h"
+
+namespace gsls {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kName: return "name";
+    case TokenKind::kVariable: return "variable";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kDot: return "'.'";
+    case TokenKind::kImplies: return "':-'";
+    case TokenKind::kQuery: return "'?-'";
+    case TokenKind::kNot: return "'not'";
+    case TokenKind::kEof: return "end of input";
+  }
+  return "?";
+}
+
+Result<std::vector<Token>> Lex(std::string_view src) {
+  std::vector<Token> tokens;
+  int line = 1;
+  int col = 1;
+  size_t i = 0;
+  auto push = [&](TokenKind k, std::string text, int l, int c) {
+    tokens.push_back(Token{k, std::move(text), l, c});
+  };
+  while (i < src.size()) {
+    char ch = src[i];
+    if (ch == '\n') {
+      ++line;
+      col = 1;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(ch))) {
+      ++col;
+      ++i;
+      continue;
+    }
+    if (ch == '%') {
+      while (i < src.size() && src[i] != '\n') ++i;
+      continue;
+    }
+    int tl = line, tc = col;
+    if (ch == '(') { push(TokenKind::kLParen, "(", tl, tc); ++i; ++col; continue; }
+    if (ch == ')') { push(TokenKind::kRParen, ")", tl, tc); ++i; ++col; continue; }
+    if (ch == ',') { push(TokenKind::kComma, ",", tl, tc); ++i; ++col; continue; }
+    if (ch == '.') { push(TokenKind::kDot, ".", tl, tc); ++i; ++col; continue; }
+    if (ch == ':' && i + 1 < src.size() && src[i + 1] == '-') {
+      push(TokenKind::kImplies, ":-", tl, tc);
+      i += 2;
+      col += 2;
+      continue;
+    }
+    if (ch == '?' && i + 1 < src.size() && src[i + 1] == '-') {
+      push(TokenKind::kQuery, "?-", tl, tc);
+      i += 2;
+      col += 2;
+      continue;
+    }
+    if (ch == '\\' && i + 1 < src.size() && src[i + 1] == '+') {
+      push(TokenKind::kNot, "\\+", tl, tc);
+      i += 2;
+      col += 2;
+      continue;
+    }
+    if (ch == '\'') {
+      // Quoted atom: '...'; no escapes beyond '' for a literal quote.
+      size_t j = i + 1;
+      std::string text;
+      bool closed = false;
+      while (j < src.size()) {
+        if (src[j] == '\'') {
+          if (j + 1 < src.size() && src[j + 1] == '\'') {
+            text.push_back('\'');
+            j += 2;
+            continue;
+          }
+          closed = true;
+          ++j;
+          break;
+        }
+        if (src[j] == '\n') break;
+        text.push_back(src[j]);
+        ++j;
+      }
+      if (!closed) {
+        return Status::InvalidArgument(
+            StrCat("unterminated quoted atom at line ", tl, " col ", tc));
+      }
+      push(TokenKind::kName, std::move(text), tl, tc);
+      col += static_cast<int>(j - i);
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(ch))) {
+      size_t j = i;
+      while (j < src.size() &&
+             std::isdigit(static_cast<unsigned char>(src[j]))) {
+        ++j;
+      }
+      push(TokenKind::kName, std::string(src.substr(i, j - i)), tl, tc);
+      col += static_cast<int>(j - i);
+      i = j;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(ch)) || ch == '_') {
+      size_t j = i;
+      while (j < src.size() &&
+             (std::isalnum(static_cast<unsigned char>(src[j])) ||
+              src[j] == '_')) {
+        ++j;
+      }
+      std::string text(src.substr(i, j - i));
+      col += static_cast<int>(j - i);
+      i = j;
+      if (text == "not") {
+        push(TokenKind::kNot, std::move(text), tl, tc);
+      } else if (std::isupper(static_cast<unsigned char>(text[0])) ||
+                 text[0] == '_') {
+        push(TokenKind::kVariable, std::move(text), tl, tc);
+      } else {
+        push(TokenKind::kName, std::move(text), tl, tc);
+      }
+      continue;
+    }
+    return Status::InvalidArgument(
+        StrCat("unexpected character '", std::string(1, ch), "' at line ",
+               line, " col ", col));
+  }
+  push(TokenKind::kEof, "", line, col);
+  return tokens;
+}
+
+}  // namespace gsls

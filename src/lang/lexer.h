@@ -1,0 +1,43 @@
+#ifndef GSLS_LANG_LEXER_H_
+#define GSLS_LANG_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace gsls {
+
+/// Token kinds for the Prolog-like surface syntax.
+enum class TokenKind {
+  kName,      ///< lowercase identifier or quoted atom or integer: `foo`, `s`, `0`
+  kVariable,  ///< uppercase/underscore identifier: `X`, `_G1`, `_`
+  kLParen,
+  kRParen,
+  kComma,
+  kDot,
+  kImplies,   ///< `:-`
+  kQuery,     ///< `?-`
+  kNot,       ///< `not` or `\+`
+  kEof,
+};
+
+/// A lexed token with source position (1-based line/column).
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line;
+  int column;
+};
+
+/// Splits `src` into tokens. `%` starts a line comment. Returns
+/// InvalidArgument on an unrecognized character.
+Result<std::vector<Token>> Lex(std::string_view src);
+
+/// Printable name for a token kind (for diagnostics).
+const char* TokenKindName(TokenKind kind);
+
+}  // namespace gsls
+
+#endif  // GSLS_LANG_LEXER_H_

@@ -1,0 +1,20 @@
+#include "lang/literal.h"
+
+#include "util/strings.h"
+
+namespace gsls {
+
+std::string Literal::ToString(const TermStore& store) const {
+  if (positive) return store.ToString(atom);
+  return StrCat("not ", store.ToString(atom));
+}
+
+std::string GoalToString(const TermStore& store, const Goal& goal) {
+  if (goal.empty()) return "true";
+  std::vector<std::string> parts;
+  parts.reserve(goal.size());
+  for (const Literal& l : goal) parts.push_back(l.ToString(store));
+  return StrJoin(parts, ", ");
+}
+
+}  // namespace gsls

@@ -1,0 +1,41 @@
+#ifndef GSLS_LANG_PARSER_H_
+#define GSLS_LANG_PARSER_H_
+
+#include <string_view>
+
+#include "lang/program.h"
+#include "util/status.h"
+
+namespace gsls {
+
+/// Parses a whole program in Prolog-like syntax:
+///
+/// ```prolog
+/// % facts and rules
+/// edge(a, b).
+/// win(X) :- move(X, Y), not win(Y).
+/// ```
+///
+/// `not` and `\+` both negate; variables start with an uppercase letter or
+/// `_`; `_` alone is an anonymous (always fresh) variable; `%` comments run
+/// to end of line. Integers lex as constants. Variable scope is one clause.
+Result<Program> ParseProgram(TermStore& store, std::string_view src);
+
+/// Parses a single query: either `?- l1, ..., ln.` or the bare literal list
+/// `l1, ..., ln.` (trailing dot optional). Variables of the same name are
+/// shared across the query.
+Result<Goal> ParseQuery(TermStore& store, std::string_view src);
+
+/// Parses a single term, e.g. `f(a, g(X))`. Variables are freshly
+/// allocated per call.
+Result<const Term*> ParseTerm(TermStore& store, std::string_view src);
+
+/// Convenience for tests and examples: parses or aborts with the parse
+/// error message.
+Program MustParseProgram(TermStore& store, std::string_view src);
+Goal MustParseQuery(TermStore& store, std::string_view src);
+const Term* MustParseTerm(TermStore& store, std::string_view src);
+
+}  // namespace gsls
+
+#endif  // GSLS_LANG_PARSER_H_

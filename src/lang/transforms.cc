@@ -1,0 +1,68 @@
+#include "lang/transforms.h"
+
+namespace gsls {
+
+Program AugmentProgram(const Program& program) {
+  TermStore& store = program.store();
+  Program out(&store);
+  for (const Clause& c : program.clauses()) out.AddClause(c);
+  const Term* c = store.MakeConstant(kAugConstantName);
+  const Term* fc = store.MakeApp(kAugFunctionName, {c});
+  Clause aug;
+  aug.head = store.MakeApp(kAugPredicateName, {fc});
+  out.AddClause(std::move(aug));
+  return out;
+}
+
+Program AddTermGuard(const Program& program) {
+  TermStore& store = program.store();
+  Program out(&store);
+  // Guard every original clause.
+  for (const Clause& c : program.clauses()) {
+    Clause guarded = c;
+    for (VarId v : c.Variables()) {
+      guarded.body.push_back(
+          Literal::Pos(store.MakeApp(kTermGuardName, {store.Var(v)})));
+    }
+    out.AddClause(std::move(guarded));
+  }
+  // term(c) for each constant (or a synthetic one if P has none,
+  // following the Def. 1.2 convention).
+  std::vector<const Term*> constants = program.Constants();
+  if (constants.empty()) {
+    constants.push_back(store.MakeConstant("$k"));
+  }
+  for (const Term* c : constants) {
+    Clause fact;
+    fact.head = store.MakeApp(kTermGuardName, {c});
+    out.AddClause(std::move(fact));
+  }
+  // term(f(X1,...,Xn)) :- term(X1), ..., term(Xn).
+  for (FunctorId f : program.FunctionSymbols()) {
+    uint32_t arity = store.symbols().FunctorArity(f);
+    std::vector<const Term*> vars;
+    vars.reserve(arity);
+    for (uint32_t i = 0; i < arity; ++i) vars.push_back(store.NewVar("X"));
+    Clause rule;
+    const Term* fx = store.MakeCompound(f, vars);
+    rule.head = store.MakeApp(kTermGuardName, {fx});
+    for (const Term* v : vars) {
+      rule.body.push_back(Literal::Pos(store.MakeApp(kTermGuardName, {v})));
+    }
+    out.AddClause(std::move(rule));
+  }
+  return out;
+}
+
+Goal GuardGoal(const Program& program, TermStore& store, const Goal& goal) {
+  (void)program;
+  Goal out = goal;
+  std::vector<VarId> vars;
+  for (const Literal& l : goal) CollectVars(l.atom, &vars);
+  for (VarId v : vars) {
+    out.push_back(Literal::Pos(store.MakeApp(kTermGuardName, {store.Var(v)})));
+  }
+  return out;
+}
+
+}  // namespace gsls

@@ -1,0 +1,36 @@
+#ifndef GSLS_LANG_TRANSFORMS_H_
+#define GSLS_LANG_TRANSFORMS_H_
+
+#include "lang/program.h"
+
+namespace gsls {
+
+/// Builds the augmented program P' of Def. 6.1: adds the fact
+/// `'$aug'('$f'('$c'))` where the predicate `'$aug'`, function `'$f'`, and
+/// constant `'$c'` appear nowhere in P. Augmentation guarantees the
+/// Herbrand universe contains infinitely many terms absent from P, which is
+/// what Theorem 6.2(3) needs to return most-general answers for universal
+/// queries (Example 6.1).
+Program AugmentProgram(const Program& program);
+
+/// Names used by `AugmentProgram`.
+inline constexpr const char* kAugPredicateName = "$aug";
+inline constexpr const char* kAugFunctionName = "$f";
+inline constexpr const char* kAugConstantName = "$c";
+
+/// Applies the floundering guard of Sec. 6: defines `term/1` to enumerate
+/// the Herbrand universe (one fact per constant, one rule per function
+/// symbol) and adds `term(X)` to each clause body for every variable `X` of
+/// the clause. Returns the guarded program. `GuardGoal` performs the same
+/// addition on a query. Guarded programs/queries never flounder, and the
+/// transformation does not change the well-founded model restricted to the
+/// original predicates.
+Program AddTermGuard(const Program& program);
+Goal GuardGoal(const Program& program, TermStore& store, const Goal& goal);
+
+/// Name of the guard predicate.
+inline constexpr const char* kTermGuardName = "term";
+
+}  // namespace gsls
+
+#endif  // GSLS_LANG_TRANSFORMS_H_

@@ -1,0 +1,36 @@
+#include "stable/stable.h"
+
+#include "util/strings.h"
+#include "wfs/wfs.h"
+
+namespace gsls {
+
+bool IsStableModel(const GroundProgram& gp, const DenseBitset& candidate) {
+  DenseBitset closure = PositiveClosureAssuming(gp, candidate);
+  return closure == candidate;
+}
+
+Result<std::vector<DenseBitset>> EnumerateStableModels(
+    const GroundProgram& gp, const StableOptions& opts) {
+  size_t n = gp.atom_count();
+  if (n > opts.max_atoms) {
+    return Status::ResourceExhausted(
+        StrCat("program has ", n, " atoms; stable enumeration capped at ",
+               opts.max_atoms));
+  }
+  std::vector<DenseBitset> models;
+  uint64_t limit = uint64_t{1} << n;
+  for (uint64_t mask = 0; mask < limit; ++mask) {
+    DenseBitset candidate(n);
+    for (size_t i = 0; i < n; ++i) {
+      if ((mask >> i) & 1) candidate.Set(i);
+    }
+    if (IsStableModel(gp, candidate)) {
+      models.push_back(std::move(candidate));
+      if (models.size() >= opts.max_models) break;
+    }
+  }
+  return models;
+}
+
+}  // namespace gsls

@@ -1,0 +1,34 @@
+#ifndef GSLS_STABLE_STABLE_H_
+#define GSLS_STABLE_STABLE_H_
+
+#include <vector>
+
+#include "ground/ground_program.h"
+#include "util/bitset.h"
+#include "util/status.h"
+#include "wfs/interpretation.h"
+
+namespace gsls {
+
+/// Options for stable-model enumeration.
+struct StableOptions {
+  size_t max_atoms = 24;        ///< Refuse larger programs (2^n search).
+  size_t max_models = SIZE_MAX; ///< Stop after this many models.
+};
+
+/// True iff `candidate` (a set of true atoms) is a stable model of `gp`:
+/// the least model of the Gelfond-Lifschitz reduct of `gp` by `candidate`
+/// equals `candidate`.
+bool IsStableModel(const GroundProgram& gp, const DenseBitset& candidate);
+
+/// Enumerates all stable models by exhaustive candidate search with the
+/// GL-reduct check. Exponential: intended for the cross-validation tests of
+/// the related-work relationship the paper discusses (every well-founded
+/// true atom is in every stable model; every well-founded false atom is in
+/// none; if the well-founded model is total it is the unique stable model).
+Result<std::vector<DenseBitset>> EnumerateStableModels(
+    const GroundProgram& gp, const StableOptions& opts = {});
+
+}  // namespace gsls
+
+#endif  // GSLS_STABLE_STABLE_H_

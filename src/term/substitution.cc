@@ -1,0 +1,147 @@
+#include "term/substitution.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace gsls {
+
+const Term* Substitution::Walk(const Term* t) const {
+  while (t->IsVar()) {
+    const Term* next = Lookup(t->var());
+    if (next == nullptr) return t;
+    t = next;
+  }
+  return t;
+}
+
+namespace {
+
+const Term* ApplyRec(const Substitution& s, TermStore& store, const Term* t,
+                     std::unordered_map<const Term*, const Term*>& memo) {
+  t = s.Walk(t);
+  if (t->ground() || t->IsVar()) return t;
+  auto it = memo.find(t);
+  if (it != memo.end()) return it->second;
+  std::vector<const Term*> args;
+  args.reserve(t->arity());
+  bool changed = false;
+  for (const Term* a : t->args()) {
+    const Term* na = ApplyRec(s, store, a, memo);
+    changed = changed || (na != a);
+    args.push_back(na);
+  }
+  const Term* out = changed ? store.MakeCompound(t->functor(), args) : t;
+  memo.emplace(t, out);
+  return out;
+}
+
+}  // namespace
+
+const Term* Substitution::Apply(TermStore& store, const Term* t) const {
+  if (bindings_.empty() || t->ground()) return t;
+  std::unordered_map<const Term*, const Term*> memo;
+  return ApplyRec(*this, store, t, memo);
+}
+
+Substitution Substitution::ComposeWith(TermStore& store,
+                                       const Substitution& other) const {
+  Substitution out;
+  for (const auto& [var, term] : bindings_) {
+    const Term* applied = other.Apply(store, term);
+    // Drop trivial bindings X -> X introduced by composition.
+    if (applied->IsVar() && applied->var() == var) continue;
+    out.Bind(var, applied);
+  }
+  for (const auto& [var, term] : other.bindings()) {
+    if (bindings_.find(var) == bindings_.end()) out.Bind(var, term);
+  }
+  return out;
+}
+
+std::string Substitution::ToString(const TermStore& store) const {
+  std::vector<std::pair<VarId, const Term*>> items(bindings_.begin(),
+                                                   bindings_.end());
+  std::sort(items.begin(), items.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<std::string> parts;
+  parts.reserve(items.size());
+  for (const auto& [var, term] : items) {
+    parts.push_back(
+        StrCat(store.VarName(var), " -> ", store.ToString(term)));
+  }
+  return StrCat("{", StrJoin(parts, ", "), "}");
+}
+
+namespace {
+
+/// Whether variable `v` occurs in `t` under substitution `s`.
+bool Occurs(const Substitution& s, VarId v, const Term* t) {
+  t = s.Walk(t);
+  if (t->IsVar()) return t->var() == v;
+  if (t->ground()) return false;
+  for (const Term* a : t->args()) {
+    if (Occurs(s, v, a)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool Unify(const Term* a, const Term* b, Substitution* subst) {
+  std::vector<std::pair<const Term*, const Term*>> stack;
+  stack.emplace_back(a, b);
+  while (!stack.empty()) {
+    auto [x, y] = stack.back();
+    stack.pop_back();
+    x = subst->Walk(x);
+    y = subst->Walk(y);
+    if (x == y) continue;  // Same pointer: hash-consed equal terms or var.
+    if (x->IsVar()) {
+      if (Occurs(*subst, x->var(), y)) return false;
+      subst->Bind(x->var(), y);
+      continue;
+    }
+    if (y->IsVar()) {
+      if (Occurs(*subst, y->var(), x)) return false;
+      subst->Bind(y->var(), x);
+      continue;
+    }
+    if (x->functor() != y->functor()) return false;
+    for (uint32_t i = 0; i < x->arity(); ++i) {
+      stack.emplace_back(x->arg(i), y->arg(i));
+    }
+  }
+  return true;
+}
+
+bool Match(const Term* pattern, const Term* t, Substitution* subst) {
+  std::vector<std::pair<const Term*, const Term*>> stack;
+  stack.emplace_back(pattern, t);
+  while (!stack.empty()) {
+    auto [p, x] = stack.back();
+    stack.pop_back();
+    p = subst->Walk(p);
+    if (p == x) continue;
+    if (p->IsVar()) {
+      subst->Bind(p->var(), x);
+      continue;
+    }
+    if (x->IsVar() || p->functor() != x->functor()) return false;
+    for (uint32_t i = 0; i < p->arity(); ++i) {
+      stack.emplace_back(p->arg(i), x->arg(i));
+    }
+  }
+  return true;
+}
+
+bool MoreGeneralOn(TermStore& store, const Substitution& general,
+                   const Substitution& specific, const Term* reference) {
+  const Term* g = general.Apply(store, reference);
+  const Term* s = specific.Apply(store, reference);
+  Substitution gamma;
+  return Match(g, s, &gamma);
+}
+
+}  // namespace gsls

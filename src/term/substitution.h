@@ -1,0 +1,75 @@
+#ifndef GSLS_TERM_SUBSTITUTION_H_
+#define GSLS_TERM_SUBSTITUTION_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "term/term.h"
+#include "term/term_store.h"
+
+namespace gsls {
+
+/// A (triangular) substitution: a finite map from variables to terms.
+/// Bindings may reference other bound variables; `Apply` and `Walk`
+/// dereference chains. Substitutions produced by `Unify` are idempotent
+/// after full application.
+class Substitution {
+ public:
+  Substitution() = default;
+
+  /// Binds `var := t`. Overwrites any existing binding (callers that need
+  /// mgu semantics should only bind unbound variables, as `Unify` does).
+  void Bind(VarId var, const Term* t) { bindings_[var] = t; }
+
+  /// The binding of `var`, or nullptr if unbound.
+  const Term* Lookup(VarId var) const {
+    auto it = bindings_.find(var);
+    return it == bindings_.end() ? nullptr : it->second;
+  }
+
+  /// Dereferences `t` through variable bindings until it is a compound or
+  /// an unbound variable. Does not descend into compound arguments.
+  const Term* Walk(const Term* t) const;
+
+  /// Applies the substitution fully: every bound variable occurrence in `t`
+  /// is replaced, recursively, producing a term in `store`.
+  const Term* Apply(TermStore& store, const Term* t) const;
+
+  bool empty() const { return bindings_.empty(); }
+  size_t size() const { return bindings_.size(); }
+  const std::unordered_map<VarId, const Term*>& bindings() const {
+    return bindings_;
+  }
+
+  /// Composition: returns sigma with `sigma(t) == other(this(t))` for all t
+  /// (apply `this` first, then `other`), as used for computed answer
+  /// substitutions along a derivation branch.
+  Substitution ComposeWith(TermStore& store, const Substitution& other) const;
+
+  /// Renders as `{X -> f(a), Y -> Z}` (sorted by variable id).
+  std::string ToString(const TermStore& store) const;
+
+ private:
+  std::unordered_map<VarId, const Term*> bindings_;
+};
+
+/// Computes the most general unifier of `a` and `b`, extending `subst`
+/// in place. Performs the occurs check (required for soundness of
+/// SLS-resolution). Returns false (leaving `subst` in an unspecified but
+/// valid state) if the terms do not unify; callers that need rollback
+/// should copy the substitution first.
+bool Unify(const Term* a, const Term* b, Substitution* subst);
+
+/// One-way matching: finds `subst` extending the given one with
+/// `subst(pattern) == t`, treating variables of `t` as constants.
+bool Match(const Term* pattern, const Term* t, Substitution* subst);
+
+/// True iff `general` is at least as general as `specific` on the variables
+/// of `reference`: there is a substitution gamma with
+/// `gamma(general(reference)) == specific(reference)`.
+bool MoreGeneralOn(TermStore& store, const Substitution& general,
+                   const Substitution& specific, const Term* reference);
+
+}  // namespace gsls
+
+#endif  // GSLS_TERM_SUBSTITUTION_H_

@@ -1,0 +1,39 @@
+#include "term/symbol_table.h"
+
+#include "util/strings.h"
+
+namespace gsls {
+
+SymbolId SymbolTable::InternName(std::string_view name) {
+  auto it = name_ids_.find(std::string(name));
+  if (it != name_ids_.end()) return it->second;
+  SymbolId id = static_cast<SymbolId>(names_.size());
+  names_.emplace_back(name);
+  name_ids_.emplace(names_.back(), id);
+  return id;
+}
+
+FunctorId SymbolTable::InternFunctor(std::string_view name, uint32_t arity) {
+  FunctorKey key{InternName(name), arity};
+  auto it = functor_ids_.find(key);
+  if (it != functor_ids_.end()) return it->second;
+  FunctorId id = static_cast<FunctorId>(functors_.size());
+  functors_.push_back(key);
+  functor_ids_.emplace(key, id);
+  return id;
+}
+
+FunctorId SymbolTable::FindFunctor(std::string_view name,
+                                   uint32_t arity) const {
+  auto nit = name_ids_.find(std::string(name));
+  if (nit == name_ids_.end()) return kInvalidFunctor;
+  auto fit = functor_ids_.find(FunctorKey{nit->second, arity});
+  if (fit == functor_ids_.end()) return kInvalidFunctor;
+  return fit->second;
+}
+
+std::string SymbolTable::FunctorToString(FunctorId id) const {
+  return StrCat(FunctorName(id), "/", FunctorArity(id));
+}
+
+}  // namespace gsls

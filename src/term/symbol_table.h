@@ -1,0 +1,72 @@
+#ifndef GSLS_TERM_SYMBOL_TABLE_H_
+#define GSLS_TERM_SYMBOL_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace gsls {
+
+/// Index of an interned name in a `SymbolTable`.
+using SymbolId = uint32_t;
+
+/// Index of an interned (name, arity) pair in a `SymbolTable`. Functors
+/// identify both function symbols and predicate symbols, Prolog-style:
+/// `p/1` and `p/2` are distinct functors.
+using FunctorId = uint32_t;
+
+/// Sentinel for "no functor".
+inline constexpr FunctorId kInvalidFunctor = UINT32_MAX;
+
+/// Interns names and (name, arity) functor pairs, assigning dense ids.
+/// Lookups by id are O(1); interning is amortized O(length).
+class SymbolTable {
+ public:
+  /// Interns `name`, returning its id (stable across calls).
+  SymbolId InternName(std::string_view name);
+
+  /// Interns the functor `name/arity`.
+  FunctorId InternFunctor(std::string_view name, uint32_t arity);
+
+  /// Returns the functor id for `name/arity` if already interned, else
+  /// `kInvalidFunctor`.
+  FunctorId FindFunctor(std::string_view name, uint32_t arity) const;
+
+  /// Name for an interned symbol id.
+  const std::string& NameOf(SymbolId id) const { return names_[id]; }
+
+  /// Name part of a functor.
+  const std::string& FunctorName(FunctorId id) const {
+    return names_[functors_[id].name];
+  }
+  /// Arity part of a functor.
+  uint32_t FunctorArity(FunctorId id) const { return functors_[id].arity; }
+  /// "name/arity" rendering of a functor.
+  std::string FunctorToString(FunctorId id) const;
+
+  size_t name_count() const { return names_.size(); }
+  size_t functor_count() const { return functors_.size(); }
+
+ private:
+  struct FunctorKey {
+    SymbolId name;
+    uint32_t arity;
+    bool operator==(const FunctorKey&) const = default;
+  };
+  struct FunctorKeyHash {
+    size_t operator()(const FunctorKey& k) const {
+      return std::hash<uint64_t>()((uint64_t(k.name) << 32) | k.arity);
+    }
+  };
+
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, SymbolId> name_ids_;
+  std::vector<FunctorKey> functors_;
+  std::unordered_map<FunctorKey, FunctorId, FunctorKeyHash> functor_ids_;
+};
+
+}  // namespace gsls
+
+#endif  // GSLS_TERM_SYMBOL_TABLE_H_

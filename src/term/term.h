@@ -1,0 +1,69 @@
+#ifndef GSLS_TERM_TERM_H_
+#define GSLS_TERM_TERM_H_
+
+#include <cstdint>
+#include <span>
+
+#include "term/symbol_table.h"
+
+namespace gsls {
+
+/// Identifier of a logic variable. Variable ids are global within a
+/// `TermStore`; standardizing clauses apart allocates fresh ids.
+using VarId = uint32_t;
+
+/// An immutable first-order term: either a variable or a compound
+/// `f(t1,...,tn)` (constants are arity-0 compounds).
+///
+/// Terms are created only by `TermStore`, which arena-allocates and
+/// *hash-conses* them: within one store, structurally equal terms are the
+/// same pointer, so equality is pointer comparison and per-term metadata
+/// (groundness, depth, hash) is computed once. Terms are trivially
+/// destructible and are reclaimed only when the owning store is destroyed.
+class Term {
+ public:
+  enum class Kind : uint8_t { kVar, kCompound };
+
+  Kind kind() const { return kind_; }
+  bool IsVar() const { return kind_ == Kind::kVar; }
+  bool IsCompound() const { return kind_ == Kind::kCompound; }
+  /// A constant is a compound of arity 0.
+  bool IsConstant() const { return IsCompound() && arity_ == 0; }
+
+  /// Variable id; requires `IsVar()`.
+  VarId var() const { return id_; }
+  /// Functor id; requires `IsCompound()`.
+  FunctorId functor() const { return id_; }
+  uint32_t arity() const { return arity_; }
+  /// Argument subterms; requires `IsCompound()`.
+  std::span<const Term* const> args() const {
+    return std::span<const Term* const>(args_, arity_);
+  }
+  const Term* arg(uint32_t i) const { return args_[i]; }
+
+  /// True iff the term contains no variables.
+  bool ground() const { return ground_; }
+  /// 1 for variables and constants; 1 + max(child depth) otherwise.
+  uint32_t depth() const { return depth_; }
+  /// Structural hash, precomputed at interning time.
+  uint64_t hash() const { return hash_; }
+  /// Number of variable occurrences (with multiplicity).
+  uint32_t var_count() const { return var_count_; }
+
+ private:
+  friend class TermStore;
+  Term() = default;
+
+  Kind kind_;
+  bool ground_;
+  uint32_t id_;        // VarId or FunctorId depending on kind_.
+  uint32_t arity_;
+  uint32_t depth_;
+  uint32_t var_count_;
+  uint64_t hash_;
+  const Term* const* args_;
+};
+
+}  // namespace gsls
+
+#endif  // GSLS_TERM_TERM_H_

@@ -1,0 +1,115 @@
+#include "term/term_store.h"
+
+#include <cassert>
+
+#include "util/strings.h"
+
+namespace gsls {
+
+namespace {
+
+uint64_t HashCombine(uint64_t h, uint64_t v) {
+  // 64-bit variant of boost::hash_combine with a stronger mix.
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 12) + (h >> 4);
+  h *= 0xff51afd7ed558ccdULL;
+  return h ^ (h >> 33);
+}
+
+}  // namespace
+
+const Term* TermStore::NewVar(std::string_view name_hint) {
+  VarId id = static_cast<VarId>(vars_.size());
+  Term* t = new (arena_.Allocate(sizeof(Term), alignof(Term))) Term();
+  t->kind_ = Term::Kind::kVar;
+  t->ground_ = false;
+  t->id_ = id;
+  t->arity_ = 0;
+  t->depth_ = 1;
+  t->var_count_ = 1;
+  t->hash_ = HashCombine(0x5aul, id);
+  t->args_ = nullptr;
+  vars_.push_back(t);
+  if (name_hint == "_G") {
+    var_names_.push_back(StrCat("_G", id));
+  } else {
+    var_names_.emplace_back(name_hint);
+  }
+  return t;
+}
+
+const Term* TermStore::MakeCompound(FunctorId functor,
+                                    std::span<const Term* const> args) {
+  assert(symbols_.FunctorArity(functor) == args.size());
+  // Build a probe node on the stack referencing the caller's argument
+  // array; only copy into the arena if the term is new.
+  Term probe;
+  probe.kind_ = Term::Kind::kCompound;
+  probe.id_ = functor;
+  probe.arity_ = static_cast<uint32_t>(args.size());
+  probe.args_ = args.data();
+  uint64_t h = HashCombine(0xc0ul, functor);
+  bool ground = true;
+  uint32_t depth = 1;
+  uint32_t var_count = 0;
+  for (const Term* a : args) {
+    h = HashCombine(h, a->hash());
+    ground = ground && a->ground();
+    if (a->depth() + 1 > depth) depth = a->depth() + 1;
+    var_count += a->var_count();
+  }
+  probe.hash_ = h;
+  probe.ground_ = ground;
+  probe.depth_ = depth;
+  probe.var_count_ = var_count;
+
+  auto it = interned_.find(&probe);
+  if (it != interned_.end()) return *it;
+
+  const Term** arg_copy = nullptr;
+  if (!args.empty()) {
+    arg_copy = arena_.AllocateArray<const Term*>(args.size());
+    for (size_t i = 0; i < args.size(); ++i) arg_copy[i] = args[i];
+  }
+  Term* t = new (arena_.Allocate(sizeof(Term), alignof(Term))) Term();
+  *t = probe;
+  t->args_ = arg_copy;
+  interned_.insert(t);
+  return t;
+}
+
+const Term* TermStore::MakeApp(std::string_view name,
+                               std::initializer_list<const Term*> args) {
+  return MakeApp(name,
+                 std::span<const Term* const>(args.begin(), args.size()));
+}
+
+const Term* TermStore::MakeApp(std::string_view name,
+                               std::span<const Term* const> args) {
+  FunctorId f =
+      symbols_.InternFunctor(name, static_cast<uint32_t>(args.size()));
+  return MakeCompound(f, args);
+}
+
+void TermStore::AppendTermString(const Term* t, std::string* out) const {
+  if (t->IsVar()) {
+    out->append(VarName(t->var()));
+    return;
+  }
+  out->append(symbols_.FunctorName(t->functor()));
+  if (t->arity() > 0) {
+    out->push_back('(');
+    for (uint32_t i = 0; i < t->arity(); ++i) {
+      if (i > 0) out->push_back(',');
+      AppendTermString(t->arg(i), out);
+    }
+    out->push_back(')');
+  }
+}
+
+std::string TermStore::ToString(const Term* t) const {
+  std::string out;
+  AppendTermString(t, &out);
+  return out;
+}
+
+}  // namespace gsls

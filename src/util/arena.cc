@@ -1,0 +1,32 @@
+#include "util/arena.h"
+
+#include <cstdlib>
+
+namespace gsls {
+
+void* Arena::Allocate(size_t bytes, size_t align) {
+  if (bytes == 0) bytes = 1;
+  uintptr_t p = reinterpret_cast<uintptr_t>(cursor_);
+  uintptr_t aligned = (p + align - 1) & ~(align - 1);
+  size_t padding = aligned - p;
+  if (cursor_ == nullptr || aligned + bytes > reinterpret_cast<uintptr_t>(limit_)) {
+    cursor_ = AllocateNewBlock(bytes + align);
+    p = reinterpret_cast<uintptr_t>(cursor_);
+    aligned = (p + align - 1) & ~(align - 1);
+    padding = aligned - p;
+  }
+  cursor_ = reinterpret_cast<char*>(aligned + bytes);
+  bytes_allocated_ += bytes + padding;
+  return reinterpret_cast<void*>(aligned);
+}
+
+char* Arena::AllocateNewBlock(size_t min_bytes) {
+  size_t size = block_bytes_;
+  if (min_bytes > size) size = min_bytes;
+  blocks_.push_back(std::make_unique<char[]>(size));
+  bytes_reserved_ += size;
+  limit_ = blocks_.back().get() + size;
+  return blocks_.back().get();
+}
+
+}  // namespace gsls

@@ -1,0 +1,71 @@
+#ifndef GSLS_UTIL_ARENA_H_
+#define GSLS_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace gsls {
+
+/// A bump-pointer arena allocator.
+///
+/// Terms in this library are immutable, densely shared, and live exactly as
+/// long as the `TermStore` that created them, so they are managed manually
+/// through an arena rather than with per-node reference counting. Allocation
+/// is a pointer bump; deallocation happens all at once when the arena is
+/// destroyed. Objects allocated here must be trivially destructible (their
+/// destructors are never run).
+class Arena {
+ public:
+  explicit Arena(size_t block_bytes = kDefaultBlockBytes)
+      : block_bytes_(block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Allocates `bytes` with the given alignment. Never returns null
+  /// (allocation failure aborts, as in most database engines' arena paths).
+  void* Allocate(size_t bytes, size_t align = alignof(std::max_align_t));
+
+  /// Allocates and default-constructs an array of `n` objects of type `T`.
+  /// `T` must be trivially destructible.
+  template <typename T>
+  T* AllocateArray(size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena objects are never destroyed");
+    return static_cast<T*>(Allocate(n * sizeof(T), alignof(T)));
+  }
+
+  /// Constructs a `T` in the arena. `T` must be trivially destructible.
+  template <typename T, typename... Args>
+  T* New(Args&&... args) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena objects are never destroyed");
+    return new (Allocate(sizeof(T), alignof(T)))
+        T(std::forward<Args>(args)...);
+  }
+
+  /// Total bytes handed out to callers (excludes block slack).
+  size_t bytes_allocated() const { return bytes_allocated_; }
+  /// Total bytes reserved from the system.
+  size_t bytes_reserved() const { return bytes_reserved_; }
+  size_t block_count() const { return blocks_.size(); }
+
+ private:
+  static constexpr size_t kDefaultBlockBytes = 64 * 1024;
+
+  char* AllocateNewBlock(size_t min_bytes);
+
+  size_t block_bytes_;
+  char* cursor_ = nullptr;
+  char* limit_ = nullptr;
+  size_t bytes_allocated_ = 0;
+  size_t bytes_reserved_ = 0;
+  std::vector<std::unique_ptr<char[]>> blocks_;
+};
+
+}  // namespace gsls
+
+#endif  // GSLS_UTIL_ARENA_H_

@@ -1,0 +1,85 @@
+#ifndef GSLS_UTIL_BITSET_H_
+#define GSLS_UTIL_BITSET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gsls {
+
+/// A dynamically sized bitset with the few operations the fixpoint engines
+/// need. Indices beyond `size()` read as false; `Set` requires in-range.
+class DenseBitset {
+ public:
+  DenseBitset() = default;
+  explicit DenseBitset(size_t size) : size_(size), words_((size + 63) / 64) {}
+
+  size_t size() const { return size_; }
+
+  void Resize(size_t size) {
+    size_ = size;
+    words_.resize((size + 63) / 64, 0);
+  }
+
+  bool Test(size_t i) const {
+    if (i >= size_) return false;
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  void Set(size_t i) { words_[i >> 6] |= (uint64_t{1} << (i & 63)); }
+  void Reset(size_t i) { words_[i >> 6] &= ~(uint64_t{1} << (i & 63)); }
+
+  void Clear() {
+    for (auto& w : words_) w = 0;
+  }
+
+  /// Number of set bits.
+  size_t Count() const {
+    size_t n = 0;
+    for (uint64_t w : words_) n += static_cast<size_t>(__builtin_popcountll(w));
+    return n;
+  }
+
+  /// True iff no bit is set.
+  bool None() const {
+    for (uint64_t w : words_) {
+      if (w != 0) return false;
+    }
+    return true;
+  }
+
+  bool operator==(const DenseBitset& other) const {
+    if (size_ != other.size_) return false;
+    return words_ == other.words_;
+  }
+
+  /// Sets every bit of `other` in this (sizes must match).
+  void UnionWith(const DenseBitset& other) {
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  }
+
+  /// True iff every set bit of this is set in `other`.
+  bool IsSubsetOf(const DenseBitset& other) const {
+    for (size_t i = 0; i < words_.size(); ++i) {
+      if ((words_[i] & ~other.words_[i]) != 0) return false;
+    }
+    return true;
+  }
+
+  /// True iff this and `other` share a set bit.
+  bool Intersects(const DenseBitset& other) const {
+    size_t n = std::min(words_.size(), other.words_.size());
+    for (size_t i = 0; i < n; ++i) {
+      if ((words_[i] & other.words_[i]) != 0) return true;
+    }
+    return false;
+  }
+
+ private:
+  size_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace gsls
+
+#endif  // GSLS_UTIL_BITSET_H_

@@ -1,0 +1,44 @@
+#ifndef GSLS_UTIL_RNG_H_
+#define GSLS_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace gsls {
+
+/// Deterministic 64-bit RNG (SplitMix64). Used by randomized tests and the
+/// workload generators so every run is reproducible from a seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform value in [0, bound). `bound` must be positive.
+  uint64_t Uniform(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform value in [lo, hi] inclusive.
+  int UniformInt(int lo, int hi) {
+    return lo + static_cast<int>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// True with probability `num/den`.
+  bool Chance(uint64_t num, uint64_t den) { return Uniform(den) < num; }
+
+  /// Uniform double in [0,1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace gsls
+
+#endif  // GSLS_UTIL_RNG_H_

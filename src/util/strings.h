@@ -1,0 +1,51 @@
+#ifndef GSLS_UTIL_STRINGS_H_
+#define GSLS_UTIL_STRINGS_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gsls {
+
+namespace internal {
+inline void StrAppendImpl(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void StrAppendImpl(std::ostringstream& os, const T& v, const Rest&... rest) {
+  os << v;
+  StrAppendImpl(os, rest...);
+}
+}  // namespace internal
+
+/// Concatenates the streamable arguments into a string.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  internal::StrAppendImpl(os, args...);
+  return os.str();
+}
+
+/// Joins the elements of `parts` with `sep`. Elements must be streamable.
+template <typename Container>
+std::string StrJoin(const Container& parts, std::string_view sep) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& p : parts) {
+    if (!first) os << sep;
+    first = false;
+    os << p;
+  }
+  return os.str();
+}
+
+/// Splits `s` on `delim`, keeping empty fields.
+std::vector<std::string> StrSplit(std::string_view s, char delim);
+
+/// Whether `s` starts with `prefix`.
+inline bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace gsls
+
+#endif  // GSLS_UTIL_STRINGS_H_

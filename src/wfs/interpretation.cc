@@ -1,0 +1,31 @@
+#include "wfs/interpretation.h"
+
+#include "util/strings.h"
+
+namespace gsls {
+
+const char* TruthValueName(TruthValue v) {
+  switch (v) {
+    case TruthValue::kTrue: return "true";
+    case TruthValue::kFalse: return "false";
+    case TruthValue::kUndefined: return "undefined";
+  }
+  return "?";
+}
+
+std::string Interpretation::ToString(const GroundProgram& gp,
+                                     bool show_undefined) const {
+  std::vector<std::string> parts;
+  for (AtomId a = 0; a < gp.atom_count() && a < atom_count(); ++a) {
+    if (IsTrue(a)) {
+      parts.push_back(gp.store().ToString(gp.AtomTerm(a)));
+    } else if (IsFalse(a)) {
+      parts.push_back(StrCat("not ", gp.store().ToString(gp.AtomTerm(a))));
+    } else if (show_undefined) {
+      parts.push_back(StrCat(gp.store().ToString(gp.AtomTerm(a)), "?"));
+    }
+  }
+  return StrCat("{", StrJoin(parts, ", "), "}");
+}
+
+}  // namespace gsls

@@ -1,0 +1,75 @@
+#ifndef GSLS_WFS_INTERPRETATION_H_
+#define GSLS_WFS_INTERPRETATION_H_
+
+#include <string>
+
+#include "ground/ground_program.h"
+#include "util/bitset.h"
+
+namespace gsls {
+
+/// Three-valued truth value of a ground atom in a partial interpretation.
+enum class TruthValue : uint8_t { kFalse = 0, kUndefined = 1, kTrue = 2 };
+
+const char* TruthValueName(TruthValue v);
+
+/// A consistent set of ground literals over a `GroundProgram`'s atoms
+/// (Def. 1.7): an atom may appear positively, negatively, or not at all.
+class Interpretation {
+ public:
+  Interpretation() = default;
+  explicit Interpretation(size_t atom_count)
+      : true_(atom_count), false_(atom_count) {}
+
+  size_t atom_count() const { return true_.size(); }
+
+  bool IsTrue(AtomId a) const { return true_.Test(a); }
+  bool IsFalse(AtomId a) const { return false_.Test(a); }
+  bool IsUndefined(AtomId a) const { return !IsTrue(a) && !IsFalse(a); }
+
+  TruthValue Value(AtomId a) const {
+    if (IsTrue(a)) return TruthValue::kTrue;
+    if (IsFalse(a)) return TruthValue::kFalse;
+    return TruthValue::kUndefined;
+  }
+
+  void SetTrue(AtomId a) { true_.Set(a); }
+  void SetFalse(AtomId a) { false_.Set(a); }
+
+  const DenseBitset& true_set() const { return true_; }
+  const DenseBitset& false_set() const { return false_; }
+  DenseBitset& mutable_true_set() { return true_; }
+  DenseBitset& mutable_false_set() { return false_; }
+
+  /// Number of atoms with a defined (true or false) value.
+  size_t defined_count() const { return true_.Count() + false_.Count(); }
+
+  /// True iff no atom is both true and false.
+  bool IsConsistent() const { return !true_.Intersects(false_); }
+
+  /// True iff every atom is either true or false (total interpretation).
+  bool IsTotal() const { return defined_count() == atom_count(); }
+
+  /// Set-inclusion on literal sets: this ⊆ other.
+  bool IsSubsetOf(const Interpretation& other) const {
+    return true_.IsSubsetOf(other.true_set()) &&
+           false_.IsSubsetOf(other.false_set());
+  }
+
+  bool operator==(const Interpretation& other) const {
+    return true_ == other.true_ && false_ == other.false_;
+  }
+
+  /// Renders as `{p, not q, r?}` where `?` marks undefined atoms (only when
+  /// `show_undefined`).
+  std::string ToString(const GroundProgram& gp,
+                       bool show_undefined = false) const;
+
+ private:
+  DenseBitset true_;
+  DenseBitset false_;
+};
+
+}  // namespace gsls
+
+#endif  // GSLS_WFS_INTERPRETATION_H_

@@ -1,0 +1,38 @@
+#ifndef GSLS_WFS_OPERATORS_H_
+#define GSLS_WFS_OPERATORS_H_
+
+#include "ground/ground_program.h"
+#include "util/bitset.h"
+#include "wfs/interpretation.h"
+
+namespace gsls {
+
+/// One application of the immediate-consequence transformation T_P
+/// (Def. 2.3): the atoms p with an instantiated rule whose body literals
+/// are all in `interp`.
+DenseBitset TpStep(const GroundProgram& gp, const Interpretation& interp);
+
+/// Closure of the extended transformation T̃_P (T̃_P(I) = T_P(I) ∪ I)
+/// iterated to fixpoint: the positive atoms derivable from `interp` by
+/// positive forward chaining with negative literals looked up in `interp`.
+/// Linear-time counting implementation.
+DenseBitset TpStar(const GroundProgram& gp, const Interpretation& interp);
+
+/// The greatest unfounded set U_P(I) (Defs. 2.1-2.2) of `gp` with respect
+/// to `interp`, computed as the complement of the least set of atoms with a
+/// rule that has no witness of unusability. Linear-time counting
+/// implementation over all registered atoms.
+DenseBitset GreatestUnfoundedSet(const GroundProgram& gp,
+                                 const Interpretation& interp);
+
+/// One application of W_P(I) = T_P(I) ∪ ¬·U_P(I) (Def. 2.3).
+Interpretation WpStep(const GroundProgram& gp, const Interpretation& interp);
+
+/// Checks Def. 2.1 directly: is `candidate` an unfounded set of `gp` with
+/// respect to `interp`? (Quadratic; used by tests and assertions.)
+bool IsUnfoundedSet(const GroundProgram& gp, const Interpretation& interp,
+                    const DenseBitset& candidate);
+
+}  // namespace gsls
+
+#endif  // GSLS_WFS_OPERATORS_H_

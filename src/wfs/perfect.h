@@ -1,0 +1,23 @@
+#ifndef GSLS_WFS_PERFECT_H_
+#define GSLS_WFS_PERFECT_H_
+
+#include "analysis/dependency_graph.h"
+#include "ground/ground_program.h"
+#include "util/status.h"
+#include "wfs/interpretation.h"
+
+namespace gsls {
+
+/// Evaluates the perfect model of a *stratified* program by iterated
+/// fixpoint over the strata (Apt-Blair-Walker / Przymusinski). `gp` must be
+/// a grounding of the program that `strat` was computed from. Fails with
+/// FailedPrecondition if `strat.stratified` is false.
+///
+/// On stratified programs the perfect model coincides with the well-founded
+/// model (which is total there) — the cross-check used by the tests.
+Result<Interpretation> ComputePerfectModel(const GroundProgram& gp,
+                                           const Stratification& strat);
+
+}  // namespace gsls
+
+#endif  // GSLS_WFS_PERFECT_H_

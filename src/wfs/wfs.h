@@ -1,0 +1,64 @@
+#ifndef GSLS_WFS_WFS_H_
+#define GSLS_WFS_WFS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ground/ground_program.h"
+#include "wfs/interpretation.h"
+#include "wfs/operators.h"
+
+namespace gsls {
+
+/// The well-founded partial model of a finite ground program, with
+/// iteration diagnostics.
+struct WfsModel {
+  Interpretation model;
+  /// Number of outer iterations until the fixpoint closed.
+  uint32_t iterations = 0;
+
+  TruthValue Value(AtomId a) const { return model.Value(a); }
+};
+
+/// Stages of Def. 2.4: for each literal in the well-founded model, the
+/// least (finite, successor) iteration of V_P at which it appears. Stage 0
+/// means "not in the model" (undefined atom).
+struct WfsStages {
+  Interpretation model;
+  std::vector<uint32_t> true_stage;   ///< per atom; 0 if not true.
+  std::vector<uint32_t> false_stage;  ///< per atom; 0 if not false.
+  uint32_t iterations = 0;
+};
+
+/// Computes M_WF(P) by iterating W_P(I) = T_P(I) ∪ ¬·U_P(I) from ∅
+/// (Def. 2.3). Quadratic worst case (each round is linear, at most
+/// |atoms|+1 rounds).
+WfsModel ComputeWfs(const GroundProgram& gp);
+
+/// Computes M_WF(P) by iterating V_P(I) = T̃_P^ω(I) ∪ ¬·U_P(I) from ∅
+/// (Def. 2.4 / Lemma 2.1), recording the stage of every literal. The
+/// stages are what Corollary 4.6 relates to global-tree levels.
+WfsStages ComputeWfsStages(const GroundProgram& gp);
+
+/// Computes M_WF(P) by Van Gelder's alternating fixpoint (the polynomial
+/// bottom-up algorithm the paper's footnote 5 refers to):
+/// S(I) = lfp of positive derivation with negatives read against I;
+/// the true set is the least fixpoint of S∘S, the false set the complement
+/// of its S-image.
+WfsModel ComputeWfsAlternating(const GroundProgram& gp);
+
+/// True iff `total` (which must be total) satisfies every rule of `gp`
+/// two-valued: head true, or some positive body atom false, or some
+/// negative body atom true.
+bool IsTwoValuedModel(const GroundProgram& gp, const Interpretation& total);
+
+/// Least fixpoint of positive derivation where `not q` is read as
+/// "q not in assumed_true": the Gelfond-Lifschitz reduct closure. This is
+/// the S operator of the alternating fixpoint; it is also the stability
+/// check (M is a stable model iff PositiveClosureAssuming(gp, M) == M).
+DenseBitset PositiveClosureAssuming(const GroundProgram& gp,
+                                    const DenseBitset& assumed_true);
+
+}  // namespace gsls
+
+#endif  // GSLS_WFS_WFS_H_

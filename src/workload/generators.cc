@@ -1,0 +1,125 @@
+#include "workload/generators.h"
+
+#include "util/strings.h"
+
+namespace gsls::workload {
+
+const char* VanGelderProgram() {
+  return R"(
+      e(s(0), s(s(0))).
+      e(s(X), s(s(Y))) :- e(X, s(Y)).
+      e(s(0), 0).
+      e(s(X), 0) :- e(X, 0).
+      w(X) :- not u(X).
+      u(X) :- e(Y, X), not w(Y).
+  )";
+}
+
+const char* Example32Program() {
+  return R"(
+      p :- q, not r.
+      q :- r, not p.
+      r :- p, not q.
+      s :- not p, not q, not r.
+  )";
+}
+
+const char* Example33Program() {
+  return R"(
+      q :- not p(a), not s.
+      s.
+      p(X) :- not p(f(X)).
+  )";
+}
+
+std::string IntTerm(int i) {
+  std::string t = "0";
+  for (int k = 0; k < i; ++k) t = "s(" + t + ")";
+  return t;
+}
+
+std::string GameChain(int length) {
+  std::string src = "win(X) :- move(X, Y), not win(Y).\n";
+  for (int i = 1; i < length; ++i) {
+    src += StrCat("move(n", i, ", n", i + 1, ").\n");
+  }
+  return src;
+}
+
+std::string GameCycleWithTail(int cycle, int tail) {
+  std::string src = "win(X) :- move(X, Y), not win(Y).\n";
+  for (int i = 0; i < cycle; ++i) {
+    src += StrCat("move(c", i, ", c", (i + 1) % cycle, ").\n");
+  }
+  src += StrCat("move(c0, t1).\n");
+  for (int i = 1; i < tail; ++i) {
+    src += StrCat("move(t", i, ", t", i + 1, ").\n");
+  }
+  return src;
+}
+
+std::string RandomGame(Rng& rng, int n, int edge_pct) {
+  std::string src = "win(X) :- move(X, Y), not win(Y).\n";
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i != j && rng.Chance(static_cast<uint64_t>(edge_pct), 100)) {
+        src += StrCat("move(n", i, ", n", j, ").\n");
+      }
+    }
+  }
+  return src;
+}
+
+std::string GameGrid(int w, int h) {
+  std::string src = "win(X) :- move(X, Y), not win(Y).\n";
+  for (int x = 0; x < w; ++x) {
+    for (int y = 0; y < h; ++y) {
+      if (x + 1 < w) {
+        src += StrCat("move(g", x, "_", y, ", g", x + 1, "_", y, ").\n");
+      }
+      if (y + 1 < h) {
+        src += StrCat("move(g", x, "_", y, ", g", x, "_", y + 1, ").\n");
+      }
+    }
+  }
+  return src;
+}
+
+std::string RandomPropositional(Rng& rng, int num_preds, int num_rules,
+                                int max_body) {
+  std::string src;
+  for (int r = 0; r < num_rules; ++r) {
+    int head = rng.UniformInt(0, num_preds - 1);
+    int body_len = rng.UniformInt(0, max_body);
+    src += StrCat("p", head);
+    if (body_len > 0) {
+      src += " :- ";
+      for (int i = 0; i < body_len; ++i) {
+        if (i > 0) src += ", ";
+        if (rng.Chance(2, 5)) src += "not ";
+        src += StrCat("p", rng.UniformInt(0, num_preds - 1));
+      }
+    }
+    src += ".\n";
+  }
+  return src;
+}
+
+std::string ReachabilityWithNegation(Rng& rng, int n, int edge_pct) {
+  std::string src =
+      "reach(X, Y) :- edge(X, Y).\n"
+      "reach(X, Y) :- edge(X, Z), reach(Z, Y).\n"
+      "node(X) :- edge(X, Y).\n"
+      "node(Y) :- edge(X, Y).\n"
+      "unreachable(X, Y) :- node(X), node(Y), not reach(X, Y).\n";
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i != j && rng.Chance(static_cast<uint64_t>(edge_pct), 100)) {
+        src += StrCat("edge(v", i, ", v", j, ").\n");
+      }
+    }
+  }
+  return src;
+}
+
+}  // namespace gsls::workload

@@ -1,0 +1,49 @@
+#ifndef GSLS_WORKLOAD_GENERATORS_H_
+#define GSLS_WORKLOAD_GENERATORS_H_
+
+#include <string>
+
+#include "util/rng.h"
+
+namespace gsls::workload {
+
+/// Source text of Example 3.1 (Van Gelder's ordinal program; Figures 1-4).
+/// `0` plays the ordinal w; integers i are s^i(0).
+const char* VanGelderProgram();
+
+/// Source text of Example 3.2 (positivistic-rule counterexample):
+/// M_WF = {s, not p, not q, not r}.
+const char* Example32Program();
+
+/// Source text of Example 3.3 (negatively-parallel counterexample):
+/// M_WF contains {s, not q}; the p(f^k(a)) family is undefined.
+const char* Example33Program();
+
+/// `s^i(0)` as source text.
+std::string IntTerm(int i);
+
+/// win/move game on a simple chain n1 -> n2 -> ... -> nK (alternating
+/// won/lost, stage depth K).
+std::string GameChain(int length);
+
+/// win/move game on a cycle of length K plus a tail escape (mixes won,
+/// lost, and drawn positions).
+std::string GameCycleWithTail(int cycle, int tail);
+
+/// Random win/move game over `n` nodes with edge probability `edge_pct`%.
+std::string RandomGame(Rng& rng, int n, int edge_pct);
+
+/// win/move game on a w x h grid, moves right/down (long stage chains).
+std::string GameGrid(int w, int h);
+
+/// Random propositional normal program.
+std::string RandomPropositional(Rng& rng, int num_preds, int num_rules,
+                                int max_body);
+
+/// Transitive closure with negated complement over a random digraph:
+/// stratified two-layer program (reach + unreachable).
+std::string ReachabilityWithNegation(Rng& rng, int n, int edge_pct);
+
+}  // namespace gsls::workload
+
+#endif  // GSLS_WORKLOAD_GENERATORS_H_

@@ -1,0 +1,145 @@
+#include "analysis/dependency_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+
+namespace gsls {
+namespace {
+
+using testing::Fixture;
+
+FunctorId Pred(Fixture& f, std::string_view name, uint32_t arity) {
+  return f.store.symbols().FindFunctor(name, arity);
+}
+
+TEST(DependencyGraphTest, EdgesCarrySigns) {
+  Fixture f("p :- q, not r.");
+  DependencyGraph g(f.program);
+  ASSERT_EQ(g.edges().size(), 2u);
+  EXPECT_TRUE(g.edges()[0].positive);
+  EXPECT_FALSE(g.edges()[1].positive);
+  EXPECT_EQ(g.predicates().size(), 3u);
+}
+
+TEST(DependencyGraphTest, SccGroupsMutualRecursion) {
+  Fixture f(
+      "p :- q. q :- p.\n"
+      "r :- p.\n");
+  DependencyGraph g(f.program);
+  auto comps = g.StronglyConnectedComponents();
+  auto ids = g.ComponentIds();
+  EXPECT_EQ(ids[Pred(f, "p", 0)], ids[Pred(f, "q", 0)]);
+  EXPECT_NE(ids[Pred(f, "p", 0)], ids[Pred(f, "r", 0)]);
+  // Reverse topological: callees first.
+  EXPECT_LT(ids[Pred(f, "p", 0)], ids[Pred(f, "r", 0)]);
+}
+
+TEST(DependencyGraphTest, NegativeCycleDetection) {
+  Fixture f1("p :- not q. q :- p.");
+  EXPECT_TRUE(DependencyGraph(f1.program).HasNegativeCycle());
+  Fixture f2("p :- not q. q :- r.");
+  EXPECT_FALSE(DependencyGraph(f2.program).HasNegativeCycle());
+}
+
+TEST(DependencyGraphTest, AcyclicityChecks) {
+  Fixture chain("p :- q. q :- r. r.");
+  EXPECT_TRUE(DependencyGraph(chain.program).IsAcyclic());
+  Fixture self("p :- p.");
+  EXPECT_FALSE(DependencyGraph(self.program).IsAcyclic());
+  Fixture rec("t(X, Y) :- e(X, Z), t(Z, Y).");
+  EXPECT_FALSE(DependencyGraph(rec.program).IsAcyclic());
+}
+
+TEST(DependencyGraphTest, Reachability) {
+  Fixture f(
+      "p :- q. q :- r. s :- t.\n"
+      "r. t.\n");
+  DependencyGraph g(f.program);
+  auto reach = g.ReachableFrom({Pred(f, "p", 0)});
+  EXPECT_TRUE(reach.count(Pred(f, "q", 0)));
+  EXPECT_TRUE(reach.count(Pred(f, "r", 0)));
+  EXPECT_FALSE(reach.count(Pred(f, "s", 0)));
+  EXPECT_FALSE(reach.count(Pred(f, "t", 0)));
+}
+
+TEST(StratifyTest, StratifiedProgramGetsLayers) {
+  Fixture f(
+      "e(a, b).\n"
+      "t(X, Y) :- e(X, Y).\n"
+      "t(X, Y) :- e(X, Z), t(Z, Y).\n"
+      "nt(X, Y) :- v(X), v(Y), not t(X, Y).\n"
+      "v(a). v(b).\n");
+  Stratification s = Stratify(f.program);
+  ASSERT_TRUE(s.stratified);
+  EXPECT_EQ(s.strata[Pred(f, "e", 2)], 0);
+  EXPECT_EQ(s.strata[Pred(f, "t", 2)], 0);
+  EXPECT_EQ(s.strata[Pred(f, "nt", 2)], 1);
+  EXPECT_EQ(s.stratum_count, 2);
+}
+
+TEST(StratifyTest, RecursionThroughNegationRejected) {
+  Fixture f("win(X) :- move(X, Y), not win(Y). move(a, b).");
+  Stratification s = Stratify(f.program);
+  EXPECT_FALSE(s.stratified);
+}
+
+TEST(StratifyTest, MultiLayerStrata) {
+  Fixture f(
+      "a.\n"
+      "b :- not a.\n"
+      "c :- not b.\n"
+      "d :- not c, b.\n");
+  Stratification s = Stratify(f.program);
+  ASSERT_TRUE(s.stratified);
+  EXPECT_EQ(s.strata[Pred(f, "a", 0)], 0);
+  EXPECT_EQ(s.strata[Pred(f, "b", 0)], 1);
+  EXPECT_EQ(s.strata[Pred(f, "c", 0)], 2);
+  EXPECT_EQ(s.strata[Pred(f, "d", 0)], 3);
+  EXPECT_EQ(s.stratum_count, 4);
+}
+
+TEST(StratifyTest, PositiveRecursionStaysInOneStratum) {
+  Fixture f("t(X,Y) :- e(X,Y). t(X,Y) :- e(X,Z), t(Z,Y). e(a,b).");
+  Stratification s = Stratify(f.program);
+  ASSERT_TRUE(s.stratified);
+  EXPECT_EQ(s.stratum_count, 1);
+}
+
+TEST(GroundAnalysisTest, LocalStratificationOnGroundPrograms) {
+  // Stratified at the atom level even though predicate-level analysis says
+  // no: even/odd alternation on a finite chain.
+  Fixture f(
+      "even(z).\n"
+      "even(s(X)) :- not even(X).\n");
+  Stratification s = Stratify(f.program);
+  EXPECT_FALSE(s.stratified);  // predicate-level: even depends on not even
+  GroundProgram gp = testing::MustGround(f.program, /*term_depth=*/4);
+  EXPECT_TRUE(gp.IsLocallyStratified());  // atom-level: even(s(x)) < even(x)
+}
+
+TEST(GroundAnalysisTest, NegativeAtomCycleNotLocallyStratified) {
+  Fixture f("p :- not q. q :- not p.");
+  GroundProgram gp = testing::MustGround(f.program);
+  EXPECT_FALSE(gp.IsLocallyStratified());
+}
+
+TEST(GroundAnalysisTest, AtomAcyclicity) {
+  Fixture chain("p :- q. q :- r. r.");
+  EXPECT_TRUE(testing::MustGround(chain.program).IsAtomAcyclic());
+  // The loops below need a seed fact: the relevant grounder drops rules
+  // whose positive bodies can never be derived.
+  Fixture loop("p :- q. q :- p. p.");
+  EXPECT_FALSE(testing::MustGround(loop.program).IsAtomAcyclic());
+  Fixture self("p :- p. p.");
+  EXPECT_FALSE(testing::MustGround(self.program).IsAtomAcyclic());
+  // Brute-force instantiation keeps underivable rules and sees the cycle.
+  Fixture pure_loop("p :- q. q :- p.");
+  Result<GroundProgram> full =
+      FullyInstantiate(pure_loop.program, GroundingOptions{});
+  ASSERT_TRUE(full.ok());
+  EXPECT_FALSE(full->IsAtomAcyclic());
+}
+
+}  // namespace
+}  // namespace gsls

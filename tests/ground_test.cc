@@ -1,0 +1,203 @@
+#include "ground/grounder.h"
+
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+#include "wfs/wfs.h"
+
+namespace gsls {
+namespace {
+
+using testing::Fixture;
+
+TEST(HerbrandTest, ConstantsOnly) {
+  Fixture f("p(a, b). q(c).");
+  Result<std::vector<const Term*>> u =
+      EnumerateUniverse(f.program, UniverseOptions{});
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u->size(), 3u);
+}
+
+TEST(HerbrandTest, SyntheticConstantWhenNone) {
+  Fixture f("p :- q.");
+  Result<std::vector<const Term*>> u =
+      EnumerateUniverse(f.program, UniverseOptions{});
+  ASSERT_TRUE(u.ok());
+  ASSERT_EQ(u->size(), 1u);
+  EXPECT_EQ(f.store.ToString(u->front()), "$k");
+}
+
+TEST(HerbrandTest, DepthBoundedWithFunctions) {
+  Fixture f("p(s(z)).");
+  UniverseOptions opts;
+  opts.max_term_depth = 3;
+  Result<std::vector<const Term*>> u = EnumerateUniverse(f.program, opts);
+  ASSERT_TRUE(u.ok());
+  // z, s(z), s(s(z)).
+  EXPECT_EQ(u->size(), 3u);
+  EXPECT_EQ(u->back()->depth(), 3u);
+}
+
+TEST(HerbrandTest, BinaryFunctionGrowth) {
+  Fixture f("p(f(a, b)).");
+  UniverseOptions opts;
+  opts.max_term_depth = 2;
+  Result<std::vector<const Term*>> u = EnumerateUniverse(f.program, opts);
+  ASSERT_TRUE(u.ok());
+  // a, b, f(a,a), f(a,b), f(b,a), f(b,b).
+  EXPECT_EQ(u->size(), 6u);
+}
+
+TEST(HerbrandTest, CapEnforced) {
+  Fixture f("p(f(a, b)).");
+  UniverseOptions opts;
+  opts.max_term_depth = 5;
+  opts.max_terms = 100;
+  Result<std::vector<const Term*>> u = EnumerateUniverse(f.program, opts);
+  EXPECT_FALSE(u.ok());
+  EXPECT_EQ(u.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(GrounderTest, InstantiatesFactsAndRules) {
+  Fixture f(
+      "e(a, b). e(b, c).\n"
+      "t(X, Y) :- e(X, Y).\n"
+      "t(X, Y) :- e(X, Z), t(Z, Y).\n");
+  GroundProgram gp = testing::MustGround(f.program);
+  // Facts 2, t-base 2, t-trans: e(a,b)+t(b,c) and chains.
+  EXPECT_GT(gp.rule_count(), 4u);
+  EXPECT_TRUE(gp.FindAtom(MustParseTerm(f.store, "t(a, c)")).has_value());
+  // Irrelevant instantiations (e.g. t(c, a)) are not derivable and thus
+  // should not appear as rule heads.
+  auto tca = gp.FindAtom(MustParseTerm(f.store, "t(c, a)"));
+  if (tca.has_value()) {
+    EXPECT_TRUE(gp.RulesFor(*tca).empty());
+  }
+}
+
+TEST(GrounderTest, NegativeLiteralsAreInstantiated) {
+  Fixture f(
+      "win(X) :- move(X, Y), not win(Y).\n"
+      "move(a, b).\n");
+  GroundProgram gp = testing::MustGround(f.program);
+  auto win_b = gp.FindAtom(MustParseTerm(f.store, "win(b)"));
+  ASSERT_TRUE(win_b.has_value());
+  // win(b) appears negatively but has no rules (no move from b).
+  EXPECT_TRUE(gp.RulesFor(*win_b).empty());
+}
+
+TEST(GrounderTest, NonRangeRestrictedEnumeratesUniverse) {
+  Fixture f("p(X) :- not q(X). q(a). r(b).");
+  GroundProgram gp = testing::MustGround(f.program);
+  // X in p(X) :- not q(X) must range over {a, b}.
+  EXPECT_TRUE(gp.FindAtom(MustParseTerm(f.store, "p(a)")).has_value());
+  EXPECT_TRUE(gp.FindAtom(MustParseTerm(f.store, "p(b)")).has_value());
+}
+
+TEST(GrounderTest, AgreesWithFullInstantiationOnWfs) {
+  // The relevant grounding must yield the same well-founded truth values
+  // as the brute-force Herbrand instantiation, for every atom the full
+  // instantiation registers.
+  Rng rng(555);
+  for (int trial = 0; trial < 25; ++trial) {
+    std::string src = testing::RandomGameProgram(rng, 4, 40);
+    Fixture f(src);
+    GroundingOptions opts;
+    GroundProgram relevant = testing::MustGround(f.program);
+    Result<GroundProgram> full = FullyInstantiate(f.program, opts);
+    ASSERT_TRUE(full.ok());
+    WfsModel m_rel = ComputeWfs(relevant);
+    WfsModel m_full = ComputeWfs(full.value());
+    for (AtomId a = 0; a < full->atom_count(); ++a) {
+      const Term* atom = full->AtomTerm(a);
+      TruthValue full_value = m_full.model.Value(a);
+      auto rel_id = relevant.FindAtom(atom);
+      TruthValue rel_value = rel_id.has_value()
+                                 ? m_rel.model.Value(*rel_id)
+                                 : TruthValue::kFalse;
+      EXPECT_EQ(full_value, rel_value)
+          << f.store.ToString(atom) << " in\n"
+          << src;
+    }
+  }
+}
+
+TEST(GrounderTest, RuleDeduplication) {
+  Fixture f("p :- q. p :- q. q.");
+  GroundProgram gp = testing::MustGround(f.program);
+  EXPECT_EQ(gp.rule_count(), 2u);
+}
+
+TEST(GrounderTest, BodyLiteralDeduplication) {
+  Fixture f("p :- q, q, not r, not r. q.");
+  GroundProgram gp = testing::MustGround(f.program);
+  for (const GroundRule& r : gp.rules()) {
+    if (r.pos.size() + r.neg.size() > 0 && !r.neg.empty()) {
+      EXPECT_EQ(r.pos.size(), 1u);
+      EXPECT_EQ(r.neg.size(), 1u);
+    }
+  }
+}
+
+TEST(GrounderTest, CapsAreEnforced) {
+  Fixture f("p(X, Y, Z) :- not q(X, Y, Z). q(a, a, a). c(b). c(d). c(e).");
+  GroundingOptions opts;
+  opts.max_rules = 10;
+  Result<GroundProgram> gp = GroundRelevant(f.program, opts);
+  EXPECT_FALSE(gp.ok());
+  EXPECT_EQ(gp.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(RestrictTest, KeepsOnlyReachableRules) {
+  Fixture f(
+      "win(X) :- move(X, Y), not win(Y).\n"
+      "move(a, b). move(b, c).\n"
+      "move(x, y).\n");  // disconnected component
+  GroundProgram gp = testing::MustGround(f.program);
+  GroundProgram restricted =
+      RestrictToRelevant(gp, {MustParseTerm(f.store, "win(a)")});
+  EXPECT_TRUE(restricted.FindAtom(MustParseTerm(f.store, "win(b)")));
+  EXPECT_FALSE(restricted.FindAtom(MustParseTerm(f.store, "win(x)")));
+  EXPECT_LT(restricted.rule_count(), gp.rule_count());
+  // Restriction preserves well-founded values on kept atoms (relevance).
+  WfsModel full = ComputeWfs(gp);
+  WfsModel sub = ComputeWfs(restricted);
+  for (AtomId a = 0; a < restricted.atom_count(); ++a) {
+    const Term* atom = restricted.AtomTerm(a);
+    EXPECT_EQ(sub.model.Value(a), full.model.Value(*gp.FindAtom(atom)))
+        << f.store.ToString(atom);
+  }
+}
+
+TEST(RestrictTest, NongroundRootMatchesAllInstances) {
+  Fixture f(
+      "win(X) :- move(X, Y), not win(Y).\n"
+      "move(a, b). move(x, y).\n");
+  GroundProgram gp = testing::MustGround(f.program);
+  GroundProgram restricted =
+      RestrictToRelevant(gp, {MustParseTerm(f.store, "win(Z)")});
+  EXPECT_TRUE(restricted.FindAtom(MustParseTerm(f.store, "win(a)")));
+  EXPECT_TRUE(restricted.FindAtom(MustParseTerm(f.store, "win(x)")));
+}
+
+TEST(GroundProgramTest, OccurrenceIndexes) {
+  Fixture f("p :- q, not r. s :- q. q.");
+  GroundProgram gp = testing::MustGround(f.program);
+  auto q = gp.FindAtom(MustParseTerm(f.store, "q"));
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(gp.PositiveOccurrences(*q).size(), 2u);
+  auto r = gp.FindAtom(MustParseTerm(f.store, "r"));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(gp.NegativeOccurrences(*r).size(), 1u);
+}
+
+TEST(GroundProgramTest, ToStringRendersRules) {
+  Fixture f("p :- q, not r. q.");
+  GroundProgram gp = testing::MustGround(f.program);
+  std::string s = gp.ToString();
+  EXPECT_NE(s.find("p :- q, not r."), std::string::npos);
+  EXPECT_NE(s.find("q.\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gsls

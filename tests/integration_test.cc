@@ -1,0 +1,172 @@
+// End-to-end flows across every layer: parse -> analyze -> transform ->
+// ground -> fixpoints -> both query engines -> baselines.
+
+#include <gtest/gtest.h>
+
+#include "analysis/dependency_graph.h"
+#include "core/engine.h"
+#include "core/global_tree.h"
+#include "core/tabled.h"
+#include "lang/transforms.h"
+#include "sldnf/sldnf.h"
+#include "stable/stable.h"
+#include "test_support.h"
+#include "wfs/perfect.h"
+#include "wfs/wfs.h"
+#include "workload/generators.h"
+
+namespace gsls {
+namespace {
+
+using testing::Fixture;
+
+TEST(IntegrationTest, FullPipelineOnGameProgram) {
+  Fixture f(workload::GameCycleWithTail(4, 3));
+  // Analysis: recursion through negation at predicate level.
+  EXPECT_FALSE(Stratify(f.program).stratified);
+  // Grounding + fixpoints.
+  GroundProgram gp = testing::MustGround(f.program);
+  WfsModel wfs = ComputeWfs(gp);
+  WfsModel alt = ComputeWfsAlternating(gp);
+  EXPECT_EQ(wfs.model, alt.model);
+  // Both engines agree with the model on every atom.
+  GlobalSlsEngine search(f.program);
+  Result<TabledEngine> tabled = TabledEngine::Create(f.program);
+  ASSERT_TRUE(tabled.ok());
+  for (AtomId a = 0; a < gp.atom_count(); ++a) {
+    const Term* atom = gp.AtomTerm(a);
+    EXPECT_EQ(search.StatusOf(atom), tabled->StatusOf(atom))
+        << f.store.ToString(atom);
+  }
+}
+
+TEST(IntegrationTest, VanGelderExampleEndToEnd) {
+  Fixture f(workload::VanGelderProgram());
+  // Not stratified, has function symbols.
+  EXPECT_FALSE(Stratify(f.program).stratified);
+  EXPECT_FALSE(f.program.IsFunctionFree());
+  // Search engine determines w(i)/u(i) for finite i.
+  EngineOptions opts;
+  opts.max_negation_depth = 40;
+  GlobalSlsEngine engine(f.program, opts);
+  for (int i = 1; i <= 5; ++i) {
+    std::string wi = "w(" + workload::IntTerm(i) + ")";
+    std::string ui = "u(" + workload::IntTerm(i) + ")";
+    EXPECT_EQ(engine.StatusOf(MustParseTerm(f.store, wi)),
+              GoalStatus::kSuccessful)
+        << wi;
+    EXPECT_EQ(engine.StatusOf(MustParseTerm(f.store, ui)),
+              GoalStatus::kFailed)
+        << ui;
+  }
+  // Depth-bounded tabled evaluation agrees on goals within the bound.
+  TabledOptions topts;
+  topts.grounding.universe.max_term_depth = 10;
+  Result<TabledEngine> tabled = TabledEngine::Create(f.program, topts);
+  ASSERT_TRUE(tabled.ok());
+  for (int i = 1; i <= 3; ++i) {
+    std::string wi = "w(" + workload::IntTerm(i) + ")";
+    EXPECT_EQ(tabled->StatusOf(MustParseTerm(f.store, wi)),
+              GoalStatus::kSuccessful)
+        << wi;
+  }
+}
+
+TEST(IntegrationTest, GuardedProgramNeverFlounders) {
+  Fixture f("p(X) :- not q(X). q(a). r(b).");
+  Program guarded = AddTermGuard(f.program);
+  GlobalSlsEngine engine(guarded);
+  Goal goal = GuardGoal(guarded, f.store, MustParseQuery(f.store, "p(X)"));
+  QueryResult r = engine.Solve(goal);
+  EXPECT_EQ(r.status, GoalStatus::kSuccessful);
+  EXPECT_FALSE(r.floundered_somewhere);
+  EXPECT_EQ(r.answers.size(), 1u);  // X = b
+}
+
+TEST(IntegrationTest, StratifiedPipelineAllModelCharacterizationsAgree) {
+  Rng rng(0xF00D);
+  std::string src = workload::ReachabilityWithNegation(rng, 6, 30);
+  Fixture f(src);
+  Stratification strat = Stratify(f.program);
+  ASSERT_TRUE(strat.stratified);
+  GroundProgram gp = testing::MustGround(f.program);
+  WfsModel wfs = ComputeWfs(gp);
+  ASSERT_TRUE(wfs.model.IsTotal());
+  Result<Interpretation> perfect = ComputePerfectModel(gp, strat);
+  ASSERT_TRUE(perfect.ok());
+  EXPECT_EQ(wfs.model, perfect.value());
+  if (gp.atom_count() <= 24) {
+    Result<std::vector<DenseBitset>> stable = EnumerateStableModels(gp);
+    ASSERT_TRUE(stable.ok());
+    ASSERT_EQ(stable->size(), 1u);
+    for (AtomId a = 0; a < gp.atom_count(); ++a) {
+      EXPECT_EQ(stable->front().Test(a), wfs.model.IsTrue(a));
+    }
+  }
+}
+
+TEST(IntegrationTest, SldnfAgreesWithSlsOnAcyclicPrograms) {
+  Fixture f(
+      "a :- b, not c.\n"
+      "b :- d.\n"
+      "c :- not d.\n"
+      "d.\n"
+      "e :- not a.\n");
+  EXPECT_TRUE(DependencyGraph(f.program).IsAcyclic());
+  GlobalSlsEngine sls(f.program);
+  SldnfEngine sldnf(f.program);
+  GroundProgram gp = testing::MustGround(f.program);
+  for (AtomId x = 0; x < gp.atom_count(); ++x) {
+    const Term* atom = gp.AtomTerm(x);
+    EXPECT_EQ(sls.StatusOf(atom), sldnf.SolveAtom(atom).status)
+        << f.store.ToString(atom);
+  }
+}
+
+TEST(IntegrationTest, GlobalTreeAndEngineAndModelAgreeOnExample32) {
+  Fixture f(workload::Example32Program());
+  GroundProgram gp = testing::MustGround(f.program);
+  WfsModel wfs = ComputeWfs(gp);
+  GlobalSlsEngine engine(f.program);
+  for (AtomId a = 0; a < gp.atom_count(); ++a) {
+    const Term* atom = gp.AtomTerm(a);
+    GlobalTree tree = GlobalTree::Build(f.program, Goal{Literal::Pos(atom)});
+    GoalStatus expect = wfs.model.IsTrue(a)    ? GoalStatus::kSuccessful
+                        : wfs.model.IsFalse(a) ? GoalStatus::kFailed
+                                               : GoalStatus::kIndeterminate;
+    EXPECT_EQ(engine.StatusOf(atom), expect) << f.store.ToString(atom);
+    EXPECT_EQ(tree.status(), expect) << f.store.ToString(atom);
+  }
+}
+
+TEST(IntegrationTest, LargeChainScalesLinearly) {
+  Fixture f(workload::GameChain(400));
+  Result<TabledEngine> tabled = TabledEngine::Create(f.program);
+  ASSERT_TRUE(tabled.ok());
+  // n400 is terminal (lost); n1 is 399 moves away — odd distance wins.
+  EXPECT_EQ(tabled->StatusOf(MustParseTerm(f.store, "win(n1)")),
+            GoalStatus::kSuccessful);
+  EXPECT_GE(tabled->stages().iterations, 400u);
+}
+
+TEST(IntegrationTest, AugmentationPreservesOriginalAtoms) {
+  Rng rng(0x1DEA);
+  for (int t = 0; t < 10; ++t) {
+    std::string src = workload::RandomGame(rng, 4, 40);
+    Fixture f(src);
+    Program aug = AugmentProgram(f.program);
+    Result<TabledEngine> base = TabledEngine::Create(f.program);
+    Result<TabledEngine> augmented = TabledEngine::Create(aug);
+    ASSERT_TRUE(base.ok());
+    ASSERT_TRUE(augmented.ok());
+    const GroundProgram& gp = base->ground();
+    for (AtomId a = 0; a < gp.atom_count(); ++a) {
+      const Term* atom = gp.AtomTerm(a);
+      EXPECT_EQ(base->ValueOf(atom), augmented->ValueOf(atom))
+          << f.store.ToString(atom) << " in\n" << src;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gsls

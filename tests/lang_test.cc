@@ -1,0 +1,231 @@
+#include "lang/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "lang/lexer.h"
+#include "lang/transforms.h"
+#include "test_support.h"
+
+namespace gsls {
+namespace {
+
+using testing::Fixture;
+
+TEST(LexerTest, TokenizesCoreSyntax) {
+  Result<std::vector<Token>> r = Lex("p(X) :- q, not r(a). % comment\n?- p.");
+  ASSERT_TRUE(r.ok());
+  std::vector<TokenKind> kinds;
+  for (const Token& t : r.value()) kinds.push_back(t.kind);
+  std::vector<TokenKind> expected = {
+      TokenKind::kName,   TokenKind::kLParen, TokenKind::kVariable,
+      TokenKind::kRParen, TokenKind::kImplies, TokenKind::kName,
+      TokenKind::kComma,  TokenKind::kNot,    TokenKind::kName,
+      TokenKind::kLParen, TokenKind::kName,   TokenKind::kRParen,
+      TokenKind::kDot,    TokenKind::kQuery,  TokenKind::kName,
+      TokenKind::kDot,    TokenKind::kEof};
+  EXPECT_EQ(kinds, expected);
+}
+
+TEST(LexerTest, TracksPositions) {
+  Result<std::vector<Token>> r = Lex("p.\nq.");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()[0].line, 1);
+  EXPECT_EQ(r.value()[2].line, 2);
+}
+
+TEST(LexerTest, BackslashPlusIsNot) {
+  Result<std::vector<Token>> r = Lex("p :- \\+ q.");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()[2].kind, TokenKind::kNot);
+}
+
+TEST(LexerTest, QuotedAtoms) {
+  Result<std::vector<Token>> r = Lex("'Strange Atom'('it''s').");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value()[0].kind, TokenKind::kName);
+  EXPECT_EQ(r.value()[0].text, "Strange Atom");
+  EXPECT_EQ(r.value()[2].text, "it's");
+}
+
+TEST(LexerTest, RejectsGarbage) {
+  EXPECT_FALSE(Lex("p :- q @ r.").ok());
+  EXPECT_FALSE(Lex("'unterminated").ok());
+}
+
+TEST(ParserTest, ParsesFactsRulesAndQueries) {
+  TermStore store;
+  Result<Program> p = ParseProgram(store,
+                                   "e(a, b).\n"
+                                   "t(X, Y) :- e(X, Y).\n"
+                                   "t(X, Y) :- e(X, Z), t(Z, Y).\n");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->size(), 3u);
+  EXPECT_TRUE(p->clauses()[0].IsFact());
+  EXPECT_EQ(p->clauses()[2].body.size(), 2u);
+}
+
+TEST(ParserTest, SharedVariablesWithinClause) {
+  TermStore store;
+  Program p = MustParseProgram(store, "p(X, X) :- q(X).");
+  const Clause& c = p.clauses()[0];
+  EXPECT_EQ(c.head->arg(0), c.head->arg(1));
+  EXPECT_EQ(c.head->arg(0), c.body[0].atom->arg(0));
+  EXPECT_EQ(c.Variables().size(), 1u);
+}
+
+TEST(ParserTest, VariablesNotSharedAcrossClauses) {
+  TermStore store;
+  Program p = MustParseProgram(store, "p(X). q(X).");
+  EXPECT_NE(p.clauses()[0].head->arg(0), p.clauses()[1].head->arg(0));
+}
+
+TEST(ParserTest, AnonymousVariableAlwaysFresh) {
+  TermStore store;
+  Program p = MustParseProgram(store, "p(_, _).");
+  EXPECT_NE(p.clauses()[0].head->arg(0), p.clauses()[0].head->arg(1));
+}
+
+TEST(ParserTest, NegationForms) {
+  TermStore store;
+  Program p = MustParseProgram(store, "p :- not q, \\+ r, not (s).");
+  ASSERT_EQ(p.clauses()[0].body.size(), 3u);
+  for (const Literal& l : p.clauses()[0].body) EXPECT_FALSE(l.positive);
+}
+
+TEST(ParserTest, IntegersAreConstants) {
+  TermStore store;
+  Program p = MustParseProgram(store, "age(tom, 42).");
+  EXPECT_EQ(store.ToString(p.clauses()[0].head), "age(tom,42)");
+}
+
+TEST(ParserTest, ErrorsCarryPositions) {
+  TermStore store;
+  Result<Program> r = ParseProgram(store, "p :- q\nr.");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(ParserTest, RejectsVariableAsAtom) {
+  TermStore store;
+  EXPECT_FALSE(ParseProgram(store, "X :- p.").ok());
+  EXPECT_FALSE(ParseProgram(store, "p :- X.").ok());
+}
+
+TEST(ParserTest, QueryParsing) {
+  TermStore store;
+  Goal g = MustParseQuery(store, "?- p(X), not q(X).");
+  ASSERT_EQ(g.size(), 2u);
+  EXPECT_TRUE(g[0].positive);
+  EXPECT_FALSE(g[1].positive);
+  // Shared variable across query literals.
+  EXPECT_EQ(g[0].atom->arg(0), g[1].atom->arg(0));
+}
+
+TEST(ParserTest, QueryWithoutPrefixOrDot) {
+  TermStore store;
+  Goal g = MustParseQuery(store, "p(a)");
+  ASSERT_EQ(g.size(), 1u);
+}
+
+TEST(PrinterTest, RoundTripsPrograms) {
+  const char* sources[] = {
+      "p.",
+      "p(a, b).",
+      "p(X) :- q(X), not r(X).",
+      "t(X, Y) :- e(X, Z), t(Z, Y).",
+      "w(X) :- not u(X).",
+      "e(s(0), s(s(0))).",
+      "u(X) :- e(Y, X), not w(Y).",
+  };
+  for (const char* src : sources) {
+    TermStore store1;
+    Program p1 = MustParseProgram(store1, src);
+    std::string printed = p1.ToString();
+    TermStore store2;
+    Program p2 = MustParseProgram(store2, printed);
+    EXPECT_EQ(printed, p2.ToString()) << "source: " << src;
+  }
+}
+
+TEST(ClauseTest, RenameApartPreservesStructure) {
+  TermStore store;
+  Program p = MustParseProgram(store, "p(X, Y) :- q(X), not r(Y, X).");
+  const Clause& original = p.clauses()[0];
+  Clause renamed = RenameApart(store, original);
+  EXPECT_NE(renamed.head->arg(0), original.head->arg(0));
+  // Shared structure must be preserved.
+  EXPECT_EQ(renamed.head->arg(0), renamed.body[0].atom->arg(0));
+  EXPECT_EQ(renamed.head->arg(0), renamed.body[1].atom->arg(1));
+  EXPECT_EQ(renamed.ToString(store).substr(0, 2),
+            original.ToString(store).substr(0, 2));
+}
+
+TEST(ClauseTest, RangeRestriction) {
+  TermStore store;
+  Program p = MustParseProgram(store,
+                               "p(X) :- q(X).\n"
+                               "p(X) :- q(Y).\n"
+                               "p(X) :- q(X), not r(X).\n"
+                               "p(X) :- not r(X).\n");
+  EXPECT_TRUE(IsRangeRestricted(p.clauses()[0]));
+  EXPECT_FALSE(IsRangeRestricted(p.clauses()[1]));
+  EXPECT_TRUE(IsRangeRestricted(p.clauses()[2]));
+  EXPECT_FALSE(IsRangeRestricted(p.clauses()[3]));
+}
+
+TEST(ProgramTest, SymbolInventory) {
+  Fixture f("p(a, f(b)) :- q(g(a, c)).");
+  auto constants = f.program.Constants();
+  EXPECT_EQ(constants.size(), 3u);  // a, b, c
+  auto funcs = f.program.FunctionSymbols();
+  EXPECT_EQ(funcs.size(), 2u);  // f/1, g/2
+  EXPECT_FALSE(f.program.IsFunctionFree());
+  Fixture datalog("p(a) :- q(a, b).");
+  EXPECT_TRUE(datalog.program.IsFunctionFree());
+}
+
+TEST(ProgramTest, ClauseIndexByPredicate) {
+  Fixture f("p(a). p(b). q :- p(a).");
+  FunctorId p1 = f.store.symbols().FindFunctor("p", 1);
+  EXPECT_EQ(f.program.ClausesFor(p1).size(), 2u);
+  FunctorId q0 = f.store.symbols().FindFunctor("q", 0);
+  EXPECT_EQ(f.program.ClausesFor(q0).size(), 1u);
+  EXPECT_EQ(f.program.ClausesFor(kInvalidFunctor - 1).size(), 0u);
+}
+
+TEST(TransformTest, AugmentAddsFreshSymbols) {
+  Fixture f("p(a).");
+  Program aug = AugmentProgram(f.program);
+  EXPECT_EQ(aug.size(), f.program.size() + 1);
+  // The augmented clause mentions none of P's symbols and adds one
+  // constant and one function symbol to the universe.
+  EXPECT_EQ(aug.Constants().size(), 2u);
+  EXPECT_EQ(aug.FunctionSymbols().size(), 1u);
+}
+
+TEST(TransformTest, TermGuardMakesRangeRestricted) {
+  Fixture f("p(X) :- not q(X). q(a).");
+  EXPECT_FALSE(f.program.IsRangeRestricted());
+  Program guarded = AddTermGuard(f.program);
+  EXPECT_TRUE(guarded.IsRangeRestricted());
+  // Guarded program defines term/1 for each constant.
+  FunctorId term1 = f.store.symbols().FindFunctor(kTermGuardName, 1);
+  ASSERT_NE(term1, kInvalidFunctor);
+  EXPECT_GE(guarded.ClausesFor(term1).size(), 1u);
+}
+
+TEST(TransformTest, TermGuardCoversFunctionSymbols) {
+  Fixture f("p(X) :- not q(f(X)). q(a).");
+  Program guarded = AddTermGuard(f.program);
+  // term(a) fact plus term(f(X)) :- term(X) rule.
+  FunctorId term1 = f.store.symbols().FindFunctor(kTermGuardName, 1);
+  EXPECT_EQ(guarded.ClausesFor(term1).size(), 2u);
+  Goal goal = MustParseQuery(f.store, "p(X)");
+  Goal guarded_goal = GuardGoal(guarded, f.store, goal);
+  EXPECT_EQ(guarded_goal.size(), 2u);
+  EXPECT_TRUE(guarded_goal[1].positive);
+}
+
+}  // namespace
+}  // namespace gsls

@@ -1,0 +1,138 @@
+#include "core/ordinal.h"
+
+#include <gtest/gtest.h>
+
+namespace gsls {
+namespace {
+
+TEST(OrdinalTest, ZeroBasics) {
+  Ordinal zero;
+  EXPECT_TRUE(zero.IsZero());
+  EXPECT_TRUE(zero.IsFinite());
+  EXPECT_TRUE(zero.IsLimit());  // Def. 2.4 convention: 0 is a limit ordinal
+  EXPECT_EQ(zero.FiniteValue(), 0u);
+  EXPECT_EQ(zero.ToString(), "0");
+}
+
+TEST(OrdinalTest, FiniteArithmetic) {
+  EXPECT_EQ(Ordinal::Finite(2) + Ordinal::Finite(3), Ordinal::Finite(5));
+  EXPECT_EQ(Ordinal::Finite(7).FiniteValue(), 7u);
+  EXPECT_TRUE(Ordinal::Finite(7).IsSuccessor());
+  EXPECT_EQ(Ordinal::Finite(7).ToString(), "7");
+}
+
+TEST(OrdinalTest, OmegaAbsorbsFiniteLeftAddend) {
+  EXPECT_EQ(Ordinal::Finite(5) + Ordinal::Omega(), Ordinal::Omega());
+  EXPECT_EQ(Ordinal::Omega() + Ordinal::Finite(0), Ordinal::Omega());
+}
+
+TEST(OrdinalTest, OmegaPlusTwo) {
+  Ordinal w2 = Ordinal::Omega() + Ordinal::Finite(2);
+  EXPECT_EQ(w2.ToString(), "w+2");
+  EXPECT_TRUE(w2.IsSuccessor());
+  EXPECT_FALSE(w2.IsFinite());
+  EXPECT_LT(Ordinal::Omega(), w2);
+  EXPECT_LT(Ordinal::Finite(1000000), Ordinal::Omega());
+}
+
+TEST(OrdinalTest, OmegaTimesCoefficient) {
+  Ordinal w_plus_w = Ordinal::Omega() + Ordinal::Omega();
+  EXPECT_EQ(w_plus_w.ToString(), "w*2");
+  EXPECT_EQ(w_plus_w, Ordinal::OmegaTerm(1, 2));
+  EXPECT_LT(Ordinal::Omega() + Ordinal::Finite(99), w_plus_w);
+}
+
+TEST(OrdinalTest, HigherPowers) {
+  Ordinal w2 = Ordinal::OmegaPower(2);
+  EXPECT_EQ(w2.ToString(), "w^2");
+  EXPECT_LT(Ordinal::OmegaTerm(1, 1000), w2);
+  Ordinal mixed = w2 + Ordinal::Omega() + Ordinal::Finite(1);
+  EXPECT_EQ(mixed.ToString(), "w^2+w+1");
+  EXPECT_TRUE(mixed.IsSuccessor());
+}
+
+TEST(OrdinalTest, AdditionAssociative) {
+  const Ordinal samples[] = {
+      Ordinal(),
+      Ordinal::Finite(1),
+      Ordinal::Finite(7),
+      Ordinal::Omega(),
+      Ordinal::Omega() + Ordinal::Finite(3),
+      Ordinal::OmegaTerm(1, 2),
+      Ordinal::OmegaPower(2),
+      Ordinal::OmegaPower(2) + Ordinal::OmegaTerm(1, 4) + Ordinal::Finite(9),
+  };
+  for (const Ordinal& a : samples) {
+    for (const Ordinal& b : samples) {
+      for (const Ordinal& c : samples) {
+        EXPECT_EQ((a + b) + c, a + (b + c))
+            << a.ToString() << " " << b.ToString() << " " << c.ToString();
+      }
+    }
+  }
+}
+
+TEST(OrdinalTest, AdditionMonotoneInRightArgument) {
+  const Ordinal samples[] = {
+      Ordinal(), Ordinal::Finite(2), Ordinal::Omega(),
+      Ordinal::Omega() + Ordinal::Finite(1), Ordinal::OmegaPower(2)};
+  for (const Ordinal& a : samples) {
+    for (const Ordinal& b : samples) {
+      for (const Ordinal& c : samples) {
+        if (b < c) {
+          EXPECT_LT(a + b, a + c);
+        }
+      }
+    }
+  }
+}
+
+TEST(OrdinalTest, SuccessorIsStrictlyGreater) {
+  const Ordinal samples[] = {Ordinal(), Ordinal::Finite(3), Ordinal::Omega(),
+                             Ordinal::OmegaPower(2) + Ordinal::Finite(1)};
+  for (const Ordinal& a : samples) {
+    EXPECT_LT(a, a.Successor());
+    EXPECT_TRUE(a.Successor().IsSuccessor());
+  }
+}
+
+TEST(OrdinalTest, LubIsMax) {
+  Ordinal a = Ordinal::Omega();
+  Ordinal b = Ordinal::Finite(41);
+  EXPECT_EQ(Ordinal::Lub(a, b), a);
+  EXPECT_EQ(Ordinal::Lub(b, a), a);
+  EXPECT_EQ(Ordinal::Lub(b, b), b);
+}
+
+TEST(OrdinalTest, LimitOfIncreasingFiniteFamilyIsOmega) {
+  // The Figure 4 computation: levels 2n for all n; the least upper bound of
+  // the family is w, u(0)'s tree fails at w+1, w(0) succeeds at w+2.
+  Ordinal sup = Ordinal::LimitOfStrictlyIncreasing();
+  EXPECT_EQ(sup, Ordinal::Omega());
+  Ordinal u0_level = sup + Ordinal::Finite(1);
+  Ordinal w0_level = u0_level + Ordinal::Finite(1);
+  EXPECT_EQ(w0_level.ToString(), "w+2");
+}
+
+TEST(OrdinalTest, ComparisonTotalOrder) {
+  std::vector<Ordinal> ordered = {
+      Ordinal(),
+      Ordinal::Finite(1),
+      Ordinal::Finite(2),
+      Ordinal::Omega(),
+      Ordinal::Omega() + Ordinal::Finite(1),
+      Ordinal::OmegaTerm(1, 2),
+      Ordinal::OmegaTerm(1, 2) + Ordinal::Finite(5),
+      Ordinal::OmegaPower(2),
+      Ordinal::OmegaPower(2) + Ordinal::Omega(),
+  };
+  for (size_t i = 0; i < ordered.size(); ++i) {
+    for (size_t j = 0; j < ordered.size(); ++j) {
+      EXPECT_EQ(ordered[i] < ordered[j], i < j);
+      EXPECT_EQ(ordered[i] == ordered[j], i == j);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gsls

@@ -1,0 +1,196 @@
+#include "core/tabled.h"
+
+#include <gtest/gtest.h>
+
+#include "test_support.h"
+
+namespace gsls {
+namespace {
+
+using testing::Fixture;
+
+TabledEngine MustCreate(const Program& p, TabledOptions opts = {}) {
+  Result<TabledEngine> r = TabledEngine::Create(p, opts);
+  if (!r.ok()) {
+    fprintf(stderr, "tabled create failed: %s\n",
+            r.status().ToString().c_str());
+    abort();
+  }
+  return std::move(r.value());
+}
+
+TEST(TabledTest, BasicTruthValues) {
+  Fixture f("p :- not q. r :- r. u :- not u.");
+  TabledEngine t = MustCreate(f.program);
+  EXPECT_EQ(t.StatusOf(MustParseTerm(f.store, "p")),
+            GoalStatus::kSuccessful);
+  EXPECT_EQ(t.StatusOf(MustParseTerm(f.store, "q")), GoalStatus::kFailed);
+  EXPECT_EQ(t.StatusOf(MustParseTerm(f.store, "r")), GoalStatus::kFailed);
+  EXPECT_EQ(t.StatusOf(MustParseTerm(f.store, "u")),
+            GoalStatus::kIndeterminate);
+}
+
+TEST(TabledTest, LevelsAreStages) {
+  Fixture f(
+      "win(X) :- move(X, Y), not win(Y).\n"
+      "move(n1, n2). move(n2, n3).\n");
+  TabledEngine t = MustCreate(f.program);
+  EXPECT_EQ(t.LevelOf(MustParseTerm(f.store, "win(n3)")),
+            Ordinal::Finite(1));
+  EXPECT_EQ(t.LevelOf(MustParseTerm(f.store, "win(n2)")),
+            Ordinal::Finite(2));
+  EXPECT_EQ(t.LevelOf(MustParseTerm(f.store, "win(n1)")),
+            Ordinal::Finite(3));
+  EXPECT_EQ(t.LevelOf(MustParseTerm(f.store, "move(n1, n2)")),
+            Ordinal::Finite(1));
+  // Unregistered atoms fail at stage 1.
+  EXPECT_EQ(t.LevelOf(MustParseTerm(f.store, "win(zzz)")),
+            Ordinal::Finite(1));
+}
+
+TEST(TabledTest, UndefinedAtomsHaveNoLevel) {
+  Fixture f("p :- not p.");
+  TabledEngine t = MustCreate(f.program);
+  EXPECT_FALSE(t.LevelOf(MustParseTerm(f.store, "p")).has_value());
+}
+
+TEST(TabledTest, AnswerEnumerationWithNegation) {
+  Fixture f(
+      "p(a). p(b). p(c). q(b).\n"
+      "r(X) :- p(X), not q(X).\n");
+  TabledEngine t = MustCreate(f.program);
+  QueryResult r = t.Solve(MustParseQuery(f.store, "r(X)"));
+  ASSERT_EQ(r.status, GoalStatus::kSuccessful);
+  EXPECT_EQ(r.answers.size(), 2u);  // a, c
+}
+
+TEST(TabledTest, LeftRecursionTerminates) {
+  // Left-recursive transitive closure diverges in plain SLD(NF) but is
+  // handled by the memoing engine.
+  Fixture f(
+      "t(X, Y) :- t(X, Z), e(Z, Y).\n"
+      "t(X, Y) :- e(X, Y).\n"
+      "e(a, b). e(b, c). e(c, d).\n");
+  TabledEngine t = MustCreate(f.program);
+  QueryResult r = t.Solve(MustParseQuery(f.store, "t(a, X)"));
+  ASSERT_EQ(r.status, GoalStatus::kSuccessful);
+  EXPECT_EQ(r.answers.size(), 3u);  // b, c, d
+}
+
+TEST(TabledTest, CyclicTransitiveClosure) {
+  Fixture f(
+      "t(X, Y) :- e(X, Y).\n"
+      "t(X, Y) :- e(X, Z), t(Z, Y).\n"
+      "e(a, b). e(b, a).\n");
+  TabledEngine t = MustCreate(f.program);
+  QueryResult r = t.Solve(MustParseQuery(f.store, "t(a, X)"));
+  ASSERT_EQ(r.status, GoalStatus::kSuccessful);
+  EXPECT_EQ(r.answers.size(), 2u);  // a and b
+}
+
+TEST(TabledTest, UndefinedGoalIsIndeterminate) {
+  Fixture f(
+      "win(X) :- move(X, Y), not win(Y).\n"
+      "move(a, b). move(b, a).\n");
+  TabledEngine t = MustCreate(f.program);
+  QueryResult r = t.Solve(MustParseQuery(f.store, "win(a)"));
+  EXPECT_EQ(r.status, GoalStatus::kIndeterminate);
+  EXPECT_TRUE(r.answers.empty());
+}
+
+TEST(TabledTest, MixedQueryStatusPrecedence) {
+  // One instance true, another undefined: the goal succeeds with the true
+  // answer only.
+  Fixture f(
+      "win(X) :- move(X, Y), not win(Y).\n"
+      "move(a, b). move(b, a).\n"  // a, b drawn
+      "move(c, d).\n");            // c won, d lost
+  TabledEngine t = MustCreate(f.program);
+  QueryResult r = t.Solve(MustParseQuery(f.store, "win(X)"));
+  ASSERT_EQ(r.status, GoalStatus::kSuccessful);
+  ASSERT_EQ(r.answers.size(), 1u);
+  EXPECT_EQ(f.store.ToString(
+                r.answers[0].theta.bindings().begin()->second),
+            "c");
+}
+
+TEST(TabledTest, FloundersWhenVariableOnlyInNegation) {
+  Fixture f("q(a). r(b).");
+  TabledEngine t = MustCreate(f.program);
+  QueryResult r = t.Solve(MustParseQuery(f.store, "not q(X)"));
+  EXPECT_EQ(r.status, GoalStatus::kFloundered);
+}
+
+TEST(TabledTest, BottomUpInstantiationResolvesRuleLevelFloundering) {
+  // Top-down, `p :- not q(X)` flounders; the memoing engine instantiates
+  // X over the (finite) universe bottom-up, so p gets its well-founded
+  // value. With universe {a} and q(a) true, p is false.
+  Fixture f("q(a). p :- not q(X).");
+  TabledEngine t = MustCreate(f.program);
+  EXPECT_EQ(t.StatusOf(MustParseTerm(f.store, "p")), GoalStatus::kFailed);
+  // With a second constant, some instance has q(c) false: p true.
+  Fixture f2("q(a). c(b). p :- not q(X).");
+  TabledEngine t2 = MustCreate(f2.program);
+  EXPECT_EQ(t2.StatusOf(MustParseTerm(f2.store, "p")),
+            GoalStatus::kSuccessful);
+}
+
+TEST(TabledTest, QueryRestrictedTablesAgree) {
+  Rng rng(31337);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::string src = testing::RandomGameProgram(rng, 6, 30);
+    Fixture f(src);
+    TabledEngine full = MustCreate(f.program);
+    Goal query = MustParseQuery(f.store, "win(n0)");
+    Result<TabledEngine> restricted =
+        TabledEngine::CreateForQuery(f.program, query);
+    ASSERT_TRUE(restricted.ok());
+    const Term* atom = MustParseTerm(f.store, "win(n0)");
+    EXPECT_EQ(full.StatusOf(atom), restricted->StatusOf(atom)) << src;
+    EXPECT_LE(restricted->ground().rule_count(),
+              full.ground().rule_count());
+  }
+}
+
+TEST(TabledTest, GroundQueriesMatchStatusOf) {
+  Fixture f(
+      "win(X) :- move(X, Y), not win(Y).\n"
+      "move(n1, n2). move(n2, n3). move(n3, n1). move(n1, n4).\n");
+  TabledEngine t = MustCreate(f.program);
+  for (const char* node : {"n1", "n2", "n3", "n4"}) {
+    const Term* atom =
+        MustParseTerm(f.store, StrCat("win(", node, ")"));
+    QueryResult r = t.Solve(Goal{Literal::Pos(atom)});
+    EXPECT_EQ(r.status, t.StatusOf(atom)) << node;
+  }
+}
+
+TEST(TabledTest, ConjunctiveQueryLevels) {
+  Fixture f(
+      "win(X) :- move(X, Y), not win(Y).\n"
+      "move(n1, n2). move(n2, n3).\n");
+  TabledEngine t = MustCreate(f.program);
+  // Query: move(n1, n2), win(n2): both true; level = max stage.
+  QueryResult r = t.Solve(MustParseQuery(f.store, "move(n1, n2), win(n2)"));
+  ASSERT_EQ(r.status, GoalStatus::kSuccessful);
+  ASSERT_EQ(r.answers.size(), 1u);
+  EXPECT_EQ(r.answers[0].level, Ordinal::Finite(2));
+}
+
+TEST(TabledTest, FunctionSymbolsUpToDepthBound) {
+  Fixture f(
+      "even(z).\n"
+      "even(s(X)) :- not even(X).\n");
+  TabledOptions opts;
+  opts.grounding.universe.max_term_depth = 6;
+  TabledEngine t = MustCreate(f.program, opts);
+  EXPECT_EQ(t.StatusOf(MustParseTerm(f.store, "even(z)")),
+            GoalStatus::kSuccessful);
+  EXPECT_EQ(t.StatusOf(MustParseTerm(f.store, "even(s(z))")),
+            GoalStatus::kFailed);
+  EXPECT_EQ(t.StatusOf(MustParseTerm(f.store, "even(s(s(z)))")),
+            GoalStatus::kSuccessful);
+}
+
+}  // namespace
+}  // namespace gsls

@@ -1,0 +1,256 @@
+#include "term/term_store.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "lang/clause.h"
+#include "lang/parser.h"
+#include "term/substitution.h"
+#include "util/rng.h"
+
+namespace gsls {
+namespace {
+
+TEST(SymbolTableTest, InterningIsIdempotent) {
+  SymbolTable table;
+  SymbolId a1 = table.InternName("foo");
+  SymbolId a2 = table.InternName("foo");
+  SymbolId b = table.InternName("bar");
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, b);
+  EXPECT_EQ(table.NameOf(a1), "foo");
+}
+
+TEST(SymbolTableTest, FunctorsDistinguishArity) {
+  SymbolTable table;
+  FunctorId p1 = table.InternFunctor("p", 1);
+  FunctorId p2 = table.InternFunctor("p", 2);
+  EXPECT_NE(p1, p2);
+  EXPECT_EQ(table.FunctorArity(p1), 1u);
+  EXPECT_EQ(table.FunctorArity(p2), 2u);
+  EXPECT_EQ(table.FunctorToString(p2), "p/2");
+  EXPECT_EQ(table.FindFunctor("p", 1), p1);
+  EXPECT_EQ(table.FindFunctor("p", 3), kInvalidFunctor);
+  EXPECT_EQ(table.FindFunctor("zzz", 1), kInvalidFunctor);
+}
+
+TEST(TermStoreTest, HashConsingSharesStructure) {
+  TermStore store;
+  const Term* a1 = store.MakeConstant("a");
+  const Term* a2 = store.MakeConstant("a");
+  EXPECT_EQ(a1, a2);
+  const Term* f1 = store.MakeApp("f", {a1, a2});
+  const Term* f2 = store.MakeApp("f", {a2, a1});
+  EXPECT_EQ(f1, f2);
+  const Term* g = store.MakeApp("g", {a1, a2});
+  EXPECT_NE(f1, g);
+}
+
+TEST(TermStoreTest, GroundnessAndDepthMetadata) {
+  TermStore store;
+  const Term* a = store.MakeConstant("a");
+  const Term* x = store.NewVar("X");
+  const Term* fa = store.MakeApp("f", {a});
+  const Term* fx = store.MakeApp("f", {x});
+  EXPECT_TRUE(a->ground());
+  EXPECT_FALSE(x->ground());
+  EXPECT_TRUE(fa->ground());
+  EXPECT_FALSE(fx->ground());
+  EXPECT_EQ(a->depth(), 1u);
+  EXPECT_EQ(fa->depth(), 2u);
+  EXPECT_EQ(store.MakeApp("g", {fa, a})->depth(), 3u);
+  EXPECT_EQ(fx->var_count(), 1u);
+  EXPECT_EQ(store.MakeApp("g", {fx, x})->var_count(), 2u);
+}
+
+TEST(TermStoreTest, VariablesAreDistinctPerCall) {
+  TermStore store;
+  const Term* x1 = store.NewVar("X");
+  const Term* x2 = store.NewVar("X");
+  EXPECT_NE(x1, x2);
+  EXPECT_NE(x1->var(), x2->var());
+}
+
+TEST(TermStoreTest, ToStringRendersNestedTerms) {
+  TermStore store;
+  const Term* t = MustParseTerm(store, "f(g(a, X), b)");
+  EXPECT_EQ(store.ToString(t), "f(g(a,X),b)");
+}
+
+TEST(SubstitutionTest, WalkFollowsChains) {
+  TermStore store;
+  const Term* x = store.NewVar("X");
+  const Term* y = store.NewVar("Y");
+  const Term* a = store.MakeConstant("a");
+  Substitution s;
+  s.Bind(x->var(), y);
+  s.Bind(y->var(), a);
+  EXPECT_EQ(s.Walk(x), a);
+  EXPECT_EQ(s.Walk(a), a);
+}
+
+TEST(SubstitutionTest, ApplyRebuildsTerms) {
+  TermStore store;
+  const Term* x = store.NewVar("X");
+  const Term* a = store.MakeConstant("a");
+  const Term* fxx = store.MakeApp("f", {x, x});
+  Substitution s;
+  s.Bind(x->var(), a);
+  const Term* applied = s.Apply(store, fxx);
+  EXPECT_EQ(applied, store.MakeApp("f", {a, a}));
+}
+
+TEST(SubstitutionTest, ApplyIsIdentityOnGround) {
+  TermStore store;
+  const Term* t = MustParseTerm(store, "f(g(a), b)");
+  Substitution s;
+  s.Bind(store.NewVar("X")->var(), store.MakeConstant("c"));
+  EXPECT_EQ(s.Apply(store, t), t);
+}
+
+TEST(SubstitutionTest, ComposeAppliesLeftThenRight) {
+  TermStore store;
+  const Term* x = store.NewVar("X");
+  const Term* y = store.NewVar("Y");
+  const Term* a = store.MakeConstant("a");
+  Substitution first;
+  first.Bind(x->var(), y);
+  Substitution second;
+  second.Bind(y->var(), a);
+  Substitution composed = first.ComposeWith(store, second);
+  EXPECT_EQ(composed.Apply(store, x), a);
+  EXPECT_EQ(composed.Apply(store, y), a);
+}
+
+TEST(UnifyTest, UnifiesSimplePairs) {
+  TermStore store;
+  const Term* t1 = MustParseTerm(store, "f(X, b)");
+  const Term* t2 = MustParseTerm(store, "f(a, Y)");
+  Substitution s;
+  ASSERT_TRUE(Unify(t1, t2, &s));
+  EXPECT_EQ(s.Apply(store, t1), s.Apply(store, t2));
+  EXPECT_EQ(store.ToString(s.Apply(store, t1)), "f(a,b)");
+}
+
+TEST(UnifyTest, FailsOnFunctorClash) {
+  TermStore store;
+  Substitution s;
+  EXPECT_FALSE(Unify(MustParseTerm(store, "f(a)"),
+                     MustParseTerm(store, "g(a)"), &s));
+  Substitution s2;
+  EXPECT_FALSE(Unify(MustParseTerm(store, "f(a)"),
+                     MustParseTerm(store, "f(b)"), &s2));
+  Substitution s3;
+  EXPECT_FALSE(Unify(MustParseTerm(store, "f(a)"),
+                     MustParseTerm(store, "f(a, b)"), &s3));
+}
+
+TEST(UnifyTest, OccursCheckRejectsCyclicBindings) {
+  TermStore store;
+  const Term* x = store.NewVar("X");
+  const Term* fx = store.MakeApp("f", {x});
+  Substitution s;
+  EXPECT_FALSE(Unify(x, fx, &s));
+  Substitution s2;
+  EXPECT_FALSE(Unify(fx, x, &s2));
+}
+
+TEST(UnifyTest, SharedVariablePropagates) {
+  TermStore store;
+  const Term* t1 = MustParseTerm(store, "p(X, X)");
+  const Term* t2 = MustParseTerm(store, "p(a, Y)");
+  Substitution s;
+  ASSERT_TRUE(Unify(t1, t2, &s));
+  EXPECT_EQ(store.ToString(s.Apply(store, t2)), "p(a,a)");
+}
+
+TEST(UnifyTest, DeepNestedUnification) {
+  TermStore store;
+  const Term* t1 = MustParseTerm(store, "f(g(X, h(Y)), Z)");
+  const Term* t2 = MustParseTerm(store, "f(g(a, h(b(c))), W)");
+  Substitution s;
+  ASSERT_TRUE(Unify(t1, t2, &s));
+  EXPECT_EQ(s.Apply(store, t1), s.Apply(store, t2));
+}
+
+/// Property: a successful mgu is idempotent (applying it twice equals
+/// applying it once) and unifies its inputs.
+TEST(UnifyTest, MguIsIdempotentOnRandomTerms) {
+  TermStore store;
+  Rng rng(123);
+  std::vector<const Term*> vars;
+  for (int i = 0; i < 6; ++i) vars.push_back(store.NewVar("V"));
+  const char* consts[] = {"a", "b", "c"};
+  const char* funcs[] = {"f", "g"};
+
+  // Random term generator over shared variables.
+  std::function<const Term*(int)> gen = [&](int depth) -> const Term* {
+    if (depth == 0 || rng.Chance(2, 5)) {
+      if (rng.Chance(1, 2)) return vars[rng.Uniform(vars.size())];
+      return store.MakeConstant(consts[rng.Uniform(3)]);
+    }
+    const char* f = funcs[rng.Uniform(2)];
+    int arity = rng.UniformInt(1, 2);
+    std::vector<const Term*> args;
+    for (int i = 0; i < arity; ++i) args.push_back(gen(depth - 1));
+    return store.MakeApp(f, args);
+  };
+
+  int unified = 0;
+  for (int trial = 0; trial < 500; ++trial) {
+    const Term* t1 = gen(3);
+    const Term* t2 = gen(3);
+    Substitution s;
+    if (!Unify(t1, t2, &s)) continue;
+    ++unified;
+    const Term* u1 = s.Apply(store, t1);
+    const Term* u2 = s.Apply(store, t2);
+    EXPECT_EQ(u1, u2);
+    EXPECT_EQ(s.Apply(store, u1), u1) << "mgu must be idempotent";
+  }
+  EXPECT_GT(unified, 50);
+}
+
+TEST(MatchTest, OneWayMatchingOnly) {
+  TermStore store;
+  const Term* pattern = MustParseTerm(store, "p(X, b)");
+  const Term* ground = MustParseTerm(store, "p(a, b)");
+  Substitution s;
+  EXPECT_TRUE(Match(pattern, ground, &s));
+  // Matching must not bind variables of the target.
+  const Term* nonground = MustParseTerm(store, "p(Y, b)");
+  const Term* pat2 = MustParseTerm(store, "p(a, b)");
+  Substitution s2;
+  EXPECT_FALSE(Match(pat2, nonground, &s2));
+}
+
+TEST(MoreGeneralTest, IdentityIsMostGeneral) {
+  TermStore store;
+  const Term* ref = MustParseTerm(store, "p(X, Y)");
+  Substitution identity;
+  Substitution specific;
+  std::vector<VarId> vars;
+  CollectVars(ref, &vars);
+  specific.Bind(vars[0], store.MakeConstant("a"));
+  EXPECT_TRUE(MoreGeneralOn(store, identity, specific, ref));
+  EXPECT_FALSE(MoreGeneralOn(store, specific, identity, ref));
+}
+
+TEST(ArenaStatsTest, StoreTracksMemory) {
+  TermStore store;
+  size_t before = store.arena_bytes();
+  for (int i = 0; i < 100; ++i) {
+    store.MakeApp("f", {store.MakeConstant("a")});
+  }
+  // Hash-consing: repeated construction allocates nothing new.
+  size_t mid = store.arena_bytes();
+  const Term* probe = store.MakeApp("f", {store.MakeConstant("a")});
+  (void)probe;
+  EXPECT_EQ(store.arena_bytes(), mid);
+  EXPECT_GT(mid, before);
+  EXPECT_EQ(store.interned_count(), 2u);  // a and f(a)
+}
+
+}  // namespace
+}  // namespace gsls

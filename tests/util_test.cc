@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "util/arena.h"
+#include "util/bitset.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/strings.h"
+
+namespace gsls {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad token");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode c :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kFailedPrecondition, StatusCode::kResourceExhausted,
+        StatusCode::kUnimplemented, StatusCode::kInternal}) {
+    EXPECT_NE(std::string(StatusCodeName(c)), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  Result<int> ok(42);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  EXPECT_EQ(ok.ValueOr(7), 42);
+  Result<int> err(Status::NotFound("nope"));
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.ValueOr(7), 7);
+  EXPECT_EQ(err.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ArenaTest, BumpAllocationAndAccounting) {
+  Arena arena(1024);
+  void* a = arena.Allocate(100);
+  void* b = arena.Allocate(100);
+  EXPECT_NE(a, b);
+  EXPECT_GE(arena.bytes_allocated(), 200u);
+  EXPECT_GE(arena.bytes_reserved(), arena.bytes_allocated());
+}
+
+TEST(ArenaTest, LargeAllocationsGetOwnBlocks) {
+  Arena arena(256);
+  void* big = arena.Allocate(10000);
+  EXPECT_NE(big, nullptr);
+  EXPECT_GE(arena.bytes_reserved(), 10000u);
+}
+
+TEST(ArenaTest, AlignmentRespected) {
+  Arena arena;
+  arena.Allocate(1);
+  void* p = arena.Allocate(8, 64);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % 64, 0u);
+}
+
+TEST(BitsetTest, SetTestReset) {
+  DenseBitset b(130);
+  EXPECT_FALSE(b.Test(0));
+  b.Set(0);
+  b.Set(64);
+  b.Set(129);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(129));
+  EXPECT_EQ(b.Count(), 3u);
+  b.Reset(64);
+  EXPECT_FALSE(b.Test(64));
+  EXPECT_EQ(b.Count(), 2u);
+  EXPECT_FALSE(b.Test(500));  // out of range reads false
+}
+
+TEST(BitsetTest, SetAlgebra) {
+  DenseBitset a(100), b(100);
+  a.Set(3);
+  a.Set(70);
+  b.Set(3);
+  b.Set(70);
+  b.Set(99);
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  EXPECT_TRUE(a.Intersects(b));
+  a.UnionWith(b);
+  EXPECT_TRUE(b.IsSubsetOf(a));
+  DenseBitset empty(100);
+  EXPECT_TRUE(empty.None());
+  EXPECT_FALSE(empty.Intersects(a));
+  EXPECT_TRUE(empty.IsSubsetOf(a));
+}
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RngTest, UniformBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int v = rng.UniformInt(3, 9);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 9);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(StringsTest, StrCatAndJoin) {
+  EXPECT_EQ(StrCat("a", 1, "b", 2.5), "a1b2.5");
+  std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(StrJoin(parts, ", "), "x, y, z");
+  EXPECT_EQ(StrJoin(std::vector<std::string>{}, ","), "");
+}
+
+TEST(StringsTest, Split) {
+  auto out = StrSplit("a,b,,c", ',');
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0], "a");
+  EXPECT_EQ(out[2], "");
+  EXPECT_EQ(StrSplit("", ',').size(), 1u);
+}
+
+TEST(StringsTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("foobar", "bar"));
+  EXPECT_TRUE(StartsWith("x", ""));
+}
+
+}  // namespace
+}  // namespace gsls
