@@ -1,0 +1,197 @@
+// SCC-stratified solver vs. the global fixpoints: `SolveWfs` against
+// `ComputeWfs` (Def. 2.3 iteration, quadratic on deep-stage programs) and
+// `ComputeWfsAlternating` (footnote 5) across the workload families at
+// growing sizes, reporting atoms/sec and per-run SCC structure. The
+// headline is the win/move chain: its stage depth grows with length, so
+// the global algorithms pay O(n) rounds over the whole program while the
+// solver pays one pass over n singleton components — the speedup must
+// grow with the chain length.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "ground/grounder.h"
+#include "lang/parser.h"
+#include "solver/solver.h"
+#include "wfs/wfs.h"
+#include "workload/generators.h"
+
+using namespace gsls;
+
+namespace {
+
+GroundProgram GroundOf(const std::string& src, TermStore& store) {
+  Program program = MustParseProgram(store, src);
+  GroundingOptions gopts;
+  gopts.max_rules = 5'000'000;
+  Result<GroundProgram> gp = GroundRelevant(program, gopts);
+  if (!gp.ok()) {
+    std::fprintf(stderr, "grounding failed: %s\n",
+                 gp.status().ToString().c_str());
+    abort();
+  }
+  return std::move(gp.value());
+}
+
+double SecondsOf(void (*fn)(const GroundProgram&), const GroundProgram& gp) {
+  auto start = std::chrono::steady_clock::now();
+  fn(gp);
+  std::chrono::duration<double> d = std::chrono::steady_clock::now() - start;
+  return d.count();
+}
+
+void RunScc(const GroundProgram& gp) { SolveWfs(gp); }
+void RunWp(const GroundProgram& gp) { ComputeWfs(gp); }
+void RunAlternating(const GroundProgram& gp) { ComputeWfsAlternating(gp); }
+
+void PrintVerification() {
+  std::printf("=== SCC-stratified solver vs global fixpoints ===\n");
+  std::printf("%-22s %8s %8s %6s %6s %9s %9s %9s %8s  %s\n", "workload",
+              "atoms", "sccs", "neg", "floods", "scc(s)", "Wp(s)", "AF(s)",
+              "Wp/scc", "agree");
+  Rng rng(20260728);
+  struct Item {
+    std::string name;
+    std::string src;
+  } items[] = {
+      {"chain(256)", workload::GameChain(256)},
+      {"chain(1024)", workload::GameChain(1024)},
+      {"chain(4096)", workload::GameChain(4096)},
+      {"grid(24x24)", workload::GameGrid(24, 24)},
+      {"cycle(51)+tail(50)", workload::GameCycleWithTail(51, 50)},
+      {"random(48,10%)", workload::RandomGame(rng, 48, 10)},
+      {"reach-neg(16,20%)", workload::ReachabilityWithNegation(rng, 16, 20)},
+      {"prop(48,160,3)", workload::RandomPropositional(rng, 48, 160, 3)},
+  };
+  for (const Item& item : items) {
+    TermStore store;
+    GroundProgram gp = GroundOf(item.src, store);
+    SolverDiagnostics diag;
+    WfsModel scc = SolveWfs(gp, &diag);
+    WfsModel wp = ComputeWfs(gp);
+    WfsModel af = ComputeWfsAlternating(gp);
+    bool agree = scc.model == wp.model && scc.model == af.model;
+    if (!agree) {
+      std::printf("DISAGREEMENT on %s:\n%s", item.name.c_str(),
+                  DescribeModelDifference(gp, scc.model, wp.model).c_str());
+    }
+    double scc_s = SecondsOf(RunScc, gp);
+    double wp_s = SecondsOf(RunWp, gp);
+    double af_s = SecondsOf(RunAlternating, gp);
+    std::printf("%-22s %8zu %8u %6u %6llu %9.5f %9.5f %9.5f %8.1f  %s\n",
+                item.name.c_str(), gp.atom_count(), diag.component_count,
+                diag.negation_components,
+                static_cast<unsigned long long>(diag.unfounded_floods),
+                scc_s, wp_s, af_s, wp_s / (scc_s > 0 ? scc_s : 1e-9),
+                agree ? "yes" : "NO");
+  }
+  std::printf(
+      "\nExpected shape: identical models everywhere; on the chain family\n"
+      "the Wp/scc speedup grows with the chain length (quadratic vs\n"
+      "near-linear); sccs tracks atoms on stratified workloads and floods\n"
+      "stays near the number of drawn (undefined) regions.\n\n");
+}
+
+void ReportSccCounters(benchmark::State& state, const GroundProgram& gp) {
+  SolverDiagnostics diag;
+  SolveWfs(gp, &diag);
+  state.counters["atoms"] = static_cast<double>(gp.atom_count());
+  state.counters["sccs"] = static_cast<double>(diag.component_count);
+  state.counters["atoms/s"] = benchmark::Counter(
+      static_cast<double>(gp.atom_count()) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+
+void RunSolver(benchmark::State& state, int which, const std::string& src) {
+  TermStore store;
+  GroundProgram gp = GroundOf(src, store);
+  for (auto _ : state) {
+    if (which == 0) {
+      benchmark::DoNotOptimize(SolveWfs(gp).iterations);
+    } else if (which == 1) {
+      benchmark::DoNotOptimize(ComputeWfs(gp).iterations);
+    } else {
+      benchmark::DoNotOptimize(ComputeWfsAlternating(gp).iterations);
+    }
+  }
+  ReportSccCounters(state, gp);
+}
+
+void BM_SccSolver_Chain(benchmark::State& state) {
+  RunSolver(state, 0, workload::GameChain(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_SccSolver_Chain)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_WpIteration_Chain(benchmark::State& state) {
+  RunSolver(state, 1, workload::GameChain(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_WpIteration_Chain)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_Alternating_Chain(benchmark::State& state) {
+  RunSolver(state, 2, workload::GameChain(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_Alternating_Chain)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_SccSolver_Grid(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  RunSolver(state, 0, workload::GameGrid(n, n));
+}
+BENCHMARK(BM_SccSolver_Grid)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_Alternating_Grid(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  RunSolver(state, 2, workload::GameGrid(n, n));
+}
+BENCHMARK(BM_Alternating_Grid)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_SccSolver_CycleTail(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  RunSolver(state, 0, workload::GameCycleWithTail(n | 1, n));
+}
+BENCHMARK(BM_SccSolver_CycleTail)->Arg(17)->Arg(65)->Arg(257);
+
+void BM_Alternating_CycleTail(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  RunSolver(state, 2, workload::GameCycleWithTail(n | 1, n));
+}
+BENCHMARK(BM_Alternating_CycleTail)->Arg(17)->Arg(65)->Arg(257);
+
+void BM_SccSolver_RandomGame(benchmark::State& state) {
+  Rng rng(5);
+  RunSolver(state, 0,
+            workload::RandomGame(rng, static_cast<int>(state.range(0)), 10));
+}
+BENCHMARK(BM_SccSolver_RandomGame)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_Alternating_RandomGame(benchmark::State& state) {
+  Rng rng(5);
+  RunSolver(state, 2,
+            workload::RandomGame(rng, static_cast<int>(state.range(0)), 10));
+}
+BENCHMARK(BM_Alternating_RandomGame)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_SccSolver_Propositional(benchmark::State& state) {
+  Rng rng(11);
+  int n = static_cast<int>(state.range(0));
+  RunSolver(state, 0, workload::RandomPropositional(rng, n, 4 * n, 3));
+}
+BENCHMARK(BM_SccSolver_Propositional)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_Alternating_Propositional(benchmark::State& state) {
+  Rng rng(11);
+  int n = static_cast<int>(state.range(0));
+  RunSolver(state, 2, workload::RandomPropositional(rng, n, 4 * n, 3));
+}
+BENCHMARK(BM_Alternating_Propositional)->Arg(64)->Arg(256)->Arg(1024);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintVerification();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

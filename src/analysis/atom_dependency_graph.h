@@ -1,0 +1,77 @@
+#ifndef GSLS_ANALYSIS_ATOM_DEPENDENCY_GRAPH_H_
+#define GSLS_ANALYSIS_ATOM_DEPENDENCY_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ground/ground_program.h"
+
+namespace gsls {
+
+/// The atom-level dependency graph of a ground program, condensed into
+/// strongly connected components: one node per registered ground atom, an
+/// edge head -> body atom (of either sign) for every ground rule.
+///
+/// The predicate-level `DependencyGraph` over-approximates recursion on
+/// nonground programs; this graph is exact on a grounding and is what the
+/// SCC-stratified solver (src/solver/) schedules on. Construction is a
+/// single iterative Tarjan pass: O(atoms + body literals).
+class AtomDependencyGraph {
+ public:
+  explicit AtomDependencyGraph(const GroundProgram& gp);
+
+  /// Number of strongly connected components. Every registered atom is in
+  /// exactly one component (isolated atoms form singletons).
+  uint32_t component_count() const {
+    return static_cast<uint32_t>(comp_offsets_.size() - 1);
+  }
+
+  /// Component of `atom`. Components are numbered in dependency order:
+  /// every body atom of a rule whose head lies in component c belongs to a
+  /// component with id <= c, with equality exactly for intra-component
+  /// recursion. Processing components in increasing id order therefore
+  /// sees every lower (callee) component decided first.
+  uint32_t ComponentOf(AtomId atom) const { return comp_of_[atom]; }
+
+  /// Rank of `atom` within `Atoms(ComponentOf(atom))`; gives each solver
+  /// pass dense component-local ids for free.
+  uint32_t LocalIndexOf(AtomId atom) const { return local_of_[atom]; }
+
+  /// Atoms of component `c`.
+  std::span<const AtomId> Atoms(uint32_t c) const {
+    return std::span<const AtomId>(comp_atoms_.data() + comp_offsets_[c],
+                                   comp_offsets_[c + 1] - comp_offsets_[c]);
+  }
+
+  /// True iff some rule has its head and a *negative* body atom both in
+  /// `c`: the component recurses through negation and needs the
+  /// component-local alternating treatment.
+  bool HasInternalNegation(uint32_t c) const { return internal_neg_[c] != 0; }
+
+  /// True iff `c` contains more than one atom or an intra-component edge
+  /// of either sign (a self-loop); such components need fixpoint
+  /// iteration, while the rest reduce to direct 3-valued rule evaluation.
+  bool IsRecursive(uint32_t c) const { return recursive_[c] != 0; }
+
+  /// True iff no component has internal negation: exactly local
+  /// stratification of the ground program (Przymusinski), on which the
+  /// well-founded model is total.
+  bool IsLocallyStratified() const;
+
+  /// True iff every component is a single atom without a self-loop — the
+  /// paper's "acyclic programs" effectiveness class (Sec. 7).
+  bool IsAcyclic() const;
+
+ private:
+  std::vector<uint32_t> comp_of_;    ///< per atom
+  std::vector<uint32_t> local_of_;   ///< per atom: rank within component
+  std::vector<uint32_t> comp_offsets_;  ///< CSR offsets into comp_atoms_
+  std::vector<AtomId> comp_atoms_;      ///< members, grouped by component
+  std::vector<uint8_t> internal_neg_;   ///< per component
+  std::vector<uint8_t> recursive_;      ///< per component
+};
+
+}  // namespace gsls
+
+#endif  // GSLS_ANALYSIS_ATOM_DEPENDENCY_GRAPH_H_

@@ -42,10 +42,11 @@ class DependencyGraph {
   /// recursion through negation at the predicate level).
   bool HasNegativeCycle() const;
 
-  /// True iff the graph is acyclic apart from self-loop-free... strictly:
-  /// every SCC is a single predicate without a self edge. Such programs
-  /// terminate under global SLS-resolution regardless of function symbols
-  /// appearing in a non-recursive way.
+  /// True iff the graph has no cycle at all, self-loops included —
+  /// strictly: every SCC is a single predicate without a self edge. Such
+  /// programs have no recursion of either sign at the predicate level, so
+  /// global SLS-resolution terminates on them whenever grounding does
+  /// (function symbols may still appear, but only non-recursively).
   bool IsAcyclic() const;
 
   /// Predicates reachable from `roots` (following either sign), including

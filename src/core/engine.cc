@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cassert>
 
+#include "ground/grounder.h"
+#include "solver/solver.h"
 #include "util/strings.h"
+#include "wfs/wfs.h"
 
 namespace gsls {
 
@@ -41,6 +44,61 @@ uint64_t MixKey(uint64_t h, uint64_t v) {
 
 GlobalSlsEngine::GlobalSlsEngine(const Program& program, EngineOptions opts)
     : program_(program), store_(program.store()), opts_(opts) {}
+
+void GlobalSlsEngine::MaybeSeedOracle() {
+  if (oracle_attempted_) return;
+  oracle_attempted_ = true;
+  // The bottom-up model matches the search statuses only under the
+  // preferential rule (Thm. 4.7); the counterexample computation rules of
+  // Examples 3.2/3.3 must keep exhibiting their incompleteness.
+  if (!opts_.bottom_up_oracle || !opts_.memo_simplification) return;
+  if (opts_.selection != SelectionMode::kPositivistic ||
+      !opts_.negatively_parallel) {
+    return;
+  }
+  // Exactness needs the depth-1 relevant grounding to be the whole
+  // relevant instantiation: function-free programs only (arguments are
+  // constants or variables, i.e. atom depth <= 2).
+  for (const Clause& c : program_.clauses()) {
+    if (c.head->depth() > 2) return;
+    for (const Literal& l : c.body) {
+      if (l.atom->depth() > 2) return;
+    }
+  }
+  GroundingOptions gopts;
+  Result<GroundProgram> gp = GroundRelevant(program_, gopts);
+  if (!gp.ok()) return;  // over budget: fall back to plain search
+  WfsModel wfs = SolveWfs(gp.value());
+  // Statuses always come from the SCC solver, so oracle behavior does not
+  // depend on `compute_levels`; the stage iteration (same model, but
+  // quadratic) is paid only for the levels Cor. 4.6 reads off it.
+  WfsStages stages;
+  if (opts_.compute_levels) stages = ComputeWfsStages(gp.value());
+  for (AtomId a = 0; a < gp->atom_count(); ++a) {
+    MemoEntry& entry = memo_[gp->AtomTerm(a)];
+    entry.done = true;
+    SubgoalOutcome& out = entry.outcome;
+    switch (wfs.model.Value(a)) {
+      case TruthValue::kTrue:
+        out.status = GoalStatus::kSuccessful;
+        if (opts_.compute_levels) {
+          out.level = Ordinal::Finite(stages.true_stage[a]);
+          out.level_exact = true;
+        }
+        break;
+      case TruthValue::kFalse:
+        out.status = GoalStatus::kFailed;
+        if (opts_.compute_levels) {
+          out.level = Ordinal::Finite(stages.false_stage[a]);
+          out.level_exact = true;
+        }
+        break;
+      case TruthValue::kUndefined:
+        out.status = GoalStatus::kIndeterminate;
+        break;
+    }
+  }
+}
 
 size_t GlobalSlsEngine::SelectLiteral(const Goal& goal) const {
   if (goal.empty()) return SIZE_MAX;
@@ -461,6 +519,7 @@ GlobalSlsEngine::SubgoalOutcome GlobalSlsEngine::Aggregate(
 }
 
 QueryResult GlobalSlsEngine::Solve(const Goal& goal) {
+  MaybeSeedOracle();
   size_t work_before = work_;
   size_t neg_before = negation_nodes_;
   Taint taint;
@@ -518,6 +577,7 @@ QueryResult GlobalSlsEngine::SolveAtom(const Term* atom) {
 
 GoalStatus GlobalSlsEngine::StatusOf(const Term* ground_atom) {
   assert(ground_atom->ground());
+  MaybeSeedOracle();
   Taint taint;
   SubgoalOutcome so = EvalGroundSubgoal(ground_atom, 0, &taint);
   return so.status;

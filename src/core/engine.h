@@ -61,6 +61,16 @@ struct EngineOptions {
   /// literal, carrying its level contribution; failure prunes the branch).
   /// Status-preserving by Lemma 4.1 / Thm. 4.7.
   bool memo_simplification = true;
+  /// Seed the memo from the bottom-up SCC-stratified solver (`SolveWfs`,
+  /// src/solver/) before the first query, making memo simplification an
+  /// exact oracle: every registered ground atom resolves in O(1) with the
+  /// status Thm. 4.7 prescribes, and (when `compute_levels` is set) the
+  /// level Cor. 4.6 prescribes, taken from the V_P stage iteration.
+  /// Engaged only where it is provably exact and complete: function-free
+  /// programs under the preferential rule (positivistic selection,
+  /// negatively parallel, memo simplification on). Otherwise the engine
+  /// searches as before.
+  bool bottom_up_oracle = true;
   /// Compute ordinal levels (Def. 3.3) alongside statuses.
   bool compute_levels = true;
 
@@ -116,8 +126,12 @@ class GlobalSlsEngine {
   /// Status of the ground goal `<- atom` (memoized across calls).
   GoalStatus StatusOf(const Term* ground_atom);
 
-  /// Clears the ground-subgoal memo table.
-  void ClearMemo() { memo_.clear(); }
+  /// Clears the ground-subgoal memo table (the bottom-up oracle reseeds it
+  /// on the next query when enabled).
+  void ClearMemo() {
+    memo_.clear();
+    oracle_attempted_ = false;
+  }
 
   const EngineOptions& options() const { return opts_; }
 
@@ -186,6 +200,11 @@ class GlobalSlsEngine {
   /// goal is nonground (pruning disabled for it).
   static uint64_t GroundGoalKey(const Goal& goal);
 
+  /// Seeds the memo from the bottom-up well-founded model on the first
+  /// query, when `bottom_up_oracle` applies (see EngineOptions). No-op on
+  /// programs with function symbols or under counterexample rules.
+  void MaybeSeedOracle();
+
   const Program& program_;
   TermStore& store_;
   EngineOptions opts_;
@@ -193,6 +212,7 @@ class GlobalSlsEngine {
   size_t work_ = 0;
   size_t negation_nodes_ = 0;
   bool work_exhausted_ = false;
+  bool oracle_attempted_ = false;
 };
 
 }  // namespace gsls

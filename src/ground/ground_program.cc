@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "analysis/atom_dependency_graph.h"
 #include "util/strings.h"
 
 namespace gsls {
@@ -125,105 +126,12 @@ std::string GroundProgram::ToString() const {
   return out;
 }
 
-namespace {
-
-/// Iterative Tarjan over atom ids; returns component id per atom.
-std::vector<uint32_t> AtomSccIds(const GroundProgram& gp, bool* has_neg_in_scc,
-                                 bool* has_any_cycle) {
-  size_t n = gp.atom_count();
-  // Adjacency: head -> body atoms (either sign), built once.
-  std::vector<std::vector<std::pair<AtomId, bool>>> adj(n);
-  for (const GroundRule& r : gp.rules()) {
-    for (AtomId a : r.pos) adj[r.head].emplace_back(a, true);
-    for (AtomId a : r.neg) adj[r.head].emplace_back(a, false);
-  }
-  std::vector<uint32_t> comp(n, UINT32_MAX);
-  std::vector<uint32_t> index(n, UINT32_MAX);
-  std::vector<uint32_t> lowlink(n, 0);
-  std::vector<bool> on_stack(n, false);
-  std::vector<AtomId> stack;
-  uint32_t counter = 0;
-  uint32_t comp_count = 0;
-  std::vector<size_t> comp_size;
-
-  struct Frame {
-    AtomId atom;
-    size_t pos;
-  };
-  for (AtomId root = 0; root < n; ++root) {
-    if (index[root] != UINT32_MAX) continue;
-    std::vector<Frame> frames{{root, 0}};
-    index[root] = lowlink[root] = counter++;
-    stack.push_back(root);
-    on_stack[root] = true;
-    while (!frames.empty()) {
-      Frame& f = frames.back();
-      if (f.pos < adj[f.atom].size()) {
-        AtomId next = adj[f.atom][f.pos++].first;
-        if (index[next] == UINT32_MAX) {
-          index[next] = lowlink[next] = counter++;
-          stack.push_back(next);
-          on_stack[next] = true;
-          frames.push_back({next, 0});
-        } else if (on_stack[next]) {
-          lowlink[f.atom] = std::min(lowlink[f.atom], index[next]);
-        }
-        continue;
-      }
-      AtomId done = f.atom;
-      frames.pop_back();
-      if (!frames.empty()) {
-        lowlink[frames.back().atom] =
-            std::min(lowlink[frames.back().atom], lowlink[done]);
-      }
-      if (lowlink[done] == index[done]) {
-        size_t size = 0;
-        while (true) {
-          AtomId w = stack.back();
-          stack.pop_back();
-          on_stack[w] = false;
-          comp[w] = comp_count;
-          ++size;
-          if (w == done) break;
-        }
-        comp_size.push_back(size);
-        ++comp_count;
-      }
-    }
-  }
-  *has_neg_in_scc = false;
-  *has_any_cycle = false;
-  for (size_t c = 0; c < comp_size.size(); ++c) {
-    if (comp_size[c] > 1) *has_any_cycle = true;
-  }
-  for (const GroundRule& r : gp.rules()) {
-    for (AtomId a : r.pos) {
-      if (a == r.head) *has_any_cycle = true;  // positive self-loop
-    }
-    for (AtomId a : r.neg) {
-      if (comp[a] == comp[r.head]) {
-        *has_neg_in_scc = true;
-        if (a == r.head) *has_any_cycle = true;
-      }
-    }
-  }
-  return comp;
-}
-
-}  // namespace
-
 bool GroundProgram::IsLocallyStratified() const {
-  bool neg_in_scc = false;
-  bool any_cycle = false;
-  AtomSccIds(*this, &neg_in_scc, &any_cycle);
-  return !neg_in_scc;
+  return AtomDependencyGraph(*this).IsLocallyStratified();
 }
 
 bool GroundProgram::IsAtomAcyclic() const {
-  bool neg_in_scc = false;
-  bool any_cycle = false;
-  AtomSccIds(*this, &neg_in_scc, &any_cycle);
-  return !any_cycle && !neg_in_scc;
+  return AtomDependencyGraph(*this).IsAcyclic();
 }
 
 }  // namespace gsls

@@ -1,0 +1,54 @@
+#include "solver/rule_table.h"
+
+namespace gsls::solver {
+
+RuleTable::RuleTable(const GroundProgram& gp, const AtomDependencyGraph& graph,
+                     uint32_t comp, const Interpretation& global) {
+  std::span<const AtomId> members = graph.Atoms(comp);
+  atoms_.assign(members.begin(), members.end());
+  rules_for_.resize(atoms_.size());
+  pos_occ_.resize(atoms_.size());
+  neg_occ_.resize(atoms_.size());
+
+  for (LocalAtom local = 0; local < atoms_.size(); ++local) {
+    for (RuleId rid : gp.RulesFor(atoms_[local])) {
+      const GroundRule& r = gp.rules()[rid];
+      CompiledRule compiled;
+      compiled.head = local;
+      bool suppressed = false;
+      for (AtomId b : r.pos) {
+        if (graph.ComponentOf(b) == comp) {
+          compiled.pos.push_back(graph.LocalIndexOf(b));
+        } else if (global.IsFalse(b)) {
+          suppressed = true;  // false witness: the rule can never matter
+          break;
+        } else if (!global.IsTrue(b)) {
+          ++compiled.undef_external;
+        }
+      }
+      if (!suppressed) {
+        for (AtomId b : r.neg) {
+          if (graph.ComponentOf(b) == comp) {
+            compiled.neg.push_back(graph.LocalIndexOf(b));
+          } else if (global.IsTrue(b)) {
+            suppressed = true;
+            break;
+          } else if (!global.IsFalse(b)) {
+            ++compiled.undef_external;
+          }
+        }
+      }
+      if (suppressed) continue;
+      compiled.unsat = static_cast<uint32_t>(compiled.pos.size() +
+                                             compiled.neg.size()) +
+                       compiled.undef_external;
+      LocalRule id = static_cast<LocalRule>(rules_.size());
+      rules_for_[local].push_back(id);
+      for (LocalAtom b : compiled.pos) pos_occ_[b].push_back(id);
+      for (LocalAtom b : compiled.neg) neg_occ_[b].push_back(id);
+      rules_.push_back(std::move(compiled));
+    }
+  }
+}
+
+}  // namespace gsls::solver

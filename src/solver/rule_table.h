@@ -1,0 +1,89 @@
+#ifndef GSLS_SOLVER_RULE_TABLE_H_
+#define GSLS_SOLVER_RULE_TABLE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "analysis/atom_dependency_graph.h"
+#include "ground/ground_program.h"
+#include "wfs/interpretation.h"
+
+namespace gsls::solver {
+
+/// Dense id of an atom within one component (its rank in
+/// `AtomDependencyGraph::Atoms`).
+using LocalAtom = uint32_t;
+/// Dense id of a rule within one `RuleTable`.
+using LocalRule = uint32_t;
+
+inline constexpr LocalRule kNoRule = UINT32_MAX;
+
+/// A ground rule restricted to one strongly connected component. External
+/// body literals (atoms of lower components, whose well-founded values are
+/// final by the scheduling order) are partially evaluated at compile time:
+/// a decided-true positive or decided-false negative is dropped, a
+/// decided-false positive or decided-true negative suppresses the rule
+/// entirely, and externals that ended *undefined* are folded into
+/// `undef_external` — they can never fire the rule but keep it usable as
+/// support.
+struct CompiledRule {
+  LocalAtom head = 0;
+  std::vector<LocalAtom> pos;  ///< positive body atoms inside the component
+  std::vector<LocalAtom> neg;  ///< negative body atoms inside the component
+  uint32_t undef_external = 0;
+
+  /// Watched truth counter: body literals not yet satisfied (internal
+  /// positives not yet true + internal negatives not yet false + undefined
+  /// externals, which never satisfy). The rule fires its head true when
+  /// this reaches 0.
+  uint32_t unsat = 0;
+  /// Some body literal became false (positive atom falsified / negative
+  /// atom derived true): the rule can neither fire nor support.
+  bool dead = false;
+};
+
+/// The live rules of one component, with watched counters and dense
+/// occurrence indexes — the component-local mirror of `GroundProgram`'s
+/// rule indexes that the propagation loop and the source-pointer detector
+/// run on.
+class RuleTable {
+ public:
+  /// Compiles the rules whose head lies in component `comp` of `graph`,
+  /// reading already-final lower-component values from `global`. Rules
+  /// suppressed by a false external witness are not added at all.
+  RuleTable(const GroundProgram& gp, const AtomDependencyGraph& graph,
+            uint32_t comp, const Interpretation& global);
+
+  size_t atom_count() const { return atoms_.size(); }
+  size_t rule_count() const { return rules_.size(); }
+
+  AtomId GlobalAtom(LocalAtom a) const { return atoms_[a]; }
+
+  CompiledRule& rule(LocalRule r) { return rules_[r]; }
+  const CompiledRule& rule(LocalRule r) const { return rules_[r]; }
+
+  /// Rules whose head is `a`.
+  std::span<const LocalRule> RulesFor(LocalAtom a) const {
+    return rules_for_[a];
+  }
+  /// Rules where `a` occurs in a positive body position.
+  std::span<const LocalRule> PositiveOccurrences(LocalAtom a) const {
+    return pos_occ_[a];
+  }
+  /// Rules where `a` occurs in a negative body position.
+  std::span<const LocalRule> NegativeOccurrences(LocalAtom a) const {
+    return neg_occ_[a];
+  }
+
+ private:
+  std::vector<AtomId> atoms_;  ///< local id -> global id
+  std::vector<CompiledRule> rules_;
+  std::vector<std::vector<LocalRule>> rules_for_;
+  std::vector<std::vector<LocalRule>> pos_occ_;
+  std::vector<std::vector<LocalRule>> neg_occ_;
+};
+
+}  // namespace gsls::solver
+
+#endif  // GSLS_SOLVER_RULE_TABLE_H_

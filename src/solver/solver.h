@@ -1,0 +1,46 @@
+#ifndef GSLS_SOLVER_SOLVER_H_
+#define GSLS_SOLVER_SOLVER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "ground/ground_program.h"
+#include "wfs/wfs.h"
+
+namespace gsls {
+
+/// Per-run diagnostics of `SolveWfs`.
+struct SolverDiagnostics {
+  uint32_t component_count = 0;      ///< SCCs of the atom dependency graph
+  uint32_t max_component_size = 0;   ///< atoms in the largest SCC
+  uint32_t recursive_components = 0; ///< SCCs needing fixpoint iteration
+  uint32_t negation_components = 0;  ///< SCCs recursing through negation
+  uint64_t rules_visited = 0;        ///< compiled rule instances examined
+  uint64_t unfounded_floods = 0;     ///< source-loss floods run
+  uint64_t unfounded_falsified = 0;  ///< atoms falsified wholesale by floods
+  uint64_t alternating_rounds = 0;   ///< component-local truth/unfounded rounds
+
+  std::string ToString() const;
+};
+
+/// Computes the well-founded model by SCC-stratified evaluation (the
+/// Lonc-Truszczyński decomposition): condense the atom-level dependency
+/// graph (Tarjan, `AtomDependencyGraph`), then solve components in
+/// dependency order, so every negative literal that reaches outside its
+/// component is resolved against an already-final value. Non-recursive
+/// atoms reduce to one 3-valued evaluation of their rules; positive-only
+/// components reduce to a least-fixpoint pass with watched body counters;
+/// only components that recurse through negation pay for the
+/// component-local alternating fixpoint, driven by a source-pointer
+/// unfounded-set detector (smodels/chuffed style, `SourceTracker`).
+///
+/// Near-linear when components are small — O(atoms + rules) plus the local
+/// iteration inside each negative SCC — versus the globally quadratic
+/// `ComputeWfs` / `ComputeWfsAlternating` (footnote 5), and returns the
+/// identical model. `WfsModel::iterations` reports the total number of
+/// component-local alternating rounds.
+WfsModel SolveWfs(const GroundProgram& gp, SolverDiagnostics* diag = nullptr);
+
+}  // namespace gsls
+
+#endif  // GSLS_SOLVER_SOLVER_H_

@@ -1,0 +1,142 @@
+#include "solver/unfounded.h"
+
+#include <cassert>
+
+namespace gsls::solver {
+
+SourceTracker::SourceTracker(RuleTable* table) : table_(table) {
+  source_.assign(table_->atom_count(), kNoRule);
+  state_.assign(table_->atom_count(), State::kUnsourced);
+  cand_unmet_.assign(table_->rule_count(), 0);
+}
+
+void SourceTracker::InitSources(std::vector<LocalAtom>* unfounded) {
+  // Counting closure over all (live) rules: an atom is supportable when
+  // some rule for it has every internal positive body atom already
+  // supportable. The completing rule becomes the source; assignment in
+  // closure order keeps the source chains acyclic.
+  for (LocalRule r = 0; r < table_->rule_count(); ++r) {
+    cand_unmet_[r] = static_cast<uint32_t>(table_->rule(r).pos.size());
+  }
+  ready_.clear();
+  for (LocalRule r = 0; r < table_->rule_count(); ++r) {
+    if (cand_unmet_[r] != 0) continue;
+    LocalAtom head = table_->rule(r).head;
+    if (state_[head] == State::kUnsourced) {
+      Resupport(head, r);
+      ready_.push_back(head);
+    }
+  }
+  size_t qi = 0;
+  while (qi < ready_.size()) {
+    LocalAtom a = ready_[qi++];
+    for (LocalRule r : table_->PositiveOccurrences(a)) {
+      if (cand_unmet_[r] == 0 || --cand_unmet_[r] != 0) continue;
+      LocalAtom head = table_->rule(r).head;
+      if (state_[head] == State::kUnsourced) {
+        Resupport(head, r);
+        ready_.push_back(head);
+      }
+    }
+  }
+  for (LocalAtom a = 0; a < table_->atom_count(); ++a) {
+    if (state_[a] == State::kUnsourced) {
+      state_[a] = State::kFalse;
+      unfounded->push_back(a);
+    }
+  }
+}
+
+void SourceTracker::OnRuleDead(LocalRule rule) {
+  LocalAtom head = table_->rule(rule).head;
+  if (state_[head] != State::kSourced || source_[head] != rule) return;
+  source_[head] = kNoRule;
+  state_[head] = State::kUnsourced;
+  pending_.push_back(head);
+}
+
+void SourceTracker::OnAtomTrue(LocalAtom a) {
+  assert(state_[a] != State::kFalse);
+  state_[a] = State::kTrue;
+}
+
+void SourceTracker::Resupport(LocalAtom a, LocalRule r) {
+  source_[a] = r;
+  state_[a] = State::kSourced;
+}
+
+void SourceTracker::CollectUnfounded(std::vector<LocalAtom>* unfounded) {
+  ++floods_;
+
+  // Phase 1: flood the candidate set — every atom whose support chain runs
+  // through a lost source. Atoms decided true meanwhile are exempt.
+  cand_.clear();
+  flood_stack_.clear();
+  for (LocalAtom a : pending_) {
+    if (state_[a] == State::kUnsourced) flood_stack_.push_back(a);
+  }
+  pending_.clear();
+  while (!flood_stack_.empty()) {
+    LocalAtom a = flood_stack_.back();
+    flood_stack_.pop_back();
+    cand_.push_back(a);
+    for (LocalRule r : table_->PositiveOccurrences(a)) {
+      LocalAtom head = table_->rule(r).head;
+      if (state_[head] == State::kSourced && source_[head] == r) {
+        source_[head] = kNoRule;
+        state_[head] = State::kUnsourced;
+        flood_stack_.push_back(head);
+      }
+    }
+  }
+
+  // Phase 2: resupport by a counting closure restricted to the candidates.
+  // Counts are computed against the frozen candidate set first (no
+  // candidate is resupported until every count exists), so the later
+  // decrements are exact.
+  for (LocalAtom a : cand_) {
+    for (LocalRule r : table_->RulesFor(a)) {
+      if (table_->rule(r).dead) continue;
+      uint32_t unmet = 0;
+      for (LocalAtom b : table_->rule(r).pos) {
+        if (state_[b] == State::kUnsourced) ++unmet;
+      }
+      cand_unmet_[r] = unmet;
+    }
+  }
+  ready_.clear();
+  for (LocalAtom a : cand_) {
+    if (state_[a] != State::kUnsourced) continue;
+    for (LocalRule r : table_->RulesFor(a)) {
+      if (table_->rule(r).dead || cand_unmet_[r] != 0) continue;
+      Resupport(a, r);
+      ready_.push_back(a);
+      break;
+    }
+  }
+  size_t qi = 0;
+  while (qi < ready_.size()) {
+    LocalAtom b = ready_[qi++];
+    for (LocalRule r : table_->PositiveOccurrences(b)) {
+      if (table_->rule(r).dead) continue;
+      LocalAtom head = table_->rule(r).head;
+      // Heads outside the candidate set are sourced or decided; their
+      // counters were never initialized and must not be touched.
+      if (state_[head] != State::kUnsourced) continue;
+      if (cand_unmet_[r] == 0 || --cand_unmet_[r] != 0) continue;
+      Resupport(head, r);
+      ready_.push_back(head);
+    }
+  }
+
+  // Phase 3: what could not be resupported is unfounded — falsified
+  // wholesale by the caller.
+  for (LocalAtom a : cand_) {
+    if (state_[a] == State::kUnsourced) {
+      state_[a] = State::kFalse;
+      unfounded->push_back(a);
+    }
+  }
+}
+
+}  // namespace gsls::solver

@@ -1,0 +1,75 @@
+#ifndef GSLS_SOLVER_UNFOUNDED_H_
+#define GSLS_SOLVER_UNFOUNDED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "solver/rule_table.h"
+
+namespace gsls::solver {
+
+/// Source-pointer unfounded-set detection for one component (the
+/// smodels / chuffed technique). Every atom not yet decided keeps a
+/// *source*: a live rule whose internal positive body atoms are themselves
+/// sourced, in an acyclic chain bottoming out at rules with no internal
+/// positives. When propagation kills an atom's source, the tracker floods
+/// the candidate unfounded set — the atoms whose support chains ran
+/// through the loss — then resupports what it can from the surviving rules
+/// and hands back the rest, which is exactly the component-local greatest
+/// unfounded set with respect to the current interpretation and is
+/// falsified wholesale by the caller.
+class SourceTracker {
+ public:
+  explicit SourceTracker(RuleTable* table);
+
+  /// Assigns initial sources by a counting closure over the live rules.
+  /// Atoms with no possible support at all are appended to `*unfounded`
+  /// (the caller falsifies them before propagation starts).
+  void InitSources(std::vector<LocalAtom>* unfounded);
+
+  /// Reacts to `rule` dying: if it was some atom's source, that atom is
+  /// queued for the next flood.
+  void OnRuleDead(LocalRule rule);
+
+  /// Marks `a` decided true. A true atom was derived by a rule whose body
+  /// is wholly true, which can never die, so its support is permanent and
+  /// it is exempt from future floods.
+  void OnAtomTrue(LocalAtom a);
+
+  /// True if some atom lost its source since the last collection.
+  bool HasPending() const { return !pending_.empty(); }
+
+  /// Floods the candidate unfounded set from the pending source losses,
+  /// resupports every candidate that still has a well-founded support
+  /// chain, and appends the genuinely unfounded rest to `*unfounded`.
+  void CollectUnfounded(std::vector<LocalAtom>* unfounded);
+
+  /// Number of floods run (diagnostics).
+  uint64_t floods() const { return floods_; }
+
+ private:
+  enum class State : uint8_t {
+    kSourced,    ///< has a valid source rule
+    kUnsourced,  ///< lost its source; pending or mid-flood
+    kTrue,       ///< decided true; permanently supported
+    kFalse,      ///< decided false; out of the game
+  };
+
+  void Resupport(LocalAtom a, LocalRule r);
+
+  RuleTable* table_;
+  std::vector<LocalRule> source_;  ///< per atom; kNoRule when invalid
+  std::vector<State> state_;       ///< per atom
+  std::vector<LocalAtom> pending_;
+  uint64_t floods_ = 0;
+
+  // Flood scratch, reused across calls.
+  std::vector<LocalAtom> cand_;
+  std::vector<LocalAtom> flood_stack_;
+  std::vector<LocalAtom> ready_;
+  std::vector<uint32_t> cand_unmet_;  ///< per rule; valid for cand heads only
+};
+
+}  // namespace gsls::solver
+
+#endif  // GSLS_SOLVER_UNFOUNDED_H_

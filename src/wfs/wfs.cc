@@ -117,6 +117,24 @@ WfsModel ComputeWfsAlternating(const GroundProgram& gp) {
   return out;
 }
 
+std::string DescribeModelDifference(const GroundProgram& gp,
+                                    const Interpretation& lhs,
+                                    const Interpretation& rhs) {
+  std::string out;
+  for (AtomId a = 0; a < gp.atom_count(); ++a) {
+    TruthValue l = lhs.Value(a);
+    TruthValue r = rhs.Value(a);
+    if (l == r) continue;
+    out += gp.store().ToString(gp.AtomTerm(a));
+    out += ": ";
+    out += TruthValueName(l);
+    out += " vs ";
+    out += TruthValueName(r);
+    out += "\n";
+  }
+  return out;
+}
+
 bool IsTwoValuedModel(const GroundProgram& gp, const Interpretation& total) {
   for (const GroundRule& r : gp.rules()) {
     if (total.IsTrue(r.head)) continue;

@@ -2,6 +2,7 @@
 #define GSLS_WFS_WFS_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "ground/ground_program.h"
@@ -32,7 +33,9 @@ struct WfsStages {
 
 /// Computes M_WF(P) by iterating W_P(I) = T_P(I) ∪ ¬·U_P(I) from ∅
 /// (Def. 2.3). Quadratic worst case (each round is linear, at most
-/// |atoms|+1 rounds).
+/// |atoms|+1 rounds). `SolveWfs` (src/solver/) computes the same model
+/// SCC-stratified in near-linear time and is the production hot path;
+/// the iterations here stay as the executable definition and oracle.
 WfsModel ComputeWfs(const GroundProgram& gp);
 
 /// Computes M_WF(P) by iterating V_P(I) = T̃_P^ω(I) ∪ ¬·U_P(I) from ∅
@@ -51,6 +54,13 @@ WfsModel ComputeWfsAlternating(const GroundProgram& gp);
 /// two-valued: head true, or some positive body atom false, or some
 /// negative body atom true.
 bool IsTwoValuedModel(const GroundProgram& gp, const Interpretation& total);
+
+/// Renders the atoms on which two partial interpretations disagree, as
+/// `atom: lhs-value vs rhs-value` lines — the debugging companion of the
+/// model-agreement tests and benches. Empty when the models are equal.
+std::string DescribeModelDifference(const GroundProgram& gp,
+                                    const Interpretation& lhs,
+                                    const Interpretation& rhs);
 
 /// Least fixpoint of positive derivation where `not q` is read as
 /// "q not in assumed_true": the Gelfond-Lifschitz reduct closure. This is

@@ -260,6 +260,37 @@ TEST(EngineTest, MemoizationReusesResults) {
   EXPECT_LE(again.negation_nodes, 2u);
 }
 
+TEST(EngineTest, OracleAndSearchAgreeEitherWay) {
+  // The bottom-up oracle (default) and the pure search must assign the
+  // same status to every ground atom of a function-free program.
+  Rng rng(0x0AC1Eu);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::string src = testing::RandomGameProgram(rng, 6, 30);
+    Fixture f(src);
+    GlobalSlsEngine with_oracle(f.program);
+    EngineOptions no_oracle_opts;
+    no_oracle_opts.bottom_up_oracle = false;
+    GlobalSlsEngine no_oracle(f.program, no_oracle_opts);
+    GroundProgram gp = testing::MustGround(f.program);
+    for (AtomId a = 0; a < gp.atom_count(); ++a) {
+      const Term* atom = gp.AtomTerm(a);
+      EXPECT_EQ(with_oracle.StatusOf(atom), no_oracle.StatusOf(atom))
+          << f.store.ToString(atom) << " in\n" << src;
+    }
+  }
+}
+
+TEST(EngineTest, OracleAnswersWithoutSearchWork) {
+  // A seeded memo resolves ground goals without expanding any SLP tree.
+  Fixture f(
+      "win(X) :- move(X, Y), not win(Y).\n"
+      "move(n1, n2). move(n2, n3). move(n3, n4).\n");
+  GlobalSlsEngine engine(f.program);
+  QueryResult r = engine.SolveAtom(MustParseTerm(f.store, "win(n1)"));
+  EXPECT_EQ(r.status, GoalStatus::kSuccessful);
+  EXPECT_EQ(r.negation_nodes, 0u);
+}
+
 TEST(EngineTest, LevelsMatchStagesOnChain) {
   Fixture f(
       "win(X) :- move(X, Y), not win(Y).\n"
