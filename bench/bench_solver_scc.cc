@@ -47,7 +47,8 @@ void RunScc(const GroundProgram& gp) { SolveWfs(gp); }
 void RunWp(const GroundProgram& gp) { ComputeWfs(gp); }
 void RunAlternating(const GroundProgram& gp) { ComputeWfsAlternating(gp); }
 
-void PrintVerification() {
+bool PrintVerification() {
+  bool all_agree = true;
   std::printf("=== SCC-stratified solver vs global fixpoints ===\n");
   std::printf("%-22s %8s %8s %6s %6s %9s %9s %9s %8s  %s\n", "workload",
               "atoms", "sccs", "neg", "floods", "scc(s)", "Wp(s)", "AF(s)",
@@ -74,6 +75,7 @@ void PrintVerification() {
     WfsModel wp = ComputeWfs(gp);
     WfsModel af = ComputeWfsAlternating(gp);
     bool agree = scc.model == wp.model && scc.model == af.model;
+    all_agree &= agree;
     if (!agree) {
       std::printf("DISAGREEMENT on %s:\n%s", item.name.c_str(),
                   DescribeModelDifference(gp, scc.model, wp.model).c_str());
@@ -93,6 +95,7 @@ void PrintVerification() {
       "the Wp/scc speedup grows with the chain length (quadratic vs\n"
       "near-linear); sccs tracks atoms on stratified workloads and floods\n"
       "stays near the number of drawn (undefined) regions.\n\n");
+  return all_agree;
 }
 
 void ReportSccCounters(benchmark::State& state, const GroundProgram& gp) {
@@ -190,8 +193,14 @@ BENCHMARK(BM_Alternating_Propositional)->Arg(64)->Arg(256)->Arg(1024);
 }  // namespace
 
 int main(int argc, char** argv) {
-  PrintVerification();
+  // The agreement table is a hard gate: CI fails on any disagreement, not
+  // just on a crash.
+  bool ok = PrintVerification();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  if (!ok) {
+    std::fprintf(stderr, "solver/reference model disagreement\n");
+    return 1;
+  }
   return 0;
 }

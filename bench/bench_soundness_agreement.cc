@@ -30,7 +30,8 @@ GoalStatus Expected(TruthValue v) {
   return GoalStatus::kUnknown;
 }
 
-void PrintVerification() {
+bool PrintVerification() {
+  size_t total_mismatch = 0;
   std::printf("=== E7: status <-> truth agreement (Thm. 4.7) ===\n");
   std::printf("%-22s %8s %8s %8s %10s %10s\n", "family", "atoms", "search",
               "tabled", "search-unk", "mismatch");
@@ -89,12 +90,14 @@ void PrintVerification() {
     }
     std::printf("%-22s %8zu %8zu %8zu %10zu %10zu\n", fam.name, atoms,
                 search_ok, tabled_ok, search_unknown, mismatch);
+    total_mismatch += mismatch;
   }
   std::printf(
       "\nExpected shape: tabled == atoms (the memoing engine is exact on\n"
       "every function-free program); search runs with the bottom-up oracle\n"
       "disabled (it would be circular here) and may report a few honest\n"
       "kUnknown on dense SCCs; mismatch == 0 always (soundness).\n\n");
+  return total_mismatch == 0;
 }
 
 void BM_SearchEngineGame(benchmark::State& state) {
@@ -128,8 +131,14 @@ BENCHMARK(BM_TabledEngineGame)->Arg(4)->Arg(6)->Arg(8)->Arg(16)->Arg(32);
 }  // namespace
 
 int main(int argc, char** argv) {
-  PrintVerification();
+  // Soundness (mismatch == 0) is a hard gate: CI fails on any mismatch,
+  // not just on a crash. Honest kUnknowns are allowed.
+  bool ok = PrintVerification();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  if (!ok) {
+    std::fprintf(stderr, "status/truth mismatch (soundness violation)\n");
+    return 1;
+  }
   return 0;
 }

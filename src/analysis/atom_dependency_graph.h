@@ -27,6 +27,12 @@ class AtomDependencyGraph {
     return static_cast<uint32_t>(comp_offsets_.size() - 1);
   }
 
+  /// Number of atoms the graph was built over. A `GroundProgram` that has
+  /// since interned more atoms makes this condensation stale (fact deltas
+  /// never add dependency *edges* — unit rules have no body — so staleness
+  /// is exactly an atom-count mismatch and rebuilds can be lazy).
+  size_t atom_count() const { return comp_of_.size(); }
+
   /// Component of `atom`. Components are numbered in dependency order:
   /// every body atom of a rule whose head lies in component c belongs to a
   /// component with id <= c, with equality exactly for intra-component

@@ -65,31 +65,49 @@ void GlobalSlsEngine::MaybeSeedOracle() {
       if (l.atom->depth() > 2) return;
     }
   }
-  GroundingOptions gopts;
-  Result<GroundProgram> gp = GroundRelevant(program_, gopts);
-  if (!gp.ok()) return;  // over budget: fall back to plain search
-  WfsModel wfs = SolveWfs(gp.value());
+  // A program that gained clauses since the oracle was built (AddClause,
+  // then ClearMemo) invalidates the ground model wholesale: rebuild.
+  if (oracle_solver_ != nullptr &&
+      oracle_clause_count_ != program_.clauses().size()) {
+    oracle_solver_.reset();
+    oracle_stages_.reset();
+  }
+  if (oracle_solver_ == nullptr) {
+    GroundingOptions gopts;
+    Result<GroundProgram> ground = GroundRelevant(program_, gopts);
+    if (!ground.ok()) return;  // over budget: fall back to plain search
+    oracle_solver_ =
+        std::make_unique<IncrementalSolver>(std::move(ground.value()));
+    oracle_clause_count_ = program_.clauses().size();
+  }
+  // The incremental instance persists across queries and `ClearMemo`:
+  // `Model()` returns the cached solve when the program is unchanged, so
+  // reseeding is one O(atoms) memo fill, not a re-ground and re-solve.
+  const GroundProgram& gp = oracle_solver_->program();
+  const WfsModel& wfs = oracle_solver_->Model();
   // Statuses always come from the SCC solver, so oracle behavior does not
   // depend on `compute_levels`; the stage iteration (same model, but
   // quadratic) is paid only for the levels Cor. 4.6 reads off it.
-  WfsStages stages;
-  if (opts_.compute_levels) stages = ComputeWfsStages(gp.value());
-  for (AtomId a = 0; a < gp->atom_count(); ++a) {
-    MemoEntry& entry = memo_[gp->AtomTerm(a)];
+  if (opts_.compute_levels && oracle_stages_ == nullptr) {
+    oracle_stages_ = std::make_unique<WfsStages>(ComputeWfsStages(gp));
+  }
+  const WfsStages* stages = oracle_stages_.get();
+  for (AtomId a = 0; a < gp.atom_count(); ++a) {
+    MemoEntry& entry = memo_[gp.AtomTerm(a)];
     entry.done = true;
     SubgoalOutcome& out = entry.outcome;
     switch (wfs.model.Value(a)) {
       case TruthValue::kTrue:
         out.status = GoalStatus::kSuccessful;
-        if (opts_.compute_levels) {
-          out.level = Ordinal::Finite(stages.true_stage[a]);
+        if (stages != nullptr) {
+          out.level = Ordinal::Finite(stages->true_stage[a]);
           out.level_exact = true;
         }
         break;
       case TruthValue::kFalse:
         out.status = GoalStatus::kFailed;
-        if (opts_.compute_levels) {
-          out.level = Ordinal::Finite(stages.false_stage[a]);
+        if (stages != nullptr) {
+          out.level = Ordinal::Finite(stages->false_stage[a]);
           out.level_exact = true;
         }
         break;

@@ -1,6 +1,7 @@
 #ifndef GSLS_CORE_ENGINE_H_
 #define GSLS_CORE_ENGINE_H_
 
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -8,6 +9,7 @@
 
 #include "core/ordinal.h"
 #include "lang/program.h"
+#include "solver/incremental.h"
 #include "term/substitution.h"
 
 namespace gsls {
@@ -127,10 +129,18 @@ class GlobalSlsEngine {
   GoalStatus StatusOf(const Term* ground_atom);
 
   /// Clears the ground-subgoal memo table (the bottom-up oracle reseeds it
-  /// on the next query when enabled).
+  /// on the next query when enabled). The oracle's `IncrementalSolver` and
+  /// its solved model are retained, so reseeding costs one memo fill, not
+  /// a re-ground and re-solve.
   void ClearMemo() {
     memo_.clear();
     oracle_attempted_ = false;
+  }
+
+  /// The persistent bottom-up oracle instance, if one has been built
+  /// (null before the first query or when the oracle does not apply).
+  const IncrementalSolver* oracle_solver() const {
+    return oracle_solver_.get();
   }
 
   const EngineOptions& options() const { return opts_; }
@@ -208,6 +218,14 @@ class GlobalSlsEngine {
   const Program& program_;
   TermStore& store_;
   EngineOptions opts_;
+  /// Bottom-up oracle state, built once per engine and reused across
+  /// queries and `ClearMemo` (`MaybeSeedOracle` re-solves nothing when the
+  /// ground program is unchanged; `IncrementalSolver::Model` is cached).
+  /// Rebuilt when the program's clause count moved since the build — the
+  /// mutate-then-`ClearMemo` pattern must not answer from a stale model.
+  std::unique_ptr<IncrementalSolver> oracle_solver_;
+  std::unique_ptr<WfsStages> oracle_stages_;
+  size_t oracle_clause_count_ = 0;
   std::unordered_map<const Term*, MemoEntry> memo_;
   size_t work_ = 0;
   size_t negation_nodes_ = 0;

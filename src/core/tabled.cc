@@ -7,14 +7,29 @@
 
 namespace gsls {
 
+/// Stage path vs. incremental path: with stages the quadratic V_P
+/// iteration runs once; without, the model comes from the near-linear SCC
+/// solver and the engine stays open for ground deltas.
+Result<TabledEngine> TabledEngine::FinishCreate(const Program& program,
+                                                GroundProgram gp,
+                                                TabledOptions opts) {
+  if (opts.compute_stages) {
+    WfsStages stages = ComputeWfsStages(gp);
+    TabledEngine engine(program, std::move(gp), std::move(stages));
+    engine.opts_ = opts;
+    return engine;
+  }
+  TabledEngine engine(program,
+                      std::make_unique<IncrementalSolver>(std::move(gp)));
+  engine.opts_ = opts;
+  return engine;
+}
+
 Result<TabledEngine> TabledEngine::Create(const Program& program,
                                           TabledOptions opts) {
   Result<GroundProgram> gp = GroundRelevant(program, opts.grounding);
   if (!gp.ok()) return gp.status();
-  WfsStages stages = ComputeWfsStages(gp.value());
-  TabledEngine engine(program, std::move(gp.value()), std::move(stages));
-  engine.opts_ = opts;
-  return engine;
+  return FinishCreate(program, std::move(gp.value()), opts);
 }
 
 Result<TabledEngine> TabledEngine::CreateForQuery(const Program& program,
@@ -25,19 +40,25 @@ Result<TabledEngine> TabledEngine::CreateForQuery(const Program& program,
   std::vector<const Term*> roots;
   roots.reserve(query.size());
   for (const Literal& l : query) roots.push_back(l.atom);
-  GroundProgram restricted = RestrictToRelevant(gp.value(), roots);
-  WfsStages stages = ComputeWfsStages(restricted);
-  TabledEngine engine(program, std::move(restricted), std::move(stages));
-  engine.opts_ = opts;
-  return engine;
+  return FinishCreate(program, RestrictToRelevant(gp.value(), roots), opts);
+}
+
+bool TabledEngine::AssertFact(const Term* fact) {
+  if (incremental_ == nullptr) return false;
+  return incremental_->Assert(fact);
+}
+
+bool TabledEngine::RetractFact(const Term* fact) {
+  if (incremental_ == nullptr) return false;
+  return incremental_->Retract(fact);
 }
 
 TruthValue TabledEngine::ValueOf(const Term* ground_atom) const {
-  std::optional<AtomId> id = ground_->FindAtom(ground_atom);
+  std::optional<AtomId> id = ground().FindAtom(ground_atom);
   // Atoms outside the relevant instantiation have no derivation, hence are
   // unfounded at the first stage.
   if (!id.has_value()) return TruthValue::kFalse;
-  return stages_.model.Value(*id);
+  return model().Value(*id);
 }
 
 GoalStatus TabledEngine::StatusOf(const Term* ground_atom) const {
@@ -50,8 +71,9 @@ GoalStatus TabledEngine::StatusOf(const Term* ground_atom) const {
 }
 
 std::optional<Ordinal> TabledEngine::LevelOf(const Term* ground_atom) const {
-  std::optional<AtomId> id = ground_->FindAtom(ground_atom);
+  std::optional<AtomId> id = ground().FindAtom(ground_atom);
   if (!id.has_value()) return Ordinal::Finite(1);  // fails at stage 1
+  if (!has_stages()) return std::nullopt;  // model-only engine: no stages
   switch (stages_.model.Value(*id)) {
     case TruthValue::kTrue:
       return Ordinal::Finite(stages_.true_stage[*id]);
@@ -77,10 +99,10 @@ void TabledEngine::MatchPositives(const Goal& goal, size_t index,
   // value is not false (false atoms cannot contribute to a success or to an
   // undefined instance; instances using them are failed and enumerate to
   // nothing).
-  for (AtomId a = 0; a < ground_->atom_count(); ++a) {
-    const Term* atom = ground_->AtomTerm(a);
+  for (AtomId a = 0; a < ground().atom_count(); ++a) {
+    const Term* atom = ground().AtomTerm(a);
     if (atom->functor() != pattern->functor()) continue;
-    if (stages_.model.IsFalse(a)) continue;
+    if (model().IsFalse(a)) continue;
     Substitution extended = subst;
     if (!Unify(pattern, atom, &extended)) continue;
     MatchPositives(goal, index + 1, extended, on_complete);
@@ -110,11 +132,11 @@ QueryResult TabledEngine::Solve(const Goal& goal) const {
     for (const Literal& l : goal) {
       const Term* atom = subst.Apply(store, l.atom);
       if (l.positive) {
-        std::optional<AtomId> id = ground_->FindAtom(atom);
+        std::optional<AtomId> id = ground().FindAtom(atom);
         // Positive literals were matched against registered atoms.
-        TruthValue v = stages_.model.Value(*id);
+        TruthValue v = model().Value(*id);
         if (v == TruthValue::kUndefined) instance_true = false;
-        if (v == TruthValue::kTrue) {
+        if (v == TruthValue::kTrue && has_stages()) {
           level = Ordinal::Lub(level,
                                Ordinal::Finite(stages_.true_stage[*id]));
         }
@@ -136,7 +158,8 @@ QueryResult TabledEngine::Solve(const Goal& goal) const {
             instance_true = false;
             break;
           case TruthValue::kFalse: {
-            std::optional<AtomId> id = ground_->FindAtom(atom);
+            if (!has_stages()) break;
+            std::optional<AtomId> id = ground().FindAtom(atom);
             uint32_t stage = id.has_value() ? stages_.false_stage[*id] : 1;
             level = Ordinal::Lub(level, Ordinal::Finite(stage));
             break;
@@ -158,7 +181,7 @@ QueryResult TabledEngine::Solve(const Goal& goal) const {
       if (!(image->IsVar() && image->var() == v)) ans.theta.Bind(v, image);
     }
     ans.level = level;
-    ans.level_exact = true;
+    ans.level_exact = has_stages();
     if (!have_min || ans.level < min_success) {
       min_success = ans.level;
       have_min = true;
@@ -184,7 +207,7 @@ QueryResult TabledEngine::Solve(const Goal& goal) const {
   if (any_success) {
     result.status = GoalStatus::kSuccessful;
     result.level = min_success;
-    result.level_exact = true;
+    result.level_exact = has_stages();
   } else if (any_floundered) {
     result.status = GoalStatus::kFloundered;
   } else if (any_undefined) {

@@ -6,6 +6,7 @@
 
 #include "core/engine.h"
 #include "ground/grounder.h"
+#include "solver/incremental.h"
 #include "util/status.h"
 #include "wfs/wfs.h"
 
@@ -15,6 +16,14 @@ namespace gsls {
 struct TabledOptions {
   GroundingOptions grounding;
   size_t max_answers = 1'000'000;
+  /// Compute the V_P stage levels (Def. 2.4) alongside the model. The
+  /// stage iteration is quadratic; when levels are not needed, leave this
+  /// false and the engine takes the near-linear SCC-stratified path
+  /// through an `IncrementalSolver` — which also enables
+  /// `AssertFact`/`RetractFact` ground deltas between queries. Without
+  /// stages, `LevelOf` has no level to report for registered atoms and
+  /// answers carry `level_exact == false`.
+  bool compute_stages = true;
 };
 
 /// The effective variant of global SLS-resolution for function-free
@@ -33,7 +42,9 @@ struct TabledOptions {
 /// whose derivations stay within the bound).
 class TabledEngine {
  public:
-  /// Grounds `program` and computes its well-founded model with stages.
+  /// Grounds `program` and computes its well-founded model — with stages
+  /// via the V_P iteration when `opts.compute_stages`, else model-only via
+  /// the SCC-stratified incremental solver.
   static Result<TabledEngine> Create(const Program& program,
                                      TabledOptions opts = {});
 
@@ -52,14 +63,35 @@ class TabledEngine {
   GoalStatus StatusOf(const Term* ground_atom) const;
 
   /// Level of `<- atom`: the stage of the corresponding literal
-  /// (Cor. 4.6). Empty for undefined atoms (no level exists).
+  /// (Cor. 4.6). Empty for undefined atoms (no level exists) and for
+  /// registered atoms when the engine was created without stages.
   std::optional<Ordinal> LevelOf(const Term* ground_atom) const;
 
   /// Evaluates a (possibly nonground) goal: enumerates every answer
-  /// substitution grounding the goal into well-founded truth, with levels.
+  /// substitution grounding the goal into well-founded truth, with levels
+  /// when stages were computed.
   QueryResult Solve(const Goal& goal) const;
 
-  const GroundProgram& ground() const { return *ground_; }
+  /// Asserts/retracts a ground fact; the next read incrementally
+  /// re-solves the affected up-cone of components (`IncrementalSolver`).
+  /// Only available when the engine was created with
+  /// `compute_stages == false`. Returns true iff the fact base changed —
+  /// false on a no-op delta (fact already present/absent) and always
+  /// false (changing nothing) on a staged engine, whose stages would go
+  /// stale. Deltas are ground-level: they toggle unit rules, they do not
+  /// re-ground non-unit rules.
+  bool AssertFact(const Term* fact);
+  bool RetractFact(const Term* fact);
+
+  /// True when this engine serves models from the incremental SCC solver
+  /// (created with `compute_stages == false`).
+  bool incremental() const { return incremental_ != nullptr; }
+
+  const GroundProgram& ground() const {
+    return incremental_ != nullptr ? incremental_->program() : *ground_;
+  }
+  /// Entirely empty when `incremental()` (model reads go through the
+  /// solver instead; see `model()`): only the stage path fills this.
   const WfsStages& stages() const { return stages_; }
   const Program& program() const { return *program_; }
 
@@ -69,6 +101,24 @@ class TabledEngine {
         ground_(std::make_unique<GroundProgram>(std::move(ground))),
         stages_(std::move(stages)) {}
 
+  TabledEngine(const Program& program,
+               std::unique_ptr<IncrementalSolver> incremental)
+      : program_(&program), incremental_(std::move(incremental)) {}
+
+  static Result<TabledEngine> FinishCreate(const Program& program,
+                                           GroundProgram gp,
+                                           TabledOptions opts);
+
+  /// The current well-founded model: `stages_.model` on the stage path,
+  /// the (lazily delta-refreshed) incremental model otherwise. No copy per
+  /// delta — the up-cone re-solve stays the only per-delta cost.
+  const Interpretation& model() const {
+    return incremental_ != nullptr ? incremental_->Model().model
+                                   : stages_.model;
+  }
+
+  bool has_stages() const { return incremental_ == nullptr; }
+
   /// Backtracking matcher over the atom registry for the positive part of
   /// a goal; `on_complete` is invoked once per grounding substitution.
   template <typename Fn>
@@ -77,6 +127,7 @@ class TabledEngine {
 
   const Program* program_;
   std::unique_ptr<GroundProgram> ground_;
+  std::unique_ptr<IncrementalSolver> incremental_;
   WfsStages stages_;
   TabledOptions opts_;
 };

@@ -33,7 +33,7 @@ uint64_t RuleFingerprint(const GroundRule& r) {
 }
 }  // namespace
 
-void GroundProgram::AddRule(GroundRule rule) {
+RuleId GroundProgram::AddRule(GroundRule rule) {
   // Normalize body order for deduplication (body literal order is
   // semantically irrelevant in a ground rule).
   std::sort(rule.pos.begin(), rule.pos.end());
@@ -49,7 +49,7 @@ void GroundProgram::AddRule(GroundRule rule) {
     const GroundRule& existing = rules_[id];
     if (existing.head == rule.head && existing.pos == rule.pos &&
         existing.neg == rule.neg) {
-      return;
+      return id;
     }
   }
   RuleId id = static_cast<RuleId>(rules_.size());
@@ -66,6 +66,15 @@ void GroundProgram::AddRule(GroundRule rule) {
     neg_occ_[a].push_back(id);
   }
   rules_.push_back(std::move(rule));
+  return id;
+}
+
+std::optional<RuleId> GroundProgram::FindUnitRule(AtomId atom) const {
+  for (RuleId rid : RulesFor(atom)) {
+    const GroundRule& r = rules_[rid];
+    if (r.pos.empty() && r.neg.empty()) return rid;
+  }
+  return std::nullopt;
 }
 
 void GroundProgram::EnsureIndex(AtomId atom) {

@@ -42,8 +42,14 @@ class GroundProgram {
   const Term* AtomTerm(AtomId id) const { return atom_terms_[id]; }
   size_t atom_count() const { return atom_terms_.size(); }
 
-  /// Adds a rule (deduplicated: an identical rule is added once).
-  void AddRule(GroundRule rule);
+  /// Adds a rule (deduplicated: an identical rule is added once). Returns
+  /// the id of the rule — the existing one when `rule` was a duplicate.
+  RuleId AddRule(GroundRule rule);
+
+  /// The id of the unit rule `atom.` (empty body) if one exists. A fact
+  /// delta (`IncrementalSolver::Assert`/`Retract`) toggles exactly this
+  /// rule.
+  std::optional<RuleId> FindUnitRule(AtomId atom) const;
 
   const std::vector<GroundRule>& rules() const { return rules_; }
   size_t rule_count() const { return rules_.size(); }

@@ -1,0 +1,193 @@
+#include "solver/component_eval.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "solver/rule_table.h"
+#include "solver/unfounded.h"
+
+namespace gsls::solver {
+
+TruthValue EvalNonRecursiveAtom(const GroundProgram& gp, AtomId atom,
+                                const Interpretation& interp,
+                                const std::vector<uint8_t>* disabled,
+                                uint64_t* rules_visited) {
+  TruthValue out = TruthValue::kFalse;
+  for (RuleId rid : gp.RulesFor(atom)) {
+    if (disabled != nullptr && (*disabled)[rid]) continue;
+    ++*rules_visited;
+    const GroundRule& r = gp.rules()[rid];
+    TruthValue body = TruthValue::kTrue;
+    for (AtomId b : r.pos) {
+      if (interp.IsFalse(b)) {
+        body = TruthValue::kFalse;
+        break;
+      }
+      if (!interp.IsTrue(b)) body = TruthValue::kUndefined;
+    }
+    if (body != TruthValue::kFalse) {
+      for (AtomId b : r.neg) {
+        if (interp.IsTrue(b)) {
+          body = TruthValue::kFalse;
+          break;
+        }
+        if (!interp.IsFalse(b)) body = TruthValue::kUndefined;
+      }
+    }
+    if (body == TruthValue::kTrue) return TruthValue::kTrue;
+    if (body == TruthValue::kUndefined) out = TruthValue::kUndefined;
+  }
+  return out;
+}
+
+namespace {
+
+/// Drives one recursive component to its local well-founded fixpoint:
+/// watched-counter truth propagation alternating with source-pointer
+/// unfounded-set floods, writing decided atoms straight into the global
+/// interpretation. Undecided atoms at quiescence are undefined.
+class ComponentSolver {
+ public:
+  ComponentSolver(const GroundProgram& gp, const AtomDependencyGraph& graph,
+                  uint32_t comp, const std::vector<uint8_t>* disabled,
+                  Interpretation* global, SolverDiagnostics* diag)
+      : table_(gp, graph, comp, *global, disabled), support_(&table_),
+        global_(global), diag_(diag) {}
+
+  void Run() {
+    diag_->rules_visited += table_.rule_count();
+
+    // Initial support closure on the pristine component; atoms with no
+    // possible support (e.g. pure positive loops) fall out immediately.
+    std::vector<LocalAtom> unfounded;
+    support_.InitSources(&unfounded);
+    diag_->unfounded_falsified += unfounded.size();
+    for (LocalAtom a : unfounded) SetFalse(a);
+
+    // Rules whose compiled body is empty are already satisfied.
+    for (LocalRule r = 0; r < table_.rule_count(); ++r) {
+      if (!table_.rule(r).dead && table_.rule(r).unsat == 0) {
+        SetTrue(table_.rule(r).head);
+      }
+    }
+
+    // Component-local alternating fixpoint: exhaust truth/false
+    // propagation, then fold the next greatest-unfounded layer in, until
+    // both are quiescent.
+    while (true) {
+      Propagate();
+      if (!support_.HasPending()) break;
+      ++diag_->alternating_rounds;
+      unfounded.clear();
+      support_.CollectUnfounded(&unfounded);
+      diag_->unfounded_falsified += unfounded.size();
+      for (LocalAtom a : unfounded) SetFalse(a);
+    }
+    diag_->unfounded_floods += support_.floods();
+  }
+
+ private:
+  void SetTrue(LocalAtom a) {
+    AtomId g = table_.GlobalAtom(a);
+    if (global_->IsTrue(g)) return;
+    // A rule fires only with a wholly true body, which never includes an
+    // unfounded atom, so a fired head cannot have been falsified.
+    assert(!global_->IsFalse(g));
+    global_->SetTrue(g);
+    support_.OnAtomTrue(a);
+    true_queue_.push_back(a);
+  }
+
+  void SetFalse(LocalAtom a) {
+    AtomId g = table_.GlobalAtom(a);
+    if (global_->IsFalse(g)) return;
+    assert(!global_->IsTrue(g));
+    global_->SetFalse(g);
+    false_queue_.push_back(a);
+  }
+
+  void Kill(LocalRule r) {
+    CompiledRule& rule = table_.rule(r);
+    if (rule.dead) return;
+    rule.dead = true;
+    support_.OnRuleDead(r);
+  }
+
+  void Propagate() {
+    while (!true_queue_.empty() || !false_queue_.empty()) {
+      if (!true_queue_.empty()) {
+        LocalAtom a = true_queue_.back();
+        true_queue_.pop_back();
+        for (LocalRule r : table_.PositiveOccurrences(a)) {
+          CompiledRule& rule = table_.rule(r);
+          if (!rule.dead && --rule.unsat == 0) SetTrue(rule.head);
+        }
+        // `not a` is now false: those rules are unusable for good.
+        for (LocalRule r : table_.NegativeOccurrences(a)) Kill(r);
+      } else {
+        LocalAtom a = false_queue_.back();
+        false_queue_.pop_back();
+        for (LocalRule r : table_.PositiveOccurrences(a)) Kill(r);
+        // `not a` is now satisfied.
+        for (LocalRule r : table_.NegativeOccurrences(a)) {
+          CompiledRule& rule = table_.rule(r);
+          if (!rule.dead && --rule.unsat == 0) SetTrue(rule.head);
+        }
+      }
+    }
+  }
+
+  RuleTable table_;
+  SourceTracker support_;
+  Interpretation* global_;
+  SolverDiagnostics* diag_;
+  std::vector<LocalAtom> true_queue_;
+  std::vector<LocalAtom> false_queue_;
+};
+
+}  // namespace
+
+void SolveRecursiveComponent(const GroundProgram& gp,
+                             const AtomDependencyGraph& graph, uint32_t comp,
+                             const std::vector<uint8_t>* disabled,
+                             Interpretation* global, SolverDiagnostics* diag) {
+  ComponentSolver(gp, graph, comp, disabled, global, diag).Run();
+}
+
+void SolveComponent(const GroundProgram& gp, const AtomDependencyGraph& graph,
+                    uint32_t comp, const std::vector<uint8_t>* disabled,
+                    Interpretation* global, SolverDiagnostics* diag) {
+  if (!graph.IsRecursive(comp)) {
+    // Singleton without a self-loop: one 3-valued pass over its rules.
+    AtomId a = graph.Atoms(comp)[0];
+    switch (EvalNonRecursiveAtom(gp, a, *global, disabled,
+                                 &diag->rules_visited)) {
+      case TruthValue::kTrue: global->SetTrue(a); break;
+      case TruthValue::kFalse: global->SetFalse(a); break;
+      case TruthValue::kUndefined: break;
+    }
+    return;
+  }
+  ++diag->recursive_components;
+  if (graph.HasInternalNegation(comp)) ++diag->negation_components;
+  SolveRecursiveComponent(gp, graph, comp, disabled, global, diag);
+}
+
+WfsModel SolveAllComponents(const GroundProgram& gp,
+                            const AtomDependencyGraph& graph,
+                            const std::vector<uint8_t>* disabled,
+                            SolverDiagnostics* diag) {
+  WfsModel out;
+  out.model = Interpretation(gp.atom_count());
+  diag->component_count = graph.component_count();
+  for (uint32_t c = 0; c < graph.component_count(); ++c) {
+    diag->max_component_size =
+        std::max(diag->max_component_size,
+                 static_cast<uint32_t>(graph.Atoms(c).size()));
+    SolveComponent(gp, graph, c, disabled, &out.model, diag);
+  }
+  out.iterations = static_cast<uint32_t>(diag->alternating_rounds);
+  return out;
+}
+
+}  // namespace gsls::solver

@@ -1,0 +1,60 @@
+#ifndef GSLS_SOLVER_COMPONENT_EVAL_H_
+#define GSLS_SOLVER_COMPONENT_EVAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/atom_dependency_graph.h"
+#include "ground/ground_program.h"
+#include "solver/solver.h"
+#include "wfs/interpretation.h"
+
+namespace gsls::solver {
+
+/// The per-component evaluation primitives of `SolveWfs`, factored out so
+/// the full solver and the delta-driven `IncrementalSolver` run the exact
+/// same machinery. Every entry point takes an optional `disabled` mask
+/// (one byte per `RuleId`; nonzero = the rule does not exist for this
+/// solve), which is how retracted facts are hidden without rebuilding the
+/// `GroundProgram`.
+
+/// Direct 3-valued evaluation of a non-recursive atom: every body literal
+/// refers to a lower component, so its value is final, and the atom is
+/// just the disjunction of its rules' body conjunctions. O(rules) with no
+/// fixpoint machinery — this is the hot path on stratified chains.
+TruthValue EvalNonRecursiveAtom(const GroundProgram& gp, AtomId atom,
+                                const Interpretation& interp,
+                                const std::vector<uint8_t>* disabled,
+                                uint64_t* rules_visited);
+
+/// Drives one recursive component to its local well-founded fixpoint:
+/// watched-counter truth propagation alternating with source-pointer
+/// unfounded-set floods, writing decided atoms straight into `*global`.
+/// Undecided atoms at quiescence are undefined. Every atom of the
+/// component must be undefined in `*global` on entry; lower components
+/// must be final.
+void SolveRecursiveComponent(const GroundProgram& gp,
+                             const AtomDependencyGraph& graph, uint32_t comp,
+                             const std::vector<uint8_t>* disabled,
+                             Interpretation* global, SolverDiagnostics* diag);
+
+/// Solves component `comp` into `*global` (dispatching on
+/// `graph.IsRecursive`), assuming its atoms are undefined and all lower
+/// components final. The single-component step shared by `SolveWfs` and
+/// the incremental up-cone re-solve.
+void SolveComponent(const GroundProgram& gp, const AtomDependencyGraph& graph,
+                    uint32_t comp, const std::vector<uint8_t>* disabled,
+                    Interpretation* global, SolverDiagnostics* diag);
+
+/// Full SCC-stratified solve over an already-built condensation: every
+/// component in dependency order. `SolveWfs` is this plus graph
+/// construction; `IncrementalSolver` calls it for the initial solve and
+/// for `SolveFresh` baselines.
+WfsModel SolveAllComponents(const GroundProgram& gp,
+                            const AtomDependencyGraph& graph,
+                            const std::vector<uint8_t>* disabled,
+                            SolverDiagnostics* diag);
+
+}  // namespace gsls::solver
+
+#endif  // GSLS_SOLVER_COMPONENT_EVAL_H_

@@ -1,0 +1,161 @@
+#include "solver/incremental.h"
+
+#include <cassert>
+
+#include "solver/component_eval.h"
+#include "util/strings.h"
+
+namespace gsls {
+
+std::string IncrementalStats::ToString() const {
+  return StrCat("deltas=", deltas, " full=", full_solves,
+                " incremental=", incremental_solves,
+                " rebuilds=", graph_rebuilds,
+                " resolved=", components_resolved,
+                " reused=", components_reused, " cutoffs=", cone_cutoffs);
+}
+
+IncrementalSolver::IncrementalSolver(GroundProgram gp) : gp_(std::move(gp)) {
+  disabled_.assign(gp_.rule_count(), 0);
+}
+
+bool IncrementalSolver::Assert(const Term* fact) {
+  return AssertAtom(gp_.InternAtom(fact));
+}
+
+bool IncrementalSolver::Retract(const Term* fact) {
+  std::optional<AtomId> id = gp_.FindAtom(fact);
+  if (!id.has_value()) return false;
+  return RetractAtom(*id);
+}
+
+bool IncrementalSolver::AssertAtom(AtomId atom) {
+  assert(atom < gp_.atom_count());
+  std::optional<RuleId> unit = gp_.FindUnitRule(atom);
+  if (unit.has_value()) {
+    if (RuleEnabled(*unit)) return false;  // already an enabled fact
+    disabled_[*unit] = 0;
+  } else {
+    gp_.AddRule(GroundRule{atom, {}, {}});
+    disabled_.resize(gp_.rule_count(), 0);
+  }
+  MarkDirty(atom);
+  return true;
+}
+
+bool IncrementalSolver::RetractAtom(AtomId atom) {
+  if (atom >= gp_.atom_count()) return false;
+  std::optional<RuleId> unit = gp_.FindUnitRule(atom);
+  if (!unit.has_value() || !RuleEnabled(*unit)) return false;
+  disabled_[*unit] = 1;
+  MarkDirty(atom);
+  return true;
+}
+
+bool IncrementalSolver::HasFact(AtomId atom) const {
+  std::optional<RuleId> unit = gp_.FindUnitRule(atom);
+  return unit.has_value() && RuleEnabled(*unit);
+}
+
+void IncrementalSolver::MarkDirty(AtomId atom) {
+  ++stats_.deltas;
+  dirty_.push_back(atom);
+}
+
+void IncrementalSolver::EnsureGraph() {
+  if (graph_ != nullptr && graph_->atom_count() == gp_.atom_count()) return;
+  if (graph_ != nullptr) ++stats_.graph_rebuilds;
+  graph_ = std::make_unique<AtomDependencyGraph>(gp_);
+}
+
+const WfsModel& IncrementalSolver::Model() {
+  if (!solved_) {
+    EnsureGraph();
+    model_ = solver::SolveAllComponents(gp_, *graph_, &disabled_, &diag_);
+    solved_ = true;
+    dirty_.clear();
+    ++stats_.full_solves;
+  } else if (!dirty_.empty()) {
+    EnsureGraph();
+    ResolveUpCone();
+  }
+  return model_;
+}
+
+TruthValue IncrementalSolver::ValueOf(const Term* ground_atom) {
+  std::optional<AtomId> id = gp_.FindAtom(ground_atom);
+  if (!id.has_value()) return TruthValue::kFalse;
+  return Model().model.Value(*id);
+}
+
+WfsModel IncrementalSolver::SolveFresh(SolverDiagnostics* diag) const {
+  SolverDiagnostics scratch;
+  if (diag == nullptr) diag = &scratch;
+  *diag = SolverDiagnostics{};
+  AtomDependencyGraph graph(gp_);
+  return solver::SolveAllComponents(gp_, graph, &disabled_, diag);
+}
+
+void IncrementalSolver::Mark(uint32_t comp) {
+  if (marked_[comp] != 0) return;
+  marked_[comp] = 1;
+  heap_.push(comp);
+}
+
+void IncrementalSolver::ResolveUpCone() {
+  ++stats_.incremental_solves;
+  const uint64_t rounds_before = diag_.alternating_rounds;
+  const uint32_t ncomp = graph_->component_count();
+  // `Assert` of new atoms grew the program (and forced a graph rebuild):
+  // the carried-over model keeps its values — atom ids are stable — and
+  // the new atoms start undefined.
+  model_.model.Resize(gp_.atom_count());
+  // Zeros between passes (every mark is cleared by its pop); only a graph
+  // rebuild changes the component count.
+  if (marked_.size() != ncomp) marked_.assign(ncomp, 0);
+
+  for (AtomId a : dirty_) Mark(graph_->ComponentOf(a));
+  dirty_.clear();
+
+  uint64_t resolved = 0;
+  std::vector<TruthValue> old_vals;
+  while (!heap_.empty()) {
+    uint32_t c = heap_.top();
+    heap_.pop();
+    marked_[c] = 0;
+    ++resolved;
+
+    std::span<const AtomId> atoms = graph_->Atoms(c);
+    old_vals.clear();
+    for (AtomId a : atoms) old_vals.push_back(model_.model.Value(a));
+    for (AtomId a : atoms) model_.model.SetUndefined(a);
+    solver::SolveComponent(gp_, *graph_, c, &disabled_, &model_.model,
+                           &diag_);
+
+    // Change-pruned cone: dependents recompute only when some input of
+    // theirs actually moved. Dependent components always have a larger id
+    // (dependency order), so the heap never revisits a popped component.
+    bool changed = false;
+    for (size_t i = 0; i < atoms.size(); ++i) {
+      if (model_.model.Value(atoms[i]) == old_vals[i]) continue;
+      changed = true;
+      for (RuleId r : gp_.PositiveOccurrences(atoms[i])) {
+        uint32_t hc = graph_->ComponentOf(gp_.rules()[r].head);
+        if (hc > c) Mark(hc);
+      }
+      for (RuleId r : gp_.NegativeOccurrences(atoms[i])) {
+        uint32_t hc = graph_->ComponentOf(gp_.rules()[r].head);
+        if (hc > c) Mark(hc);
+      }
+    }
+    if (!changed) ++stats_.cone_cutoffs;
+  }
+  stats_.components_resolved += resolved;
+  stats_.components_reused += ncomp - resolved;
+  // Like a fresh solve, `iterations` reports this pass's alternating
+  // rounds, not a lifetime total (`diagnostics()` keeps the cumulative).
+  model_.iterations =
+      static_cast<uint32_t>(diag_.alternating_rounds - rounds_before);
+}
+
+}  // namespace gsls

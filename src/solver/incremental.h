@@ -1,0 +1,142 @@
+#ifndef GSLS_SOLVER_INCREMENTAL_H_
+#define GSLS_SOLVER_INCREMENTAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "analysis/atom_dependency_graph.h"
+#include "ground/ground_program.h"
+#include "solver/solver.h"
+#include "wfs/wfs.h"
+
+namespace gsls {
+
+/// Counters describing how much work the incremental solver avoided.
+struct IncrementalStats {
+  uint64_t deltas = 0;              ///< Assert/Retract calls that changed state
+  uint64_t full_solves = 0;         ///< from-scratch solves (first `Model`)
+  uint64_t incremental_solves = 0;  ///< up-cone re-solve passes
+  uint64_t graph_rebuilds = 0;      ///< lazy condensation rebuilds (new atoms)
+  uint64_t components_resolved = 0; ///< components re-run across all passes
+  uint64_t components_reused = 0;   ///< components kept verbatim across passes
+  uint64_t cone_cutoffs = 0;        ///< re-solved components whose values held
+
+  std::string ToString() const;
+};
+
+/// Delta-driven well-founded solving: `SolveWfs` for programs that change
+/// by fact assertion/retraction, which is how heavy query traffic actually
+/// arrives — small deltas against a mostly-stable ground program.
+///
+/// Owns a `GroundProgram`, its SCC condensation (`AtomDependencyGraph`),
+/// and the last solved `WfsModel`. `Assert(fact)` enables (adding it if
+/// needed) the unit rule `fact.`; `Retract(fact)` disables it via a
+/// per-`RuleId` mask, so the rule set never shrinks and every index stays
+/// valid. `Model()` then re-solves *only the up-cone of the changed atoms*
+/// in the condensation DAG:
+///
+///   1. The components of the dirty atoms enter a min-heap keyed by
+///      component id (= dependency order).
+///   2. Components pop in increasing order; each one's atoms are reset to
+///      undefined and the component is re-run through the exact same
+///      per-SCC pipeline as `SolveWfs` (direct 3-valued evaluation /
+///      watched-counter least fixpoint / alternating fixpoint with the
+///      source-pointer unfounded-set detector), reading already-final
+///      lower values — which now include the re-solved ones.
+///   3. If the component's values all come back unchanged, the cone is cut
+///      there: dependents are not marked (they would recompute from
+///      identical inputs). Otherwise the components of the rules in which
+///      a changed atom occurs are marked in turn.
+///
+/// Every component never reached by the marking keeps its statuses
+/// verbatim — that is the entire saving, and it is exact: components are
+/// final in dependency order, so a re-solved component sees the same
+/// inputs a fresh `SolveWfs` over the mutated program would see.
+///
+/// Invalidation strategy: unit rules have no body, so fact deltas never
+/// add or remove *edges* of the dependency graph — only `Assert` of a
+/// never-registered atom adds a (necessarily isolated) node. The
+/// condensation is therefore rebuilt lazily, exactly when the program has
+/// more atoms than the graph was built over; retained otherwise. Atom ids
+/// are stable across rebuilds, so the previous model carries over and the
+/// re-solve stays incremental even immediately after a rebuild.
+class IncrementalSolver {
+ public:
+  /// Takes ownership of `gp`. The rule set is fixed apart from unit
+  /// (fact) rules: deltas are ground facts over this program, they do not
+  /// re-ground non-unit rules.
+  explicit IncrementalSolver(GroundProgram gp);
+
+  const GroundProgram& program() const { return gp_; }
+
+  /// Asserts the ground fact `fact.`, interning the atom if it was never
+  /// registered. Returns true iff the program changed (false: it already
+  /// was an enabled fact).
+  bool Assert(const Term* fact);
+
+  /// Retracts the fact `fact.` if its unit rule is currently enabled
+  /// (whether from the base program or a previous `Assert`). Returns true
+  /// iff the program changed. Derived truth survives retraction: only the
+  /// unit rule is removed, never other rules deriving the atom.
+  bool Retract(const Term* fact);
+
+  /// `Assert`/`Retract` by already-known atom id (the no-hash-lookup fast
+  /// path for delta streams over a fixed atom set).
+  bool AssertAtom(AtomId atom);
+  bool RetractAtom(AtomId atom);
+
+  /// True iff `atom` currently has an enabled unit rule.
+  bool HasFact(AtomId atom) const;
+
+  /// True iff rule `r` is enabled (not retracted).
+  bool RuleEnabled(RuleId r) const {
+    return r >= disabled_.size() || disabled_[r] == 0;
+  }
+
+  /// The well-founded model of the current program. Solves from scratch on
+  /// first call, incrementally (affected up-cone only) after deltas, and
+  /// returns the cache verbatim when nothing changed.
+  const WfsModel& Model();
+
+  /// Well-founded value of a ground atom in `Model()` (unregistered atoms
+  /// are false — they have no derivation).
+  TruthValue ValueOf(const Term* ground_atom);
+
+  /// From-scratch masked solve of the current program, including
+  /// condensation construction — the exact work a non-incremental caller
+  /// would pay per delta. The agreement oracle and bench baseline.
+  WfsModel SolveFresh(SolverDiagnostics* diag = nullptr) const;
+
+  const IncrementalStats& stats() const { return stats_; }
+  /// Cumulative per-SCC pipeline diagnostics across all solve passes.
+  const SolverDiagnostics& diagnostics() const { return diag_; }
+
+ private:
+  void EnsureGraph();
+  void MarkDirty(AtomId atom);
+  void Mark(uint32_t comp);
+  void ResolveUpCone();
+
+  GroundProgram gp_;
+  std::vector<uint8_t> disabled_;  ///< per RuleId; 1 = retracted
+  std::unique_ptr<AtomDependencyGraph> graph_;
+  WfsModel model_;
+  bool solved_ = false;
+  std::vector<AtomId> dirty_;  ///< atoms whose fact set changed
+
+  // Up-cone worklist: marked components, popped in dependency order.
+  std::vector<uint8_t> marked_;  ///< per component; mirrors heap membership
+  std::priority_queue<uint32_t, std::vector<uint32_t>,
+                      std::greater<uint32_t>>
+      heap_;
+
+  IncrementalStats stats_;
+  SolverDiagnostics diag_;
+};
+
+}  // namespace gsls
+
+#endif  // GSLS_SOLVER_INCREMENTAL_H_

@@ -3,7 +3,8 @@
 namespace gsls::solver {
 
 RuleTable::RuleTable(const GroundProgram& gp, const AtomDependencyGraph& graph,
-                     uint32_t comp, const Interpretation& global) {
+                     uint32_t comp, const Interpretation& global,
+                     const std::vector<uint8_t>* disabled) {
   std::span<const AtomId> members = graph.Atoms(comp);
   atoms_.assign(members.begin(), members.end());
   rules_for_.resize(atoms_.size());
@@ -12,6 +13,7 @@ RuleTable::RuleTable(const GroundProgram& gp, const AtomDependencyGraph& graph,
 
   for (LocalAtom local = 0; local < atoms_.size(); ++local) {
     for (RuleId rid : gp.RulesFor(atoms_[local])) {
+      if (disabled != nullptr && (*disabled)[rid]) continue;
       const GroundRule& r = gp.rules()[rid];
       CompiledRule compiled;
       compiled.head = local;

@@ -51,9 +51,12 @@ class RuleTable {
  public:
   /// Compiles the rules whose head lies in component `comp` of `graph`,
   /// reading already-final lower-component values from `global`. Rules
-  /// suppressed by a false external witness are not added at all.
+  /// suppressed by a false external witness are not added at all, and
+  /// neither are rules flagged in the optional `disabled` mask (one byte
+  /// per global `RuleId`; how `IncrementalSolver` hides retracted facts).
   RuleTable(const GroundProgram& gp, const AtomDependencyGraph& graph,
-            uint32_t comp, const Interpretation& global);
+            uint32_t comp, const Interpretation& global,
+            const std::vector<uint8_t>* disabled = nullptr);
 
   size_t atom_count() const { return atoms_.size(); }
   size_t rule_count() const { return rules_.size(); }

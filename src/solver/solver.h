@@ -39,6 +39,14 @@ struct SolverDiagnostics {
 /// `ComputeWfs` / `ComputeWfsAlternating` (footnote 5), and returns the
 /// identical model. `WfsModel::iterations` reports the total number of
 /// component-local alternating rounds.
+///
+/// For programs that change by fact assertion/retraction, use
+/// `IncrementalSolver` (solver/incremental.h) instead of re-running this
+/// per delta: it keeps the condensation and the last model, re-solves only
+/// the change-pruned up-cone of the delta's components through the same
+/// per-SCC pipeline (solver/component_eval.h), and invalidates the
+/// condensation lazily — fact deltas never add dependency edges, so only
+/// an `Assert` interning a brand-new atom forces a rebuild.
 WfsModel SolveWfs(const GroundProgram& gp, SolverDiagnostics* diag = nullptr);
 
 }  // namespace gsls

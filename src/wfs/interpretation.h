@@ -1,6 +1,7 @@
 #ifndef GSLS_WFS_INTERPRETATION_H_
 #define GSLS_WFS_INTERPRETATION_H_
 
+#include <cassert>
 #include <string>
 
 #include "ground/ground_program.h"
@@ -35,6 +36,22 @@ class Interpretation {
 
   void SetTrue(AtomId a) { true_.Set(a); }
   void SetFalse(AtomId a) { false_.Set(a); }
+
+  /// Forgets the value of `a` (back to undefined). The incremental solver
+  /// uses this to reset the atoms of a component before re-solving it.
+  void SetUndefined(AtomId a) {
+    true_.Reset(a);
+    false_.Reset(a);
+  }
+
+  /// Grows to `atom_count` atoms; new atoms are undefined. Growth only —
+  /// atom registries never shrink, and `DenseBitset::Resize` would leave
+  /// stale bits behind a shrink.
+  void Resize(size_t atom_count) {
+    assert(atom_count >= true_.size());
+    true_.Resize(atom_count);
+    false_.Resize(atom_count);
+  }
 
   const DenseBitset& true_set() const { return true_; }
   const DenseBitset& false_set() const { return false_; }
