@@ -76,8 +76,8 @@ void GlobalSlsEngine::MaybeSeedOracle() {
     GroundingOptions gopts;
     Result<GroundProgram> ground = GroundRelevant(program_, gopts);
     if (!ground.ok()) return;  // over budget: fall back to plain search
-    oracle_solver_ =
-        std::make_unique<IncrementalSolver>(std::move(ground.value()));
+    oracle_solver_ = std::make_unique<IncrementalSolver>(
+        std::move(ground.value()), opts_.solver);
     oracle_clause_count_ = program_.clauses().size();
   }
   // The incremental instance persists across queries and `ClearMemo`:

@@ -75,6 +75,12 @@ struct EngineOptions {
   bool bottom_up_oracle = true;
   /// Compute ordinal levels (Def. 3.3) alongside statuses.
   bool compute_levels = true;
+  /// Tuning of the bottom-up oracle's SCC solver, notably
+  /// `SolverOptions::num_threads`: with more than one thread the oracle's
+  /// initial solve and its per-delta up-cone re-solves schedule components
+  /// on a work-stealing pool. The model (and thus every status served
+  /// from the memo) is identical at any thread count.
+  SolverOptions solver;
 
   size_t max_slp_depth = 512;        ///< Max resolution depth per SLP tree.
   size_t max_negation_depth = 96;    ///< Max nesting through negation nodes.

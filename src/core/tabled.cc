@@ -19,8 +19,8 @@ Result<TabledEngine> TabledEngine::FinishCreate(const Program& program,
     engine.opts_ = opts;
     return engine;
   }
-  TabledEngine engine(program,
-                      std::make_unique<IncrementalSolver>(std::move(gp)));
+  TabledEngine engine(program, std::make_unique<IncrementalSolver>(
+                                   std::move(gp), opts.solver));
   engine.opts_ = opts;
   return engine;
 }

@@ -24,6 +24,11 @@ struct TabledOptions {
   /// stages, `LevelOf` has no level to report for registered atoms and
   /// answers carry `level_exact == false`.
   bool compute_stages = true;
+  /// Tuning of the SCC solver behind the stage-less path, notably
+  /// `SolverOptions::num_threads` (work-stealing parallel per-SCC
+  /// scheduling; the model is thread-count invariant). Ignored when
+  /// `compute_stages` is set — the V_P iteration has no parallel form.
+  SolverOptions solver;
 };
 
 /// The effective variant of global SLS-resolution for function-free

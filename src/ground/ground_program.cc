@@ -54,61 +54,115 @@ RuleId GroundProgram::AddRule(GroundRule rule) {
   }
   RuleId id = static_cast<RuleId>(rules_.size());
   bucket.push_back(id);
-
-  EnsureIndex(rule.head);
-  rules_for_[rule.head].push_back(id);
-  for (AtomId a : rule.pos) {
-    EnsureIndex(a);
-    pos_occ_[a].push_back(id);
-  }
-  for (AtomId a : rule.neg) {
-    EnsureIndex(a);
-    neg_occ_[a].push_back(id);
+  bool unit = rule.pos.empty() && rule.neg.empty();
+  if (unit) unit_rule_.emplace(rule.head, id);
+  // AddRule requires exclusive access, so the state transitions are
+  // plain stores. A unit rule on an already-indexed atom has no body:
+  // only its head's `rules_for_` row grows, which queues a cheap merge
+  // (`IncrementalSolver::Assert` of a first-time fact must not pay a
+  // full O(program) rebuild). Anything else goes stale.
+  IndexState state = sync_->state.load(std::memory_order_relaxed);
+  if (state != IndexState::kStale) {
+    if (unit && rule.head < rules_for_.rows()) {
+      pending_unit_rows_.emplace_back(rule.head, id);
+      sync_->state.store(IndexState::kPendingUnits,
+                         std::memory_order_relaxed);
+    } else {
+      pending_unit_rows_.clear();
+      sync_->state.store(IndexState::kStale, std::memory_order_relaxed);
+    }
   }
   rules_.push_back(std::move(rule));
   return id;
 }
 
 std::optional<RuleId> GroundProgram::FindUnitRule(AtomId atom) const {
-  for (RuleId rid : RulesFor(atom)) {
-    const GroundRule& r = rules_[rid];
-    if (r.pos.empty() && r.neg.empty()) return rid;
+  auto it = unit_rule_.find(atom);
+  if (it == unit_rule_.end()) return std::nullopt;
+  return it->second;
+}
+
+void GroundProgram::RebuildOccurrenceIndex() const {
+  // Two-pass counting build over all rules (util/csr.h): degrees, prefix
+  // sum, fill. Rules are visited in id order both times, so every row
+  // lists its rules in increasing id — the order the nested-vector index
+  // produced, which the solver's deterministic scheduling relies on.
+  uint32_t n = static_cast<uint32_t>(atom_terms_.size());
+  rules_for_.Reset(n);
+  pos_occ_.Reset(n);
+  neg_occ_.Reset(n);
+  for (const GroundRule& r : rules_) {
+    rules_for_.CountAt(r.head);
+    for (AtomId a : r.pos) pos_occ_.CountAt(a);
+    for (AtomId a : r.neg) neg_occ_.CountAt(a);
   }
-  return std::nullopt;
-}
-
-void GroundProgram::EnsureIndex(AtomId atom) {
-  size_t need = static_cast<size_t>(atom) + 1;
-  if (rules_for_.size() < atom_terms_.size()) {
-    rules_for_.resize(atom_terms_.size());
-    pos_occ_.resize(atom_terms_.size());
-    neg_occ_.resize(atom_terms_.size());
+  rules_for_.FinishCounting();
+  pos_occ_.FinishCounting();
+  neg_occ_.FinishCounting();
+  for (RuleId id = 0; id < rules_.size(); ++id) {
+    const GroundRule& r = rules_[id];
+    rules_for_.Fill(r.head, id);
+    for (AtomId a : r.pos) pos_occ_.Fill(a, id);
+    for (AtomId a : r.neg) neg_occ_.Fill(a, id);
   }
-  if (rules_for_.size() < need) {
-    rules_for_.resize(need);
-    pos_occ_.resize(need);
-    neg_occ_.resize(need);
+  rules_for_.FinishFilling();
+  pos_occ_.FinishFilling();
+  neg_occ_.FinishFilling();
+  pending_unit_rows_.clear();
+}
+
+void GroundProgram::MergePendingUnitRows() const {
+  // One counting pass over the existing payload plus the queue. Pending
+  // ids are all larger than every indexed id and arrive in id order (and
+  // dedup allows at most one unit rule per atom), so appending them after
+  // their row's old items keeps rows id-sorted.
+  uint32_t rows = static_cast<uint32_t>(rules_for_.rows());
+  Csr<RuleId> merged;
+  merged.Reset(rows);
+  for (uint32_t a = 0; a < rows; ++a) {
+    merged.AddCount(a, static_cast<uint32_t>(rules_for_.Row(a).size()));
   }
+  for (const auto& [a, id] : pending_unit_rows_) merged.CountAt(a);
+  merged.FinishCounting();
+  for (uint32_t a = 0; a < rows; ++a) {
+    for (RuleId id : rules_for_.Row(a)) merged.Fill(a, id);
+  }
+  for (const auto& [a, id] : pending_unit_rows_) merged.Fill(a, id);
+  merged.FinishFilling();
+  rules_for_ = std::move(merged);
+  pending_unit_rows_.clear();
 }
 
-const std::vector<RuleId>& GroundProgram::RulesFor(AtomId atom) const {
-  static const std::vector<RuleId> kEmpty;
-  if (atom >= rules_for_.size()) return kEmpty;
-  return rules_for_[atom];
+void GroundProgram::EnsureOccurrenceIndex() const {
+  if (sync_->state.load(std::memory_order_acquire) == IndexState::kFresh) {
+    return;
+  }
+  std::lock_guard<std::mutex> lk(sync_->mu);
+  switch (sync_->state.load(std::memory_order_relaxed)) {
+    case IndexState::kFresh: return;  // lost the race to another reader
+    case IndexState::kPendingUnits: MergePendingUnitRows(); break;
+    case IndexState::kStale: RebuildOccurrenceIndex(); break;
+  }
+  sync_->state.store(IndexState::kFresh, std::memory_order_release);
 }
 
-const std::vector<RuleId>& GroundProgram::PositiveOccurrences(
-    AtomId atom) const {
-  static const std::vector<RuleId> kEmpty;
-  if (atom >= pos_occ_.size()) return kEmpty;
-  return pos_occ_[atom];
+std::span<const RuleId> GroundProgram::RulesFor(AtomId atom) const {
+  EnsureOccurrenceIndex();
+  // Atoms interned after the rebuild have no rules yet.
+  if (atom >= rules_for_.rows()) return {};
+  return rules_for_.Row(atom);
 }
 
-const std::vector<RuleId>& GroundProgram::NegativeOccurrences(
-    AtomId atom) const {
-  static const std::vector<RuleId> kEmpty;
-  if (atom >= neg_occ_.size()) return kEmpty;
-  return neg_occ_[atom];
+std::span<const RuleId> GroundProgram::PositiveOccurrences(AtomId atom) const {
+  EnsureOccurrenceIndex();
+  if (atom >= pos_occ_.rows()) return {};
+  return pos_occ_.Row(atom);
+}
+
+std::span<const RuleId> GroundProgram::NegativeOccurrences(AtomId atom) const {
+  EnsureOccurrenceIndex();
+  if (atom >= neg_occ_.rows()) return {};
+  return neg_occ_.Row(atom);
 }
 
 std::string GroundProgram::ToString() const {

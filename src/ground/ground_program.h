@@ -1,13 +1,19 @@
 #ifndef GSLS_GROUND_GROUND_PROGRAM_H_
 #define GSLS_GROUND_GROUND_PROGRAM_H_
 
+#include <atomic>
+#include <memory>
+#include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "lang/program.h"
 #include "term/term_store.h"
+#include "util/csr.h"
 
 namespace gsls {
 
@@ -54,13 +60,29 @@ class GroundProgram {
   const std::vector<GroundRule>& rules() const { return rules_; }
   size_t rule_count() const { return rules_.size(); }
 
-  /// Ids of the rules whose head is `atom`.
-  const std::vector<RuleId>& RulesFor(AtomId atom) const;
+  /// Ids of the rules whose head is `atom`, in increasing rule id.
+  ///
+  /// The three index accessors serve spans into a flat CSR index (one
+  /// offsets + payload pair per index, `util/csr.h`) that is maintained
+  /// lazily: `AddRule` marks it stale (or, for a unit rule on an indexed
+  /// atom — `IncrementalSolver::Assert` of a first-time fact — queues a
+  /// cheap single-index merge), and the first lookup afterwards pays the
+  /// deferred work once. Spans are invalidated by the next `AddRule`.
+  /// Concurrent const lookups are safe even when the first one triggers
+  /// the rebuild (it runs under an internal mutex behind an atomic
+  /// freshness check); mutation (`AddRule`/`InternAtom`) still requires
+  /// exclusive access, as before.
+  std::span<const RuleId> RulesFor(AtomId atom) const;
 
   /// Ids of the rules where `atom` occurs in a positive body position.
-  const std::vector<RuleId>& PositiveOccurrences(AtomId atom) const;
+  std::span<const RuleId> PositiveOccurrences(AtomId atom) const;
   /// Ids of the rules where `atom` occurs in a negative body position.
-  const std::vector<RuleId>& NegativeOccurrences(AtomId atom) const;
+  std::span<const RuleId> NegativeOccurrences(AtomId atom) const;
+
+  /// Materializes the occurrence index now if it is stale, so subsequent
+  /// index reads are pure loads (the parallel solver calls this before
+  /// fanning out to keep workers from serializing on the rebuild mutex).
+  void EnsureOccurrenceIndex() const;
 
   /// One `head :- body.` line per rule.
   std::string ToString() const;
@@ -76,16 +98,39 @@ class GroundProgram {
   bool IsAtomAcyclic() const;
 
  private:
-  void EnsureIndex(AtomId atom);
+  enum class IndexState : uint8_t {
+    kStale,         ///< full two-pass rebuild needed
+    kPendingUnits,  ///< valid base + queued unit-rule row appends
+    kFresh,         ///< serves reads as-is
+  };
+
+  /// Applies the queued unit-rule appends as one counting pass over the
+  /// existing `rules_for_` (unit rules have no body, so the occurrence
+  /// indexes are untouched). Caller holds `sync_->mu`.
+  void MergePendingUnitRows() const;
+  void RebuildOccurrenceIndex() const;  ///< caller holds `sync_->mu`
 
   TermStore* store_;
   std::vector<const Term*> atom_terms_;
   std::unordered_map<const Term*, AtomId> atom_ids_;
   std::vector<GroundRule> rules_;
   std::unordered_map<uint64_t, std::vector<RuleId>> rule_dedup_;
-  std::vector<std::vector<RuleId>> rules_for_;
-  std::vector<std::vector<RuleId>> pos_occ_;
-  std::vector<std::vector<RuleId>> neg_occ_;
+  /// Unit rule per atom (at most one exists: `AddRule` deduplicates).
+  /// Maintained eagerly so fact deltas never touch the lazy index.
+  std::unordered_map<AtomId, RuleId> unit_rule_;
+
+  // Lazy flat occurrence index (see `RulesFor`). Boxed synchronization
+  // keeps `GroundProgram` movable (a moved-from program is unusable, and
+  // never used).
+  struct IndexSync {
+    std::mutex mu;
+    std::atomic<IndexState> state{IndexState::kStale};
+  };
+  mutable Csr<RuleId> rules_for_;
+  mutable Csr<RuleId> pos_occ_;
+  mutable Csr<RuleId> neg_occ_;
+  mutable std::vector<std::pair<AtomId, RuleId>> pending_unit_rows_;
+  mutable std::unique_ptr<IndexSync> sync_ = std::make_unique<IndexSync>();
 };
 
 }  // namespace gsls

@@ -9,7 +9,7 @@
 namespace gsls::solver {
 
 TruthValue EvalNonRecursiveAtom(const GroundProgram& gp, AtomId atom,
-                                const Interpretation& interp,
+                                const TruthTape& values,
                                 const std::vector<uint8_t>* disabled,
                                 uint64_t* rules_visited) {
   TruthValue out = TruthValue::kFalse;
@@ -19,19 +19,19 @@ TruthValue EvalNonRecursiveAtom(const GroundProgram& gp, AtomId atom,
     const GroundRule& r = gp.rules()[rid];
     TruthValue body = TruthValue::kTrue;
     for (AtomId b : r.pos) {
-      if (interp.IsFalse(b)) {
+      if (values.IsFalse(b)) {
         body = TruthValue::kFalse;
         break;
       }
-      if (!interp.IsTrue(b)) body = TruthValue::kUndefined;
+      if (!values.IsTrue(b)) body = TruthValue::kUndefined;
     }
     if (body != TruthValue::kFalse) {
       for (AtomId b : r.neg) {
-        if (interp.IsTrue(b)) {
+        if (values.IsTrue(b)) {
           body = TruthValue::kFalse;
           break;
         }
-        if (!interp.IsFalse(b)) body = TruthValue::kUndefined;
+        if (!values.IsFalse(b)) body = TruthValue::kUndefined;
       }
     }
     if (body == TruthValue::kTrue) return TruthValue::kTrue;
@@ -45,14 +45,14 @@ namespace {
 /// Drives one recursive component to its local well-founded fixpoint:
 /// watched-counter truth propagation alternating with source-pointer
 /// unfounded-set floods, writing decided atoms straight into the global
-/// interpretation. Undecided atoms at quiescence are undefined.
+/// tape. Undecided atoms at quiescence are undefined.
 class ComponentSolver {
  public:
   ComponentSolver(const GroundProgram& gp, const AtomDependencyGraph& graph,
                   uint32_t comp, const std::vector<uint8_t>* disabled,
-                  Interpretation* global, SolverDiagnostics* diag)
-      : table_(gp, graph, comp, *global, disabled), support_(&table_),
-        global_(global), diag_(diag) {}
+                  TruthTape* values, SolverDiagnostics* diag)
+      : table_(gp, graph, comp, *values, disabled), support_(&table_),
+        values_(values), diag_(diag) {}
 
   void Run() {
     diag_->rules_visited += table_.rule_count();
@@ -89,20 +89,20 @@ class ComponentSolver {
  private:
   void SetTrue(LocalAtom a) {
     AtomId g = table_.GlobalAtom(a);
-    if (global_->IsTrue(g)) return;
+    if (values_->IsTrue(g)) return;
     // A rule fires only with a wholly true body, which never includes an
     // unfounded atom, so a fired head cannot have been falsified.
-    assert(!global_->IsFalse(g));
-    global_->SetTrue(g);
+    assert(!values_->IsFalse(g));
+    values_->SetTrue(g);
     support_.OnAtomTrue(a);
     true_queue_.push_back(a);
   }
 
   void SetFalse(LocalAtom a) {
     AtomId g = table_.GlobalAtom(a);
-    if (global_->IsFalse(g)) return;
-    assert(!global_->IsTrue(g));
-    global_->SetFalse(g);
+    if (values_->IsFalse(g)) return;
+    assert(!values_->IsTrue(g));
+    values_->SetFalse(g);
     false_queue_.push_back(a);
   }
 
@@ -139,7 +139,7 @@ class ComponentSolver {
 
   RuleTable table_;
   SourceTracker support_;
-  Interpretation* global_;
+  TruthTape* values_;
   SolverDiagnostics* diag_;
   std::vector<LocalAtom> true_queue_;
   std::vector<LocalAtom> false_queue_;
@@ -150,42 +150,51 @@ class ComponentSolver {
 void SolveRecursiveComponent(const GroundProgram& gp,
                              const AtomDependencyGraph& graph, uint32_t comp,
                              const std::vector<uint8_t>* disabled,
-                             Interpretation* global, SolverDiagnostics* diag) {
-  ComponentSolver(gp, graph, comp, disabled, global, diag).Run();
+                             TruthTape* values, SolverDiagnostics* diag) {
+  ComponentSolver(gp, graph, comp, disabled, values, diag).Run();
 }
 
 void SolveComponent(const GroundProgram& gp, const AtomDependencyGraph& graph,
                     uint32_t comp, const std::vector<uint8_t>* disabled,
-                    Interpretation* global, SolverDiagnostics* diag) {
+                    TruthTape* values, SolverDiagnostics* diag) {
   if (!graph.IsRecursive(comp)) {
     // Singleton without a self-loop: one 3-valued pass over its rules.
     AtomId a = graph.Atoms(comp)[0];
-    switch (EvalNonRecursiveAtom(gp, a, *global, disabled,
+    switch (EvalNonRecursiveAtom(gp, a, *values, disabled,
                                  &diag->rules_visited)) {
-      case TruthValue::kTrue: global->SetTrue(a); break;
-      case TruthValue::kFalse: global->SetFalse(a); break;
+      case TruthValue::kTrue: values->SetTrue(a); break;
+      case TruthValue::kFalse: values->SetFalse(a); break;
       case TruthValue::kUndefined: break;
     }
     return;
   }
   ++diag->recursive_components;
   if (graph.HasInternalNegation(comp)) ++diag->negation_components;
-  SolveRecursiveComponent(gp, graph, comp, disabled, global, diag);
+  SolveRecursiveComponent(gp, graph, comp, disabled, values, diag);
+}
+
+void SolveAllComponentsInto(const GroundProgram& gp,
+                            const AtomDependencyGraph& graph,
+                            const std::vector<uint8_t>* disabled,
+                            TruthTape* values, SolverDiagnostics* diag) {
+  values->Assign(gp.atom_count());
+  diag->component_count = graph.component_count();
+  for (uint32_t c = 0; c < graph.component_count(); ++c) {
+    diag->max_component_size =
+        std::max(diag->max_component_size,
+                 static_cast<uint32_t>(graph.Atoms(c).size()));
+    SolveComponent(gp, graph, c, disabled, values, diag);
+  }
 }
 
 WfsModel SolveAllComponents(const GroundProgram& gp,
                             const AtomDependencyGraph& graph,
                             const std::vector<uint8_t>* disabled,
                             SolverDiagnostics* diag) {
+  TruthTape values;
+  SolveAllComponentsInto(gp, graph, disabled, &values, diag);
   WfsModel out;
-  out.model = Interpretation(gp.atom_count());
-  diag->component_count = graph.component_count();
-  for (uint32_t c = 0; c < graph.component_count(); ++c) {
-    diag->max_component_size =
-        std::max(diag->max_component_size,
-                 static_cast<uint32_t>(graph.Atoms(c).size()));
-    SolveComponent(gp, graph, c, disabled, &out.model, diag);
-  }
+  out.model = values.ToInterpretation();
   out.iterations = static_cast<uint32_t>(diag->alternating_rounds);
   return out;
 }

@@ -7,49 +7,63 @@
 #include "analysis/atom_dependency_graph.h"
 #include "ground/ground_program.h"
 #include "solver/solver.h"
-#include "wfs/interpretation.h"
+#include "solver/truth_tape.h"
 
 namespace gsls::solver {
 
 /// The per-component evaluation primitives of `SolveWfs`, factored out so
-/// the full solver and the delta-driven `IncrementalSolver` run the exact
-/// same machinery. Every entry point takes an optional `disabled` mask
-/// (one byte per `RuleId`; nonzero = the rule does not exist for this
-/// solve), which is how retracted facts are hidden without rebuilding the
-/// `GroundProgram`.
+/// the full solver, the delta-driven `IncrementalSolver`, and the parallel
+/// scheduler (solver/parallel.h) run the exact same machinery. Every entry
+/// point takes an optional `disabled` mask (one byte per `RuleId`; nonzero
+/// = the rule does not exist for this solve), which is how retracted facts
+/// are hidden without rebuilding the `GroundProgram`.
+///
+/// All evaluation reads and writes a `TruthTape` — the flat byte-per-atom
+/// model store — rather than the bit-packed `Interpretation`: one load per
+/// atom on the hot path, and disjoint components touch disjoint bytes, so
+/// workers finalizing different components never share a memory location.
 
 /// Direct 3-valued evaluation of a non-recursive atom: every body literal
 /// refers to a lower component, so its value is final, and the atom is
 /// just the disjunction of its rules' body conjunctions. O(rules) with no
 /// fixpoint machinery — this is the hot path on stratified chains.
 TruthValue EvalNonRecursiveAtom(const GroundProgram& gp, AtomId atom,
-                                const Interpretation& interp,
+                                const TruthTape& values,
                                 const std::vector<uint8_t>* disabled,
                                 uint64_t* rules_visited);
 
 /// Drives one recursive component to its local well-founded fixpoint:
 /// watched-counter truth propagation alternating with source-pointer
-/// unfounded-set floods, writing decided atoms straight into `*global`.
+/// unfounded-set floods, writing decided atoms straight into `*values`.
 /// Undecided atoms at quiescence are undefined. Every atom of the
-/// component must be undefined in `*global` on entry; lower components
+/// component must be undefined in `*values` on entry; lower components
 /// must be final.
 void SolveRecursiveComponent(const GroundProgram& gp,
                              const AtomDependencyGraph& graph, uint32_t comp,
                              const std::vector<uint8_t>* disabled,
-                             Interpretation* global, SolverDiagnostics* diag);
+                             TruthTape* values, SolverDiagnostics* diag);
 
-/// Solves component `comp` into `*global` (dispatching on
+/// Solves component `comp` into `*values` (dispatching on
 /// `graph.IsRecursive`), assuming its atoms are undefined and all lower
-/// components final. The single-component step shared by `SolveWfs` and
-/// the incremental up-cone re-solve.
+/// components final. The single-component step shared by `SolveWfs`, the
+/// incremental up-cone re-solve, and the parallel scheduler's workers
+/// (each worker passes its own private `diag`; see
+/// `SolverDiagnostics::MergeFrom`).
 void SolveComponent(const GroundProgram& gp, const AtomDependencyGraph& graph,
                     uint32_t comp, const std::vector<uint8_t>* disabled,
-                    Interpretation* global, SolverDiagnostics* diag);
+                    TruthTape* values, SolverDiagnostics* diag);
 
-/// Full SCC-stratified solve over an already-built condensation: every
-/// component in dependency order. `SolveWfs` is this plus graph
-/// construction; `IncrementalSolver` calls it for the initial solve and
-/// for `SolveFresh` baselines.
+/// Sequential SCC-stratified solve over an already-built condensation:
+/// every component in dependency order, into `*values` (which is re-sized
+/// and reset to all-undefined). The deterministic single-thread schedule.
+void SolveAllComponentsInto(const GroundProgram& gp,
+                            const AtomDependencyGraph& graph,
+                            const std::vector<uint8_t>* disabled,
+                            TruthTape* values, SolverDiagnostics* diag);
+
+/// `SolveAllComponentsInto` plus conversion of the tape into the public
+/// `WfsModel`. `SolveWfs` is this plus graph construction;
+/// `IncrementalSolver` calls it for `SolveFresh` baselines.
 WfsModel SolveAllComponents(const GroundProgram& gp,
                             const AtomDependencyGraph& graph,
                             const std::vector<uint8_t>* disabled,

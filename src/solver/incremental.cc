@@ -1,5 +1,7 @@
 #include "solver/incremental.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cassert>
 
 #include "solver/component_eval.h"
@@ -15,7 +17,9 @@ std::string IncrementalStats::ToString() const {
                 " reused=", components_reused, " cutoffs=", cone_cutoffs);
 }
 
-IncrementalSolver::IncrementalSolver(GroundProgram gp) : gp_(std::move(gp)) {
+IncrementalSolver::IncrementalSolver(GroundProgram gp, SolverOptions opts)
+    : gp_(std::move(gp)), opts_(opts),
+      threads_(solver::ResolveThreadCount(opts.num_threads)) {
   disabled_.assign(gp_.rule_count(), 0);
 }
 
@@ -66,18 +70,61 @@ void IncrementalSolver::EnsureGraph() {
   if (graph_ != nullptr && graph_->atom_count() == gp_.atom_count()) return;
   if (graph_ != nullptr) ++stats_.graph_rebuilds;
   graph_ = std::make_unique<AtomDependencyGraph>(gp_);
+  dag_.reset();  // component ids changed; the scheduling DAG is stale
+}
+
+void IncrementalSolver::EnsureParallelRuntime() {
+  if (dag_ == nullptr) {
+    dag_ = std::make_unique<solver::ComponentDag>(gp_, *graph_);
+  }
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<WorkStealingPool>(threads_);
+  }
+}
+
+void IncrementalSolver::SyncMirror(uint32_t comp) {
+  for (AtomId a : graph_->Atoms(comp)) tape_.CopyAtomTo(a, &model_.model);
 }
 
 const WfsModel& IncrementalSolver::Model() {
   if (!solved_) {
     EnsureGraph();
-    model_ = solver::SolveAllComponents(gp_, *graph_, &disabled_, &diag_);
+    const uint64_t rounds_before = diag_.alternating_rounds;
+    if (threads_ > 1) {
+      EnsureParallelRuntime();
+      solver::ParallelSolveAllComponentsInto(gp_, *graph_, *dag_, &disabled_,
+                                             pool_.get(), &tape_, &diag_);
+    } else {
+      solver::SolveAllComponentsInto(gp_, *graph_, &disabled_, &tape_,
+                                     &diag_);
+    }
+    model_.model = tape_.ToInterpretation();
+    model_.iterations =
+        static_cast<uint32_t>(diag_.alternating_rounds - rounds_before);
     solved_ = true;
     dirty_.clear();
     ++stats_.full_solves;
   } else if (!dirty_.empty()) {
     EnsureGraph();
-    ResolveUpCone();
+    // The parallel cone schedules every component *reachable* from the
+    // deltas (pruned re-solves, but still a release per cone member),
+    // while the heap touches only components whose inputs actually
+    // moved. A single-component delta — the latency-critical streaming
+    // case — therefore always takes the heap; batched multi-component
+    // deltas have the width the pool can use.
+    bool multi_component = false;
+    uint32_t first = graph_->ComponentOf(dirty_.front());
+    for (AtomId a : dirty_) {
+      if (graph_->ComponentOf(a) != first) {
+        multi_component = true;
+        break;
+      }
+    }
+    if (threads_ > 1 && multi_component) {
+      ResolveUpConeParallel();
+    } else {
+      ResolveUpCone();
+    }
   }
   return model_;
 }
@@ -102,6 +149,43 @@ void IncrementalSolver::Mark(uint32_t comp) {
   heap_.push(comp);
 }
 
+namespace {
+
+/// The one copy of the per-component delta step shared by the sequential
+/// heap and the parallel cone: snapshot old values, reset, re-solve, and
+/// invoke `flag(head_component)` for every component owning a rule that
+/// mentions an atom whose value moved. Returns whether anything moved.
+template <typename FlagFn>
+bool ResolveComponentDelta(const GroundProgram& gp,
+                           const AtomDependencyGraph& graph, uint32_t c,
+                           const std::vector<uint8_t>* disabled,
+                           solver::TruthTape* tape,
+                           std::vector<TruthValue>* old_vals,
+                           SolverDiagnostics* diag, FlagFn&& flag) {
+  std::span<const AtomId> atoms = graph.Atoms(c);
+  old_vals->clear();
+  for (AtomId a : atoms) old_vals->push_back(tape->Value(a));
+  for (AtomId a : atoms) tape->SetUndefined(a);
+  solver::SolveComponent(gp, graph, c, disabled, tape, diag);
+
+  bool changed = false;
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    if (tape->Value(atoms[i]) == (*old_vals)[i]) continue;
+    changed = true;
+    for (RuleId r : gp.PositiveOccurrences(atoms[i])) {
+      uint32_t hc = graph.ComponentOf(gp.rules()[r].head);
+      if (hc != c) flag(hc);
+    }
+    for (RuleId r : gp.NegativeOccurrences(atoms[i])) {
+      uint32_t hc = graph.ComponentOf(gp.rules()[r].head);
+      if (hc != c) flag(hc);
+    }
+  }
+  return changed;
+}
+
+}  // namespace
+
 void IncrementalSolver::ResolveUpCone() {
   ++stats_.incremental_solves;
   const uint64_t rounds_before = diag_.alternating_rounds;
@@ -110,6 +194,7 @@ void IncrementalSolver::ResolveUpCone() {
   // the carried-over model keeps its values — atom ids are stable — and
   // the new atoms start undefined.
   model_.model.Resize(gp_.atom_count());
+  tape_.Resize(gp_.atom_count());
   // Zeros between passes (every mark is cleared by its pop); only a graph
   // rebuild changes the component count.
   if (marked_.size() != ncomp) marked_.assign(ncomp, 0);
@@ -125,29 +210,13 @@ void IncrementalSolver::ResolveUpCone() {
     marked_[c] = 0;
     ++resolved;
 
-    std::span<const AtomId> atoms = graph_->Atoms(c);
-    old_vals.clear();
-    for (AtomId a : atoms) old_vals.push_back(model_.model.Value(a));
-    for (AtomId a : atoms) model_.model.SetUndefined(a);
-    solver::SolveComponent(gp_, *graph_, c, &disabled_, &model_.model,
-                           &diag_);
-
     // Change-pruned cone: dependents recompute only when some input of
     // theirs actually moved. Dependent components always have a larger id
     // (dependency order), so the heap never revisits a popped component.
-    bool changed = false;
-    for (size_t i = 0; i < atoms.size(); ++i) {
-      if (model_.model.Value(atoms[i]) == old_vals[i]) continue;
-      changed = true;
-      for (RuleId r : gp_.PositiveOccurrences(atoms[i])) {
-        uint32_t hc = graph_->ComponentOf(gp_.rules()[r].head);
-        if (hc > c) Mark(hc);
-      }
-      for (RuleId r : gp_.NegativeOccurrences(atoms[i])) {
-        uint32_t hc = graph_->ComponentOf(gp_.rules()[r].head);
-        if (hc > c) Mark(hc);
-      }
-    }
+    bool changed =
+        ResolveComponentDelta(gp_, *graph_, c, &disabled_, &tape_, &old_vals,
+                              &diag_, [&](uint32_t hc) { Mark(hc); });
+    SyncMirror(c);
     if (!changed) ++stats_.cone_cutoffs;
   }
   stats_.components_resolved += resolved;
@@ -156,6 +225,135 @@ void IncrementalSolver::ResolveUpCone() {
   // rounds, not a lifetime total (`diagnostics()` keeps the cumulative).
   model_.iterations =
       static_cast<uint32_t>(diag_.alternating_rounds - rounds_before);
+}
+
+namespace {
+
+/// One worker's accumulation for a parallel up-cone pass, cache-line
+/// padded: private diagnostics, the components it re-solved (for the
+/// mirror sync after the barrier), and scratch for old values.
+struct alignas(64) ConeWorker {
+  SolverDiagnostics diag;
+  std::vector<uint32_t> resolved;
+  uint64_t cutoffs = 0;
+  std::vector<TruthValue> old_vals;
+};
+
+}  // namespace
+
+void IncrementalSolver::ResolveUpConeParallel() {
+  ++stats_.incremental_solves;
+  const uint64_t rounds_before = diag_.alternating_rounds;
+  EnsureParallelRuntime();
+  const uint32_t ncomp = graph_->component_count();
+  model_.model.Resize(gp_.atom_count());
+  tape_.Resize(gp_.atom_count());
+  gp_.EnsureOccurrenceIndex();  // workers must not race the lazy rebuild
+
+  // The potentially-affected cone: everything reachable from the dirty
+  // components in the condensation DAG, gathered breadth-first. The
+  // change pruning of the sequential path survives as a per-component
+  // flag: a released component re-solves only if it is dirty or some
+  // predecessor's atoms actually changed; otherwise it just releases its
+  // successors in turn. The per-component scratch persists across deltas
+  // (zeros between passes, cleared cone-entry-wise below); only a graph
+  // rebuild re-sizes it.
+  if (in_cone_.size() != ncomp) {
+    in_cone_.assign(ncomp, 0);
+    cone_dirty_.assign(ncomp, 0);
+    cone_pos_.assign(ncomp, 0);
+  }
+  std::vector<uint32_t>& cone = cone_;
+  std::vector<uint8_t>& in_cone = in_cone_;
+  std::vector<uint8_t>& is_dirty = cone_dirty_;
+  std::vector<uint32_t>& cone_pos = cone_pos_;
+  cone.clear();
+  for (AtomId a : dirty_) {
+    uint32_t c = graph_->ComponentOf(a);
+    is_dirty[c] = 1;
+    if (!in_cone[c]) {
+      in_cone[c] = 1;
+      cone.push_back(c);
+    }
+  }
+  dirty_.clear();
+  for (size_t i = 0; i < cone.size(); ++i) {
+    for (uint32_t s : dag_->Successors(cone[i])) {
+      if (!in_cone[s]) {
+        in_cone[s] = 1;
+        cone.push_back(s);
+      }
+    }
+  }
+
+  // Ready-release counters restricted to the cone: a component waits only
+  // for its in-cone predecessors (everything else is already final).
+  for (uint32_t i = 0; i < cone.size(); ++i) cone_pos[cone[i]] = i;
+  std::unique_ptr<std::atomic<uint32_t>[]> pending(
+      new std::atomic<uint32_t>[cone.size()]);
+  std::unique_ptr<std::atomic<uint8_t>[]> inputs_changed(
+      new std::atomic<uint8_t>[cone.size()]);
+  for (size_t i = 0; i < cone.size(); ++i) {
+    pending[i].store(0, std::memory_order_relaxed);
+    inputs_changed[i].store(0, std::memory_order_relaxed);
+  }
+  for (uint32_t c : cone) {
+    for (uint32_t s : dag_->Successors(c)) {
+      if (in_cone[s]) pending[cone_pos[s]].fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  std::vector<uint32_t> seeds;
+  for (uint32_t i = 0; i < cone.size(); ++i) {
+    if (pending[i].load(std::memory_order_relaxed) == 0) {
+      seeds.push_back(cone[i]);
+    }
+  }
+
+  std::vector<ConeWorker> workers(pool_->size());
+  solver::RunReadyReleaseSchedule(
+      pool_.get(), seeds, pending.get(),
+      [&](unsigned worker, uint32_t c) {
+        ConeWorker& w = workers[worker];
+        bool needs =
+            is_dirty[c] != 0 ||
+            inputs_changed[cone_pos[c]].load(std::memory_order_relaxed);
+        if (!needs) return;  // nothing moved below: just release onwards
+        // Same per-atom marking as the sequential heap, sinking into the
+        // per-component flags. Relaxed is enough: the flag is read only
+        // after this component's acq_rel release edge in the shared
+        // scheduler.
+        bool changed = ResolveComponentDelta(
+            gp_, *graph_, c, &disabled_, &tape_, &w.old_vals, &w.diag,
+            [&](uint32_t hc) {
+              inputs_changed[cone_pos[hc]].store(1,
+                                                 std::memory_order_relaxed);
+            });
+        w.resolved.push_back(c);
+        if (!changed) ++w.cutoffs;
+      },
+      [&](uint32_t c) { return dag_->Successors(c); },
+      [&](uint32_t s) {
+        return in_cone[s] ? cone_pos[s] : solver::kNoScheduleSlot;
+      });
+
+  uint64_t resolved = 0;
+  for (ConeWorker& w : workers) {
+    diag_.MergeFrom(w.diag);
+    resolved += w.resolved.size();
+    stats_.cone_cutoffs += w.cutoffs;
+    for (uint32_t c : w.resolved) SyncMirror(c);
+  }
+  stats_.components_resolved += resolved;
+  stats_.components_reused += ncomp - resolved;
+  model_.iterations =
+      static_cast<uint32_t>(diag_.alternating_rounds - rounds_before);
+
+  // Clear only what this pass touched, keeping the scratch zeroed for the
+  // next delta without a full sweep.
+  for (uint32_t c : cone) {
+    in_cone[c] = 0;
+    is_dirty[c] = 0;
+  }
 }
 
 }  // namespace gsls

@@ -9,7 +9,10 @@
 
 #include "analysis/atom_dependency_graph.h"
 #include "ground/ground_program.h"
+#include "solver/parallel.h"
 #include "solver/solver.h"
+#include "solver/truth_tape.h"
+#include "util/thread_pool.h"
 #include "wfs/wfs.h"
 
 namespace gsls {
@@ -56,21 +59,35 @@ struct IncrementalStats {
 /// final in dependency order, so a re-solved component sees the same
 /// inputs a fresh `SolveWfs` over the mutated program would see.
 ///
+/// With `SolverOptions::num_threads != 1`, deltas touching more than one
+/// component replace the min-heap by the ready-release discipline of the
+/// parallel scheduler (solver/parallel.h): the affected cone is computed
+/// up front, every in-cone component is released once its in-cone
+/// predecessors finished, and a released component re-solves only if one
+/// of its inputs actually changed (the same change pruning, tracked by
+/// per-component flags instead of heap membership). Single-component
+/// deltas — the latency-critical streaming case, whose changes usually
+/// die within a few components — keep the heap even when threaded: the
+/// parallel cone pays a release per *reachable* component, the heap only
+/// per component whose inputs moved. The model is identical either way.
+///
 /// Invalidation strategy: unit rules have no body, so fact deltas never
 /// add or remove *edges* of the dependency graph — only `Assert` of a
 /// never-registered atom adds a (necessarily isolated) node. The
-/// condensation is therefore rebuilt lazily, exactly when the program has
-/// more atoms than the graph was built over; retained otherwise. Atom ids
-/// are stable across rebuilds, so the previous model carries over and the
+/// condensation (and, on the parallel path, the scheduling DAG and worker
+/// pool) is therefore rebuilt lazily, exactly when the program has more
+/// atoms than the graph was built over; retained otherwise. Atom ids are
+/// stable across rebuilds, so the previous model carries over and the
 /// re-solve stays incremental even immediately after a rebuild.
 class IncrementalSolver {
  public:
   /// Takes ownership of `gp`. The rule set is fixed apart from unit
   /// (fact) rules: deltas are ground facts over this program, they do not
   /// re-ground non-unit rules.
-  explicit IncrementalSolver(GroundProgram gp);
+  explicit IncrementalSolver(GroundProgram gp, SolverOptions opts = {});
 
   const GroundProgram& program() const { return gp_; }
+  const SolverOptions& options() const { return opts_; }
 
   /// Asserts the ground fact `fact.`, interning the atom if it was never
   /// registered. Returns true iff the program changed (false: it already
@@ -107,7 +124,8 @@ class IncrementalSolver {
 
   /// From-scratch masked solve of the current program, including
   /// condensation construction — the exact work a non-incremental caller
-  /// would pay per delta. The agreement oracle and bench baseline.
+  /// would pay per delta. Always sequential: the agreement oracle and
+  /// bench baseline.
   WfsModel SolveFresh(SolverDiagnostics* diag = nullptr) const;
 
   const IncrementalStats& stats() const { return stats_; }
@@ -116,22 +134,44 @@ class IncrementalSolver {
 
  private:
   void EnsureGraph();
+  void EnsureParallelRuntime();  ///< scheduling DAG + worker pool
   void MarkDirty(AtomId atom);
   void Mark(uint32_t comp);
   void ResolveUpCone();
+  void ResolveUpConeParallel();
+  /// Copies the tape values of `comp`'s atoms into the `model_` mirror.
+  void SyncMirror(uint32_t comp);
 
   GroundProgram gp_;
+  SolverOptions opts_;
+  unsigned threads_;               ///< resolved worker count
   std::vector<uint8_t> disabled_;  ///< per RuleId; 1 = retracted
   std::unique_ptr<AtomDependencyGraph> graph_;
+  std::unique_ptr<solver::ComponentDag> dag_;  ///< parallel path only
+  std::unique_ptr<WorkStealingPool> pool_;     ///< parallel path only
+
+  /// Primary truth store, persistent across deltas: the per-SCC pipeline
+  /// reads and writes this flat tape; `model_` is the bit-packed mirror
+  /// served to callers, re-synced only for re-solved components.
+  solver::TruthTape tape_;
   WfsModel model_;
   bool solved_ = false;
   std::vector<AtomId> dirty_;  ///< atoms whose fact set changed
 
-  // Up-cone worklist: marked components, popped in dependency order.
+  // Up-cone worklist: marked components, popped in dependency order
+  // (sequential path).
   std::vector<uint8_t> marked_;  ///< per component; mirrors heap membership
   std::priority_queue<uint32_t, std::vector<uint32_t>,
                       std::greater<uint32_t>>
       heap_;
+
+  // Parallel up-cone scratch, persistent across deltas like `marked_` so
+  // a small delta never pays Theta(component_count) re-zeroing: only the
+  // entries of the previous pass's cone are cleared after each pass.
+  std::vector<uint32_t> cone_;       ///< BFS order of the affected cone
+  std::vector<uint8_t> in_cone_;     ///< per component
+  std::vector<uint8_t> cone_dirty_;  ///< per component: holds a dirty atom
+  std::vector<uint32_t> cone_pos_;   ///< per component: rank within cone_
 
   IncrementalStats stats_;
   SolverDiagnostics diag_;

@@ -1,0 +1,97 @@
+#include "solver/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "solver/component_eval.h"
+
+namespace gsls::solver {
+
+ComponentDag::ComponentDag(const GroundProgram& gp,
+                           const AtomDependencyGraph& graph) {
+  uint32_t ncomp = graph.component_count();
+  // Cross-component edges, deduplicated by one sort over packed
+  // (from, to) keys. Condensation order guarantees from < to.
+  std::vector<uint64_t> edges;
+  for (const GroundRule& r : gp.rules()) {
+    uint32_t hc = graph.ComponentOf(r.head);
+    for (AtomId b : r.pos) {
+      uint32_t bc = graph.ComponentOf(b);
+      if (bc != hc) edges.push_back((uint64_t{bc} << 32) | hc);
+    }
+    for (AtomId b : r.neg) {
+      uint32_t bc = graph.ComponentOf(b);
+      if (bc != hc) edges.push_back((uint64_t{bc} << 32) | hc);
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  indegree_.assign(ncomp, 0);
+  succ_.Reset(ncomp);
+  for (uint64_t e : edges) succ_.CountAt(static_cast<uint32_t>(e >> 32));
+  succ_.FinishCounting();
+  for (uint64_t e : edges) {
+    uint32_t to = static_cast<uint32_t>(e);
+    succ_.Fill(static_cast<uint32_t>(e >> 32), to);
+    ++indegree_[to];
+  }
+  succ_.FinishFilling();
+}
+
+unsigned ResolveThreadCount(unsigned requested) {
+  if (requested != 0) return requested;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+namespace {
+
+/// One worker's private diagnostics, padded so neighbouring workers'
+/// counter increments never share a cache line.
+struct alignas(64) WorkerDiag {
+  SolverDiagnostics diag;
+};
+
+}  // namespace
+
+void ParallelSolveAllComponentsInto(const GroundProgram& gp,
+                                    const AtomDependencyGraph& graph,
+                                    const ComponentDag& dag,
+                                    const std::vector<uint8_t>* disabled,
+                                    WorkStealingPool* pool, TruthTape* values,
+                                    SolverDiagnostics* diag) {
+  // The lazy occurrence index must exist before workers read it
+  // concurrently.
+  gp.EnsureOccurrenceIndex();
+  values->Assign(gp.atom_count());
+
+  uint32_t ncomp = dag.component_count();
+  std::unique_ptr<std::atomic<uint32_t>[]> pending(
+      new std::atomic<uint32_t>[ncomp]);
+  std::vector<uint32_t> seeds;
+  for (uint32_t c = 0; c < ncomp; ++c) {
+    pending[c].store(dag.indegrees()[c], std::memory_order_relaxed);
+    if (dag.indegrees()[c] == 0) seeds.push_back(c);
+  }
+
+  std::vector<WorkerDiag> worker_diags(pool->size());
+  RunReadyReleaseSchedule(
+      pool, seeds, pending.get(),
+      [&](unsigned worker, uint32_t c) {
+        SolverDiagnostics& wd = worker_diags[worker].diag;
+        wd.max_component_size =
+            std::max(wd.max_component_size,
+                     static_cast<uint32_t>(graph.Atoms(c).size()));
+        SolveComponent(gp, graph, c, disabled, values, &wd);
+      },
+      [&](uint32_t c) { return dag.Successors(c); },
+      [](uint32_t s) { return s; });
+
+  for (const WorkerDiag& wd : worker_diags) diag->MergeFrom(wd.diag);
+  diag->component_count = ncomp;
+}
+
+}  // namespace gsls::solver

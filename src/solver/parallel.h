@@ -1,0 +1,116 @@
+#ifndef GSLS_SOLVER_PARALLEL_H_
+#define GSLS_SOLVER_PARALLEL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "analysis/atom_dependency_graph.h"
+#include "ground/ground_program.h"
+#include "solver/solver.h"
+#include "solver/truth_tape.h"
+#include "util/thread_pool.h"
+
+namespace gsls::solver {
+
+/// The condensation DAG in scheduling form: deduplicated successor lists
+/// (flat CSR) plus per-component indegrees. Components at the same depth
+/// share no edges and may run on different workers; a component is ready
+/// the moment its last predecessor is final.
+///
+/// Built from *all* rules, ignoring any disabled mask: a disabled rule can
+/// only add scheduling edges, never remove correctness, and ignoring the
+/// mask lets `IncrementalSolver` reuse one DAG across every delta (fact
+/// deltas toggle unit rules, which have no body and hence no edges).
+class ComponentDag {
+ public:
+  ComponentDag(const GroundProgram& gp, const AtomDependencyGraph& graph);
+
+  uint32_t component_count() const {
+    return static_cast<uint32_t>(indegree_.size());
+  }
+  /// Components with an edge from `c` (strictly larger ids, deduplicated).
+  std::span<const uint32_t> Successors(uint32_t c) const {
+    return succ_.Row(c);
+  }
+  /// Unique-predecessor counts; the scheduler's release counters start
+  /// here.
+  const std::vector<uint32_t>& indegrees() const { return indegree_; }
+
+ private:
+  Csr<uint32_t> succ_;
+  std::vector<uint32_t> indegree_;
+};
+
+/// Turns a `SolverOptions::num_threads` request into an actual worker
+/// count (0 resolves to the hardware concurrency, minimum 1).
+unsigned ResolveThreadCount(unsigned requested);
+
+/// Sentinel for `SlotFn`: the successor takes no part in this schedule.
+inline constexpr uint32_t kNoScheduleSlot = UINT32_MAX;
+
+/// The ready-release engine shared by `ParallelSolveAllComponentsInto`
+/// and the incremental up-cone re-solve — the one copy of the
+/// race-sensitive discipline. Starting from `seeds` (components whose
+/// scheduled predecessors are all final), each worker runs
+/// `process(worker, comp)`, then walks `successors(comp)`: a successor
+/// mapping to `kNoScheduleSlot` under `slot` is outside the schedule and
+/// skipped; otherwise its `pending[slot(s)]` counter is decremented, and
+/// the worker that takes it to zero owns the successor — continuing into
+/// the first such successor inline (a chain of tiny components runs as a
+/// tight loop, no queue round-trip) and queueing the rest.
+///
+/// Memory ordering: `process` writes its component's results with plain
+/// stores; the `acq_rel` on the decrement makes every such write visible
+/// to whichever worker releases (and later processes) the successor, and
+/// transitively to everything downstream. `pending` must start at each
+/// scheduled component's count of scheduled predecessors.
+template <typename Process, typename SuccessorsFn, typename SlotFn>
+void RunReadyReleaseSchedule(WorkStealingPool* pool,
+                             std::span<const uint32_t> seeds,
+                             std::atomic<uint32_t>* pending,
+                             Process&& process, SuccessorsFn&& successors,
+                             SlotFn&& slot) {
+  pool->Run(seeds, [&](unsigned worker, uint32_t task) {
+    constexpr uint32_t kNone = UINT32_MAX;
+    for (uint32_t c = task; c != kNone;) {
+      process(worker, c);
+      uint32_t next = kNone;
+      for (uint32_t s : successors(c)) {
+        uint32_t ps = slot(s);
+        if (ps == kNoScheduleSlot) continue;
+        if (pending[ps].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          if (next == kNone) {
+            next = s;
+          } else {
+            pool->Push(worker, s);
+          }
+        }
+      }
+      c = next;
+    }
+  });
+}
+
+/// Parallel SCC-stratified solve: every component solved exactly once by
+/// some worker, released to any idle worker the moment its predecessors in
+/// `dag` are final. Workers write decided values of their components into
+/// disjoint bytes of `*values` (re-sized and reset here) — no atom is
+/// written by two workers, and a component only reads atoms of components
+/// the DAG ordered before it, so plain byte loads/stores plus the
+/// release/acquire on the indegree counters are race-free. Each worker
+/// accumulates a private `SolverDiagnostics`, merged into `*diag` after
+/// the final barrier. The result is atom-for-atom the sequential model
+/// (components only ever read final lower values, so schedule order is
+/// unobservable).
+void ParallelSolveAllComponentsInto(const GroundProgram& gp,
+                                    const AtomDependencyGraph& graph,
+                                    const ComponentDag& dag,
+                                    const std::vector<uint8_t>* disabled,
+                                    WorkStealingPool* pool, TruthTape* values,
+                                    SolverDiagnostics* diag);
+
+}  // namespace gsls::solver
+
+#endif  // GSLS_SOLVER_PARALLEL_H_

@@ -3,54 +3,112 @@
 namespace gsls::solver {
 
 RuleTable::RuleTable(const GroundProgram& gp, const AtomDependencyGraph& graph,
-                     uint32_t comp, const Interpretation& global,
+                     uint32_t comp, const TruthTape& global,
                      const std::vector<uint8_t>* disabled) {
   std::span<const AtomId> members = graph.Atoms(comp);
   atoms_.assign(members.begin(), members.end());
-  rules_for_.resize(atoms_.size());
-  pos_occ_.resize(atoms_.size());
-  neg_occ_.resize(atoms_.size());
+  uint32_t n = static_cast<uint32_t>(atoms_.size());
 
-  for (LocalAtom local = 0; local < atoms_.size(); ++local) {
+  // Pass 1: partially evaluate every candidate rule against the final
+  // lower-component values, recording which survive and how many internal
+  // literals each keeps. Nothing is stored per-rule yet except the
+  // fixed-size records — all degree counts land in the CSR builders.
+  struct Probe {
+    RuleId rid;
+    LocalAtom head;
+    uint32_t npos;
+    uint32_t nneg;
+    uint32_t undef_external;
+  };
+  std::vector<Probe> kept;
+  size_t candidates = 0;
+  for (LocalAtom local = 0; local < n; ++local) {
+    candidates += gp.RulesFor(atoms_[local]).size();
+  }
+  kept.reserve(candidates);
+
+  rules_for_.Reset(n);
+  uint32_t body_total = 0;
+  for (LocalAtom local = 0; local < n; ++local) {
     for (RuleId rid : gp.RulesFor(atoms_[local])) {
       if (disabled != nullptr && (*disabled)[rid]) continue;
       const GroundRule& r = gp.rules()[rid];
-      CompiledRule compiled;
-      compiled.head = local;
+      Probe probe{rid, local, 0, 0, 0};
       bool suppressed = false;
       for (AtomId b : r.pos) {
         if (graph.ComponentOf(b) == comp) {
-          compiled.pos.push_back(graph.LocalIndexOf(b));
+          ++probe.npos;
         } else if (global.IsFalse(b)) {
           suppressed = true;  // false witness: the rule can never matter
           break;
         } else if (!global.IsTrue(b)) {
-          ++compiled.undef_external;
+          ++probe.undef_external;
         }
       }
       if (!suppressed) {
         for (AtomId b : r.neg) {
           if (graph.ComponentOf(b) == comp) {
-            compiled.neg.push_back(graph.LocalIndexOf(b));
+            ++probe.nneg;
           } else if (global.IsTrue(b)) {
             suppressed = true;
             break;
           } else if (!global.IsFalse(b)) {
-            ++compiled.undef_external;
+            ++probe.undef_external;
           }
         }
       }
       if (suppressed) continue;
-      compiled.unsat = static_cast<uint32_t>(compiled.pos.size() +
-                                             compiled.neg.size()) +
-                       compiled.undef_external;
-      LocalRule id = static_cast<LocalRule>(rules_.size());
-      rules_for_[local].push_back(id);
-      for (LocalAtom b : compiled.pos) pos_occ_[b].push_back(id);
-      for (LocalAtom b : compiled.neg) neg_occ_[b].push_back(id);
-      rules_.push_back(std::move(compiled));
+      rules_for_.CountAt(local);
+      body_total += probe.npos + probe.nneg;
+      kept.push_back(probe);
     }
   }
+
+  // Sizes are now exact: lay out the rule records and the body pool, then
+  // fill the pool in a second scan of the kept bodies (suppression is
+  // already decided, so this scan only classifies internal vs external).
+  rules_.resize(kept.size());
+  body_.resize(body_total);
+  rules_for_.FinishCounting();
+  pos_occ_.Reset(n);
+  neg_occ_.Reset(n);
+  uint32_t cursor = 0;
+  for (LocalRule id = 0; id < kept.size(); ++id) {
+    const Probe& probe = kept[id];
+    const GroundRule& r = gp.rules()[probe.rid];
+    CompiledRule& compiled = rules_[id];
+    compiled.head = probe.head;
+    compiled.undef_external = probe.undef_external;
+    compiled.unsat = probe.npos + probe.nneg + probe.undef_external;
+    compiled.pos_begin = cursor;
+    for (AtomId b : r.pos) {
+      if (graph.ComponentOf(b) != comp) continue;
+      LocalAtom lb = graph.LocalIndexOf(b);
+      body_[cursor++] = lb;
+      pos_occ_.CountAt(lb);
+    }
+    compiled.neg_begin = cursor;
+    for (AtomId b : r.neg) {
+      if (graph.ComponentOf(b) != comp) continue;
+      LocalAtom lb = graph.LocalIndexOf(b);
+      body_[cursor++] = lb;
+      neg_occ_.CountAt(lb);
+    }
+    compiled.body_end = cursor;
+    rules_for_.Fill(probe.head, id);
+  }
+  rules_for_.FinishFilling();
+
+  // Occurrence payloads come straight off the flat pool — no third body
+  // scan of the ground program.
+  pos_occ_.FinishCounting();
+  neg_occ_.FinishCounting();
+  for (LocalRule id = 0; id < rules_.size(); ++id) {
+    for (LocalAtom b : PosBody(id)) pos_occ_.Fill(b, id);
+    for (LocalAtom b : NegBody(id)) neg_occ_.Fill(b, id);
+  }
+  pos_occ_.FinishFilling();
+  neg_occ_.FinishFilling();
 }
 
 }  // namespace gsls::solver

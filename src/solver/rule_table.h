@@ -7,7 +7,8 @@
 
 #include "analysis/atom_dependency_graph.h"
 #include "ground/ground_program.h"
-#include "wfs/interpretation.h"
+#include "solver/truth_tape.h"
+#include "util/csr.h"
 
 namespace gsls::solver {
 
@@ -27,10 +28,16 @@ inline constexpr LocalRule kNoRule = UINT32_MAX;
 /// entirely, and externals that ended *undefined* are folded into
 /// `undef_external` — they can never fire the rule but keep it usable as
 /// support.
+///
+/// The internal body literals themselves live in the `RuleTable`'s shared
+/// pool (`PosBody`/`NegBody` spans), not here: one contiguous array for
+/// the whole component keeps the propagation loop and the source-pointer
+/// floods on linear memory and makes the rule record a fixed-size POD.
 struct CompiledRule {
   LocalAtom head = 0;
-  std::vector<LocalAtom> pos;  ///< positive body atoms inside the component
-  std::vector<LocalAtom> neg;  ///< negative body atoms inside the component
+  uint32_t pos_begin = 0;  ///< start of internal positives in the body pool
+  uint32_t neg_begin = 0;  ///< end of positives == start of negatives
+  uint32_t body_end = 0;   ///< end of negatives
   uint32_t undef_external = 0;
 
   /// Watched truth counter: body literals not yet satisfied (internal
@@ -46,7 +53,9 @@ struct CompiledRule {
 /// The live rules of one component, with watched counters and dense
 /// occurrence indexes — the component-local mirror of `GroundProgram`'s
 /// rule indexes that the propagation loop and the source-pointer detector
-/// run on.
+/// run on. All storage is flat: one body-literal pool plus three CSR
+/// indexes (`util/csr.h`), built in two counting passes with zero per-rule
+/// reallocation.
 class RuleTable {
  public:
   /// Compiles the rules whose head lies in component `comp` of `graph`,
@@ -55,7 +64,7 @@ class RuleTable {
   /// neither are rules flagged in the optional `disabled` mask (one byte
   /// per global `RuleId`; how `IncrementalSolver` hides retracted facts).
   RuleTable(const GroundProgram& gp, const AtomDependencyGraph& graph,
-            uint32_t comp, const Interpretation& global,
+            uint32_t comp, const TruthTape& global,
             const std::vector<uint8_t>* disabled = nullptr);
 
   size_t atom_count() const { return atoms_.size(); }
@@ -66,25 +75,39 @@ class RuleTable {
   CompiledRule& rule(LocalRule r) { return rules_[r]; }
   const CompiledRule& rule(LocalRule r) const { return rules_[r]; }
 
+  /// Internal positive body atoms of `r` (a slice of the shared pool).
+  std::span<const LocalAtom> PosBody(LocalRule r) const {
+    const CompiledRule& c = rules_[r];
+    return std::span<const LocalAtom>(body_.data() + c.pos_begin,
+                                      c.neg_begin - c.pos_begin);
+  }
+  /// Internal negative body atoms of `r`.
+  std::span<const LocalAtom> NegBody(LocalRule r) const {
+    const CompiledRule& c = rules_[r];
+    return std::span<const LocalAtom>(body_.data() + c.neg_begin,
+                                      c.body_end - c.neg_begin);
+  }
+
   /// Rules whose head is `a`.
   std::span<const LocalRule> RulesFor(LocalAtom a) const {
-    return rules_for_[a];
+    return rules_for_.Row(a);
   }
   /// Rules where `a` occurs in a positive body position.
   std::span<const LocalRule> PositiveOccurrences(LocalAtom a) const {
-    return pos_occ_[a];
+    return pos_occ_.Row(a);
   }
   /// Rules where `a` occurs in a negative body position.
   std::span<const LocalRule> NegativeOccurrences(LocalAtom a) const {
-    return neg_occ_[a];
+    return neg_occ_.Row(a);
   }
 
  private:
   std::vector<AtomId> atoms_;  ///< local id -> global id
   std::vector<CompiledRule> rules_;
-  std::vector<std::vector<LocalRule>> rules_for_;
-  std::vector<std::vector<LocalRule>> pos_occ_;
-  std::vector<std::vector<LocalRule>> neg_occ_;
+  std::vector<LocalAtom> body_;  ///< shared pool: [pos | neg] per rule
+  Csr<LocalRule> rules_for_;
+  Csr<LocalRule> pos_occ_;
+  Csr<LocalRule> neg_occ_;
 };
 
 }  // namespace gsls::solver

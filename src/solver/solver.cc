@@ -1,10 +1,45 @@
 #include "solver/solver.h"
 
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+
 #include "analysis/atom_dependency_graph.h"
 #include "solver/component_eval.h"
+#include "solver/parallel.h"
 #include "util/strings.h"
 
 namespace gsls {
+
+namespace {
+
+/// Worker pools for the one-shot `SolveWfs` path, cached per calling
+/// thread and per worker count so repeated parallel solves (benches, the
+/// oracle paths) do not pay thread spawn + join on every call. Thread-
+/// local keeps concurrent callers from contending for a single pool
+/// (`WorkStealingPool::Run` is one-job-at-a-time); idle pools cost a
+/// sleeping thread each and are joined at caller-thread exit.
+WorkStealingPool& CachedPool(unsigned threads) {
+  thread_local std::unordered_map<unsigned,
+                                  std::unique_ptr<WorkStealingPool>>
+      pools;
+  std::unique_ptr<WorkStealingPool>& pool = pools[threads];
+  if (pool == nullptr) pool = std::make_unique<WorkStealingPool>(threads);
+  return *pool;
+}
+
+}  // namespace
+
+void SolverDiagnostics::MergeFrom(const SolverDiagnostics& other) {
+  component_count += other.component_count;
+  max_component_size = std::max(max_component_size, other.max_component_size);
+  recursive_components += other.recursive_components;
+  negation_components += other.negation_components;
+  rules_visited += other.rules_visited;
+  unfounded_floods += other.unfounded_floods;
+  unfounded_falsified += other.unfounded_falsified;
+  alternating_rounds += other.alternating_rounds;
+}
 
 std::string SolverDiagnostics::ToString() const {
   return StrCat("components=", component_count,
@@ -18,11 +53,27 @@ std::string SolverDiagnostics::ToString() const {
 }
 
 WfsModel SolveWfs(const GroundProgram& gp, SolverDiagnostics* diag) {
+  return SolveWfs(gp, SolverOptions{}, diag);
+}
+
+WfsModel SolveWfs(const GroundProgram& gp, const SolverOptions& opts,
+                  SolverDiagnostics* diag) {
   SolverDiagnostics scratch;
   if (diag == nullptr) diag = &scratch;
   *diag = SolverDiagnostics{};
   AtomDependencyGraph graph(gp);
-  return solver::SolveAllComponents(gp, graph, /*disabled=*/nullptr, diag);
+  unsigned threads = solver::ResolveThreadCount(opts.num_threads);
+  if (threads <= 1) {
+    return solver::SolveAllComponents(gp, graph, /*disabled=*/nullptr, diag);
+  }
+  solver::ComponentDag dag(gp, graph);
+  solver::TruthTape values;
+  solver::ParallelSolveAllComponentsInto(gp, graph, dag, /*disabled=*/nullptr,
+                                         &CachedPool(threads), &values, diag);
+  WfsModel out;
+  out.model = values.ToInterpretation();
+  out.iterations = static_cast<uint32_t>(diag->alternating_rounds);
+  return out;
 }
 
 }  // namespace gsls

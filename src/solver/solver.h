@@ -20,7 +20,28 @@ struct SolverDiagnostics {
   uint64_t unfounded_falsified = 0;  ///< atoms falsified wholesale by floods
   uint64_t alternating_rounds = 0;   ///< component-local truth/unfounded rounds
 
+  /// Folds another accumulator into this one (sums, except
+  /// `max_component_size`). The parallel scheduler gives every worker a
+  /// private `SolverDiagnostics` and merges them once at the final
+  /// barrier — no racy increments, no atomics on the hot path. Per-
+  /// component work is schedule-independent, so the merged totals equal a
+  /// sequential run's.
+  void MergeFrom(const SolverDiagnostics& other);
+
   std::string ToString() const;
+};
+
+/// Tuning knobs of the SCC-stratified solve, plumbed down from
+/// `EngineOptions::solver` and `TabledOptions::solver`.
+struct SolverOptions {
+  /// Worker threads for the per-SCC schedule. `1` (the default) runs the
+  /// sequential dependency-order loop, bit-for-bit identical to previous
+  /// behavior. `0` means one worker per hardware thread. Anything else
+  /// runs a work-stealing pool over the condensation DAG
+  /// (solver/parallel.h): components are released the moment their
+  /// predecessors are final, and the model is identical regardless of the
+  /// schedule.
+  unsigned num_threads = 1;
 };
 
 /// Computes the well-founded model by SCC-stratified evaluation (the
@@ -48,6 +69,11 @@ struct SolverDiagnostics {
 /// condensation lazily — fact deltas never add dependency edges, so only
 /// an `Assert` interning a brand-new atom forces a rebuild.
 WfsModel SolveWfs(const GroundProgram& gp, SolverDiagnostics* diag = nullptr);
+
+/// As above with explicit options; `opts.num_threads != 1` schedules the
+/// components on a work-stealing pool instead of the sequential loop.
+WfsModel SolveWfs(const GroundProgram& gp, const SolverOptions& opts,
+                  SolverDiagnostics* diag = nullptr);
 
 }  // namespace gsls
 

@@ -1,0 +1,76 @@
+#ifndef GSLS_SOLVER_TRUTH_TAPE_H_
+#define GSLS_SOLVER_TRUTH_TAPE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "wfs/interpretation.h"
+
+namespace gsls::solver {
+
+/// Flat byte-per-atom truth store — the solver-internal representation of
+/// the evolving model. One load decides an atom (versus two bit probes in
+/// `Interpretation`), and, unlike a bit-packed set, bytes of *different*
+/// atoms are distinct memory locations: parallel workers finalize disjoint
+/// components in place with no write contention and no word-level races
+/// (C++ guarantees bytes are separate objects). Converted to an
+/// `Interpretation` once per solve, at the barrier.
+class TruthTape {
+ public:
+  TruthTape() = default;
+  explicit TruthTape(size_t atom_count) { Assign(atom_count); }
+
+  /// Resets to `atom_count` atoms, all undefined.
+  void Assign(size_t atom_count) {
+    values_.assign(atom_count, static_cast<uint8_t>(TruthValue::kUndefined));
+  }
+
+  /// Grows to `atom_count` atoms; new atoms are undefined.
+  void Resize(size_t atom_count) {
+    values_.resize(atom_count, static_cast<uint8_t>(TruthValue::kUndefined));
+  }
+
+  size_t size() const { return values_.size(); }
+
+  TruthValue Value(AtomId a) const {
+    return static_cast<TruthValue>(values_[a]);
+  }
+  bool IsTrue(AtomId a) const { return Value(a) == TruthValue::kTrue; }
+  bool IsFalse(AtomId a) const { return Value(a) == TruthValue::kFalse; }
+  bool IsUndefined(AtomId a) const {
+    return Value(a) == TruthValue::kUndefined;
+  }
+
+  void SetTrue(AtomId a) { values_[a] = static_cast<uint8_t>(TruthValue::kTrue); }
+  void SetFalse(AtomId a) {
+    values_[a] = static_cast<uint8_t>(TruthValue::kFalse);
+  }
+  void SetUndefined(AtomId a) {
+    values_[a] = static_cast<uint8_t>(TruthValue::kUndefined);
+  }
+
+  /// The tape as a bit-packed `Interpretation` (the public model type).
+  Interpretation ToInterpretation() const {
+    Interpretation out(values_.size());
+    for (AtomId a = 0; a < values_.size(); ++a) CopyAtomTo(a, &out);
+    return out;
+  }
+
+  /// Overwrites `out`'s value of `a` with the tape's (the incremental
+  /// solver syncs just the re-solved atoms of its persistent mirror).
+  void CopyAtomTo(AtomId a, Interpretation* out) const {
+    out->SetUndefined(a);  // clear the stale bit before flipping the other
+    switch (Value(a)) {
+      case TruthValue::kTrue: out->SetTrue(a); break;
+      case TruthValue::kFalse: out->SetFalse(a); break;
+      case TruthValue::kUndefined: break;
+    }
+  }
+
+ private:
+  std::vector<uint8_t> values_;
+};
+
+}  // namespace gsls::solver
+
+#endif  // GSLS_SOLVER_TRUTH_TAPE_H_

@@ -16,7 +16,7 @@ void SourceTracker::InitSources(std::vector<LocalAtom>* unfounded) {
   // supportable. The completing rule becomes the source; assignment in
   // closure order keeps the source chains acyclic.
   for (LocalRule r = 0; r < table_->rule_count(); ++r) {
-    cand_unmet_[r] = static_cast<uint32_t>(table_->rule(r).pos.size());
+    cand_unmet_[r] = static_cast<uint32_t>(table_->PosBody(r).size());
   }
   ready_.clear();
   for (LocalRule r = 0; r < table_->rule_count(); ++r) {
@@ -98,7 +98,7 @@ void SourceTracker::CollectUnfounded(std::vector<LocalAtom>* unfounded) {
     for (LocalRule r : table_->RulesFor(a)) {
       if (table_->rule(r).dead) continue;
       uint32_t unmet = 0;
-      for (LocalAtom b : table_->rule(r).pos) {
+      for (LocalAtom b : table_->PosBody(r)) {
         if (state_[b] == State::kUnsourced) ++unmet;
       }
       cand_unmet_[r] = unmet;

@@ -1,0 +1,123 @@
+#include "util/thread_pool.h"
+
+#include <chrono>
+
+namespace gsls {
+
+WorkStealingPool::WorkStealingPool(unsigned num_threads)
+    : num_workers_(num_threads == 0 ? 1 : num_threads),
+      queues_(num_workers_) {
+  threads_.reserve(num_workers_ - 1);
+  for (unsigned w = 1; w < num_workers_; ++w) {
+    threads_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+WorkStealingPool::~WorkStealingPool() {
+  {
+    std::lock_guard<std::mutex> lk(job_mu_);
+    stopping_ = true;
+  }
+  job_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkStealingPool::Push(unsigned worker, uint32_t task) {
+  // The increment precedes the pusher's own completion decrement (Push
+  // only happens inside `body`), so `inflight_` can never dip to zero
+  // while released work is still in flight.
+  inflight_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(queues_[worker].mu);
+    queues_[worker].tasks.push_back(task);
+  }
+  job_cv_.notify_one();
+}
+
+bool WorkStealingPool::TryPop(unsigned worker, uint32_t* task) {
+  {
+    Queue& own = queues_[worker];
+    std::lock_guard<std::mutex> lk(own.mu);
+    if (!own.tasks.empty()) {
+      *task = own.tasks.back();  // LIFO: stay on the chain just extended
+      own.tasks.pop_back();
+      return true;
+    }
+  }
+  for (unsigned i = 1; i < num_workers_; ++i) {
+    Queue& victim = queues_[(worker + i) % num_workers_];
+    std::lock_guard<std::mutex> lk(victim.mu);
+    if (!victim.tasks.empty()) {
+      *task = victim.tasks.front();  // FIFO: steal the oldest, widest work
+      victim.tasks.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void WorkStealingPool::DrainJob(unsigned worker) {
+  unsigned idle_spins = 0;
+  while (true) {
+    uint32_t task;
+    if (TryPop(worker, &task)) {
+      idle_spins = 0;
+      (*body_.load(std::memory_order_acquire))(worker, task);
+      if (inflight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        // Last task of the job: wake the Run caller (and any sleeping
+        // workers, so they fall out of their drain loops).
+        { std::lock_guard<std::mutex> lk(job_mu_); }
+        done_cv_.notify_all();
+        job_cv_.notify_all();
+        return;
+      }
+      continue;
+    }
+    if (inflight_.load(std::memory_order_acquire) == 0) return;
+    // Empty queues but unfinished tasks: another worker will release
+    // successors shortly. Yield first; back off to a micro-sleep if the
+    // running task is long (e.g. one dominant SCC).
+    if (++idle_spins < 64) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+}
+
+void WorkStealingPool::WorkerLoop(unsigned worker) {
+  uint64_t seen_epoch = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lk(job_mu_);
+      job_cv_.wait(lk, [&] { return stopping_ || job_epoch_ > seen_epoch; });
+      if (stopping_) return;
+      seen_epoch = job_epoch_;
+    }
+    DrainJob(worker);
+  }
+}
+
+void WorkStealingPool::Run(std::span<const uint32_t> seeds,
+                           const std::function<void(unsigned, uint32_t)>& body) {
+  if (seeds.empty()) return;
+  inflight_.store(seeds.size(), std::memory_order_relaxed);
+  body_.store(&body, std::memory_order_release);
+  // Round-robin the seeds so workers start spread across the DAG's width.
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    std::lock_guard<std::mutex> lk(queues_[i % num_workers_].mu);
+    queues_[i % num_workers_].tasks.push_back(seeds[i]);
+  }
+  {
+    std::lock_guard<std::mutex> lk(job_mu_);
+    ++job_epoch_;
+  }
+  job_cv_.notify_all();
+  DrainJob(0);
+  std::unique_lock<std::mutex> lk(job_mu_);
+  done_cv_.wait(lk, [&] {
+    return inflight_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+}  // namespace gsls

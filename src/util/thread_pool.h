@@ -1,0 +1,86 @@
+#ifndef GSLS_UTIL_THREAD_POOL_H_
+#define GSLS_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+namespace gsls {
+
+/// Work-stealing pool over `uint32_t` task ids (the solver's component
+/// ids; keeping the task type this narrow keeps queue traffic allocation-
+/// free). One deque per worker: an owner pushes and pops at the back
+/// (LIFO, for locality along DAG chains), thieves take from the front
+/// (FIFO, stealing the oldest—widest—work).
+///
+/// `Run` executes one job to completion: the seeds plus everything `Push`
+/// releases transitively from inside `body`. The *calling thread
+/// participates as worker 0*, so a pool of `num_threads` spawns only
+/// `num_threads - 1` OS threads and a 1-thread pool degenerates to a plain
+/// loop on the caller — no handoff latency on tiny jobs, which is what the
+/// incremental solver's per-delta cones look like. Spawned workers persist
+/// across `Run` calls (they sleep between jobs), so a delta stream pays
+/// thread creation once.
+///
+/// Memory ordering: queue transfers synchronize via the per-queue mutexes;
+/// callers that release a task only after some shared state is complete
+/// (the scheduler's indegree counters) must order that with their own
+/// acquire/release — the pool does not know about task dependencies.
+class WorkStealingPool {
+ public:
+  /// `num_threads >= 1`: total workers, including the caller of `Run`.
+  explicit WorkStealingPool(unsigned num_threads);
+  ~WorkStealingPool();
+
+  WorkStealingPool(const WorkStealingPool&) = delete;
+  WorkStealingPool& operator=(const WorkStealingPool&) = delete;
+
+  unsigned size() const { return num_workers_; }
+
+  /// Runs `body(worker, task)` for every seed and every task `Push`ed
+  /// during the job, returning when all of them have completed. Only one
+  /// `Run` may be active at a time. `body` must not throw.
+  void Run(std::span<const uint32_t> seeds,
+           const std::function<void(unsigned, uint32_t)>& body);
+
+  /// Releases a task into `worker`'s own deque. Only valid from inside
+  /// `body`, with `worker` the id `body` was invoked with.
+  void Push(unsigned worker, uint32_t task);
+
+ private:
+  struct Queue {
+    std::mutex mu;
+    std::deque<uint32_t> tasks;
+  };
+
+  void WorkerLoop(unsigned worker);
+  /// Processes tasks until the current job has no incomplete task left.
+  void DrainJob(unsigned worker);
+  /// Own-queue pop (back) or steal (front of a victim); false when every
+  /// queue came up empty.
+  bool TryPop(unsigned worker, uint32_t* task);
+
+  unsigned num_workers_;
+  std::vector<Queue> queues_;
+  std::vector<std::thread> threads_;
+
+  std::mutex job_mu_;
+  std::condition_variable job_cv_;   ///< workers wait here between jobs
+  std::condition_variable done_cv_;  ///< Run waits here for completion
+  std::atomic<const std::function<void(unsigned, uint32_t)>*> body_{nullptr};
+  uint64_t job_epoch_ = 0;
+  /// Tasks released but not yet completed in the current job; the job is
+  /// done when this hits zero after at least one task ran.
+  std::atomic<uint64_t> inflight_{0};
+  bool stopping_ = false;
+};
+
+}  // namespace gsls
+
+#endif  // GSLS_UTIL_THREAD_POOL_H_

@@ -70,6 +70,20 @@ std::string RandomGame(Rng& rng, int n, int edge_pct) {
   return src;
 }
 
+std::string GameForest(Rng& rng, int blocks, int nodes, int edge_pct) {
+  std::string src = "win(X) :- move(X, Y), not win(Y).\n";
+  for (int b = 0; b < blocks; ++b) {
+    for (int i = 0; i < nodes; ++i) {
+      for (int j = 0; j < nodes; ++j) {
+        if (i != j && rng.Chance(static_cast<uint64_t>(edge_pct), 100)) {
+          src += StrCat("move(b", b, "_n", i, ", b", b, "_n", j, ").\n");
+        }
+      }
+    }
+  }
+  return src;
+}
+
 std::string GameGrid(int w, int h) {
   std::string src = "win(X) :- move(X, Y), not win(Y).\n";
   for (int x = 0; x < w; ++x) {

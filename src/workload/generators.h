@@ -33,6 +33,13 @@ std::string GameCycleWithTail(int cycle, int tail);
 /// Random win/move game over `n` nodes with edge probability `edge_pct`%.
 std::string RandomGame(Rng& rng, int n, int edge_pct);
 
+/// `blocks` disjoint random win/move games of `nodes` positions each
+/// (edge probability `edge_pct`%, constants prefixed per block): one
+/// program whose atom-level condensation is a wide forest of independent
+/// recursive components. The parallel scheduler's natural workload —
+/// every block can run on a different worker.
+std::string GameForest(Rng& rng, int blocks, int nodes, int edge_pct);
+
 /// win/move game on a w x h grid, moves right/down (long stage chains).
 std::string GameGrid(int w, int h);
 

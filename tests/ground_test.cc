@@ -191,6 +191,27 @@ TEST(GroundProgramTest, OccurrenceIndexes) {
   EXPECT_EQ(gp.NegativeOccurrences(*r).size(), 1u);
 }
 
+TEST(GroundProgramTest, UnitRuleAfterIndexReadMergesIntoRulesFor) {
+  // `r` has rules but no unit rule; reading the index first forces the
+  // lazily built CSR, so the later unit-rule AddRule exercises the
+  // pending-row merge path instead of a full rebuild.
+  Fixture f("p :- q, not r. r :- q. q.");
+  GroundProgram gp = testing::MustGround(f.program);
+  auto r = gp.FindAtom(MustParseTerm(f.store, "r"));
+  ASSERT_TRUE(r.has_value());
+  ASSERT_EQ(gp.RulesFor(*r).size(), 1u);  // materializes the index
+  ASSERT_FALSE(gp.FindUnitRule(*r).has_value());
+
+  RuleId unit = gp.AddRule(GroundRule{*r, {}, {}});
+  ASSERT_EQ(gp.RulesFor(*r).size(), 2u);
+  EXPECT_EQ(gp.RulesFor(*r).back(), unit);  // largest id stays last
+  EXPECT_EQ(gp.FindUnitRule(*r), unit);
+  // The other rows and indexes are untouched by the merge.
+  auto q = gp.FindAtom(MustParseTerm(f.store, "q"));
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(gp.PositiveOccurrences(*q).size(), 2u);
+}
+
 TEST(GroundProgramTest, ToStringRendersRules) {
   Fixture f("p :- q, not r. q.");
   GroundProgram gp = testing::MustGround(f.program);

@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "util/arena.h"
 #include "util/bitset.h"
+#include "util/csr.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/strings.h"
@@ -136,6 +139,44 @@ TEST(StringsTest, StartsWith) {
   EXPECT_TRUE(StartsWith("foobar", "foo"));
   EXPECT_FALSE(StartsWith("foobar", "bar"));
   EXPECT_TRUE(StartsWith("x", ""));
+}
+
+TEST(CsrTest, TwoPassBuildPartitionsPayloadByRow) {
+  // (row, value) items in arbitrary order; per-row Fill order must hold.
+  const std::pair<uint32_t, int> items[] = {
+      {2, 10}, {0, 1}, {2, 11}, {3, 20}, {0, 2}, {2, 12}};
+  Csr<int> csr;
+  csr.Reset(4);
+  for (const auto& [row, _] : items) csr.CountAt(row);
+  csr.FinishCounting();
+  for (const auto& [row, value] : items) csr.Fill(row, value);
+  csr.FinishFilling();
+
+  EXPECT_EQ(csr.rows(), 4u);
+  EXPECT_EQ(csr.size(), 6u);
+  EXPECT_EQ(std::vector<int>(csr.Row(0).begin(), csr.Row(0).end()),
+            (std::vector<int>{1, 2}));
+  EXPECT_TRUE(csr.Row(1).empty());
+  EXPECT_EQ(std::vector<int>(csr.Row(2).begin(), csr.Row(2).end()),
+            (std::vector<int>{10, 11, 12}));
+  EXPECT_EQ(std::vector<int>(csr.Row(3).begin(), csr.Row(3).end()),
+            (std::vector<int>{20}));
+}
+
+TEST(CsrTest, ResetReusesStorageAcrossBuilds) {
+  Csr<uint32_t> csr;
+  for (int build = 0; build < 3; ++build) {
+    csr.Reset(2);
+    csr.AddCount(1, 2);
+    csr.FinishCounting();
+    csr.Fill(1, 7u + build);
+    csr.Fill(1, 9u + build);
+    csr.FinishFilling();
+    ASSERT_EQ(csr.Row(0).size(), 0u);
+    ASSERT_EQ(csr.Row(1).size(), 2u);
+    EXPECT_EQ(csr.Row(1)[0], 7u + build);
+    EXPECT_EQ(csr.Row(1)[1], 9u + build);
+  }
 }
 
 }  // namespace
