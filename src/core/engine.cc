@@ -70,14 +70,18 @@ void GlobalSlsEngine::MaybeSeedOracle() {
   if (oracle_solver_ != nullptr &&
       oracle_clause_count_ != program_.clauses().size()) {
     oracle_solver_.reset();
-    oracle_stages_.reset();
   }
   if (oracle_solver_ == nullptr) {
     GroundingOptions gopts;
     Result<GroundProgram> ground = GroundRelevant(program_, gopts);
     if (!ground.ok()) return;  // over budget: fall back to plain search
+    // Levels ride the same SCC schedule as the model (solver/stages.h):
+    // per-component reconstruction, parallel-safe, maintained across any
+    // future deltas — the V_P stage iteration is a test oracle only.
+    SolverOptions sopts = opts_.solver;
+    sopts.compute_levels = opts_.compute_levels;
     oracle_solver_ = std::make_unique<IncrementalSolver>(
-        std::move(ground.value()), opts_.solver);
+        std::move(ground.value()), sopts);
     oracle_clause_count_ = program_.clauses().size();
   }
   // The incremental instance persists across queries and `ClearMemo`:
@@ -85,13 +89,7 @@ void GlobalSlsEngine::MaybeSeedOracle() {
   // reseeding is one O(atoms) memo fill, not a re-ground and re-solve.
   const GroundProgram& gp = oracle_solver_->program();
   const WfsModel& wfs = oracle_solver_->Model();
-  // Statuses always come from the SCC solver, so oracle behavior does not
-  // depend on `compute_levels`; the stage iteration (same model, but
-  // quadratic) is paid only for the levels Cor. 4.6 reads off it.
-  if (opts_.compute_levels && oracle_stages_ == nullptr) {
-    oracle_stages_ = std::make_unique<WfsStages>(ComputeWfsStages(gp));
-  }
-  const WfsStages* stages = oracle_stages_.get();
+  const bool levels = wfs.has_levels;
   for (AtomId a = 0; a < gp.atom_count(); ++a) {
     MemoEntry& entry = memo_[gp.AtomTerm(a)];
     entry.done = true;
@@ -99,15 +97,15 @@ void GlobalSlsEngine::MaybeSeedOracle() {
     switch (wfs.model.Value(a)) {
       case TruthValue::kTrue:
         out.status = GoalStatus::kSuccessful;
-        if (stages != nullptr) {
-          out.level = Ordinal::Finite(stages->true_stage[a]);
+        if (levels) {
+          out.level = Ordinal::Finite(wfs.true_stage[a]);
           out.level_exact = true;
         }
         break;
       case TruthValue::kFalse:
         out.status = GoalStatus::kFailed;
-        if (stages != nullptr) {
-          out.level = Ordinal::Finite(stages->false_stage[a]);
+        if (levels) {
+          out.level = Ordinal::Finite(wfs.false_stage[a]);
           out.level_exact = true;
         }
         break;

@@ -67,11 +67,12 @@ struct EngineOptions {
   /// src/solver/) before the first query, making memo simplification an
   /// exact oracle: every registered ground atom resolves in O(1) with the
   /// status Thm. 4.7 prescribes, and (when `compute_levels` is set) the
-  /// level Cor. 4.6 prescribes, taken from the V_P stage iteration.
-  /// Engaged only where it is provably exact and complete: function-free
-  /// programs under the preferential rule (positivistic selection,
-  /// negatively parallel, memo simplification on). Otherwise the engine
-  /// searches as before.
+  /// level Cor. 4.6 prescribes, reconstructed from the SCC schedule
+  /// (solver/stages.h) alongside the model — the quadratic V_P iteration
+  /// is not involved. Engaged only where it is provably exact and
+  /// complete: function-free programs under the preferential rule
+  /// (positivistic selection, negatively parallel, memo simplification
+  /// on). Otherwise the engine searches as before.
   bool bottom_up_oracle = true;
   /// Compute ordinal levels (Def. 3.3) alongside statuses.
   bool compute_levels = true;
@@ -230,7 +231,6 @@ class GlobalSlsEngine {
   /// Rebuilt when the program's clause count moved since the build — the
   /// mutate-then-`ClearMemo` pattern must not answer from a stale model.
   std::unique_ptr<IncrementalSolver> oracle_solver_;
-  std::unique_ptr<WfsStages> oracle_stages_;
   size_t oracle_clause_count_ = 0;
   std::unordered_map<const Term*, MemoEntry> memo_;
   size_t work_ = 0;

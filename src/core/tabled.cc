@@ -7,20 +7,16 @@
 
 namespace gsls {
 
-/// Stage path vs. incremental path: with stages the quadratic V_P
-/// iteration runs once; without, the model comes from the near-linear SCC
-/// solver and the engine stays open for ground deltas.
+/// One path for both modes: the SCC-stratified incremental solver, with
+/// `compute_stages` selecting stage-level reconstruction on top of the
+/// same schedule — never a different algorithm.
 Result<TabledEngine> TabledEngine::FinishCreate(const Program& program,
                                                 GroundProgram gp,
                                                 TabledOptions opts) {
-  if (opts.compute_stages) {
-    WfsStages stages = ComputeWfsStages(gp);
-    TabledEngine engine(program, std::move(gp), std::move(stages));
-    engine.opts_ = opts;
-    return engine;
-  }
+  SolverOptions sopts = opts.solver;
+  sopts.compute_levels = opts.compute_stages;
   TabledEngine engine(program, std::make_unique<IncrementalSolver>(
-                                   std::move(gp), opts.solver));
+                                   std::move(gp), sopts));
   engine.opts_ = opts;
   return engine;
 }
@@ -44,12 +40,10 @@ Result<TabledEngine> TabledEngine::CreateForQuery(const Program& program,
 }
 
 bool TabledEngine::AssertFact(const Term* fact) {
-  if (incremental_ == nullptr) return false;
   return incremental_->Assert(fact);
 }
 
 bool TabledEngine::RetractFact(const Term* fact) {
-  if (incremental_ == nullptr) return false;
   return incremental_->Retract(fact);
 }
 
@@ -73,12 +67,13 @@ GoalStatus TabledEngine::StatusOf(const Term* ground_atom) const {
 std::optional<Ordinal> TabledEngine::LevelOf(const Term* ground_atom) const {
   std::optional<AtomId> id = ground().FindAtom(ground_atom);
   if (!id.has_value()) return Ordinal::Finite(1);  // fails at stage 1
-  if (!has_stages()) return std::nullopt;  // model-only engine: no stages
-  switch (stages_.model.Value(*id)) {
+  if (!has_stages()) return std::nullopt;  // levels were not requested
+  const WfsModel& m = wfs();
+  switch (m.model.Value(*id)) {
     case TruthValue::kTrue:
-      return Ordinal::Finite(stages_.true_stage[*id]);
+      return Ordinal::Finite(m.true_stage[*id]);
     case TruthValue::kFalse:
-      return Ordinal::Finite(stages_.false_stage[*id]);
+      return Ordinal::Finite(m.false_stage[*id]);
     case TruthValue::kUndefined:
       return std::nullopt;
   }
@@ -138,7 +133,7 @@ QueryResult TabledEngine::Solve(const Goal& goal) const {
         if (v == TruthValue::kUndefined) instance_true = false;
         if (v == TruthValue::kTrue && has_stages()) {
           level = Ordinal::Lub(level,
-                               Ordinal::Finite(stages_.true_stage[*id]));
+                               Ordinal::Finite(wfs().true_stage[*id]));
         }
       } else {
         if (!atom->ground()) {
@@ -160,7 +155,7 @@ QueryResult TabledEngine::Solve(const Goal& goal) const {
           case TruthValue::kFalse: {
             if (!has_stages()) break;
             std::optional<AtomId> id = ground().FindAtom(atom);
-            uint32_t stage = id.has_value() ? stages_.false_stage[*id] : 1;
+            uint32_t stage = id.has_value() ? wfs().false_stage[*id] : 1;
             level = Ordinal::Lub(level, Ordinal::Finite(stage));
             break;
           }

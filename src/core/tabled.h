@@ -16,18 +16,18 @@ namespace gsls {
 struct TabledOptions {
   GroundingOptions grounding;
   size_t max_answers = 1'000'000;
-  /// Compute the V_P stage levels (Def. 2.4) alongside the model. The
-  /// stage iteration is quadratic; when levels are not needed, leave this
-  /// false and the engine takes the near-linear SCC-stratified path
-  /// through an `IncrementalSolver` — which also enables
-  /// `AssertFact`/`RetractFact` ground deltas between queries. Without
-  /// stages, `LevelOf` has no level to report for registered atoms and
-  /// answers carry `level_exact == false`.
+  /// Compute the V_P stage levels (Def. 2.4) alongside the model,
+  /// reconstructed from the SCC schedule (solver/stages.h) as each
+  /// component is solved — not via the quadratic V_P iteration, which no
+  /// production path runs anymore. Levels parallelize and survive
+  /// `AssertFact`/`RetractFact` deltas like the model itself. When off,
+  /// `LevelOf` has no level to report for registered atoms and answers
+  /// carry `level_exact == false`; the solve skips every levels cost.
   bool compute_stages = true;
-  /// Tuning of the SCC solver behind the stage-less path, notably
-  /// `SolverOptions::num_threads` (work-stealing parallel per-SCC
-  /// scheduling; the model is thread-count invariant). Ignored when
-  /// `compute_stages` is set — the V_P iteration has no parallel form.
+  /// Tuning of the SCC solver, notably `SolverOptions::num_threads`
+  /// (work-stealing parallel per-SCC scheduling; model *and* levels are
+  /// thread-count invariant). `compute_levels` is derived from
+  /// `compute_stages` above.
   SolverOptions solver;
 };
 
@@ -40,6 +40,12 @@ struct TabledOptions {
 /// and its negated atoms well-founded-false, and the level of a determined
 /// goal equals the maximum stage of its literals (Thm. 4.5 / Cor. 4.6).
 ///
+/// Every engine runs on one persistent `IncrementalSolver`: the model (and,
+/// with `compute_stages`, the exact levels) comes from the near-linear
+/// SCC-stratified pipeline, and `AssertFact`/`RetractFact` ground deltas
+/// re-solve only the affected up-cone between queries — there is no
+/// separate "staged" engine mode anymore.
+///
 /// Termination is guaranteed whenever the grounding fits the configured
 /// budgets — always achievable for function-free programs, where the
 /// relevant instantiation is finite. Programs with function symbols can be
@@ -47,9 +53,9 @@ struct TabledOptions {
 /// whose derivations stay within the bound).
 class TabledEngine {
  public:
-  /// Grounds `program` and computes its well-founded model — with stages
-  /// via the V_P iteration when `opts.compute_stages`, else model-only via
-  /// the SCC-stratified incremental solver.
+  /// Grounds `program` and computes its well-founded model via the
+  /// SCC-stratified incremental solver — with exact stage levels when
+  /// `opts.compute_stages`.
   static Result<TabledEngine> Create(const Program& program,
                                      TabledOptions opts = {});
 
@@ -78,34 +84,22 @@ class TabledEngine {
   QueryResult Solve(const Goal& goal) const;
 
   /// Asserts/retracts a ground fact; the next read incrementally
-  /// re-solves the affected up-cone of components (`IncrementalSolver`).
-  /// Only available when the engine was created with
-  /// `compute_stages == false`. Returns true iff the fact base changed —
-  /// false on a no-op delta (fact already present/absent) and always
-  /// false (changing nothing) on a staged engine, whose stages would go
-  /// stale. Deltas are ground-level: they toggle unit rules, they do not
-  /// re-ground non-unit rules.
+  /// re-solves the affected up-cone of components (`IncrementalSolver`) —
+  /// including its stage levels on engines created with `compute_stages`.
+  /// Returns true iff the fact base changed (false on a no-op delta: fact
+  /// already present/absent). Deltas are ground-level: they toggle unit
+  /// rules, they do not re-ground non-unit rules.
   bool AssertFact(const Term* fact);
   bool RetractFact(const Term* fact);
 
-  /// True when this engine serves models from the incremental SCC solver
-  /// (created with `compute_stages == false`).
-  bool incremental() const { return incremental_ != nullptr; }
+  /// The persistent solver behind this engine (delta mask, stats,
+  /// diagnostics).
+  const IncrementalSolver& solver() const { return *incremental_; }
 
-  const GroundProgram& ground() const {
-    return incremental_ != nullptr ? incremental_->program() : *ground_;
-  }
-  /// Entirely empty when `incremental()` (model reads go through the
-  /// solver instead; see `model()`): only the stage path fills this.
-  const WfsStages& stages() const { return stages_; }
+  const GroundProgram& ground() const { return incremental_->program(); }
   const Program& program() const { return *program_; }
 
  private:
-  TabledEngine(const Program& program, GroundProgram ground, WfsStages stages)
-      : program_(&program),
-        ground_(std::make_unique<GroundProgram>(std::move(ground))),
-        stages_(std::move(stages)) {}
-
   TabledEngine(const Program& program,
                std::unique_ptr<IncrementalSolver> incremental)
       : program_(&program), incremental_(std::move(incremental)) {}
@@ -114,15 +108,13 @@ class TabledEngine {
                                            GroundProgram gp,
                                            TabledOptions opts);
 
-  /// The current well-founded model: `stages_.model` on the stage path,
-  /// the (lazily delta-refreshed) incremental model otherwise. No copy per
-  /// delta — the up-cone re-solve stays the only per-delta cost.
-  const Interpretation& model() const {
-    return incremental_ != nullptr ? incremental_->Model().model
-                                   : stages_.model;
-  }
+  /// The current well-founded model (lazily delta-refreshed; stage levels
+  /// ride along when computed). No copy per delta — the up-cone re-solve
+  /// stays the only per-delta cost.
+  const WfsModel& wfs() const { return incremental_->Model(); }
+  const Interpretation& model() const { return wfs().model; }
 
-  bool has_stages() const { return incremental_ == nullptr; }
+  bool has_stages() const { return opts_.compute_stages; }
 
   /// Backtracking matcher over the atom registry for the positive part of
   /// a goal; `on_complete` is invoked once per grounding substitution.
@@ -131,9 +123,7 @@ class TabledEngine {
                       Fn&& on_complete) const;
 
   const Program* program_;
-  std::unique_ptr<GroundProgram> ground_;
   std::unique_ptr<IncrementalSolver> incremental_;
-  WfsStages stages_;
   TabledOptions opts_;
 };
 

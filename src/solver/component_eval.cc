@@ -156,7 +156,8 @@ void SolveRecursiveComponent(const GroundProgram& gp,
 
 void SolveComponent(const GroundProgram& gp, const AtomDependencyGraph& graph,
                     uint32_t comp, const std::vector<uint8_t>* disabled,
-                    TruthTape* values, SolverDiagnostics* diag) {
+                    TruthTape* values, StageTape* stages,
+                    SolverDiagnostics* diag) {
   if (!graph.IsRecursive(comp)) {
     // Singleton without a self-loop: one 3-valued pass over its rules.
     AtomId a = graph.Atoms(comp)[0];
@@ -166,36 +167,48 @@ void SolveComponent(const GroundProgram& gp, const AtomDependencyGraph& graph,
       case TruthValue::kFalse: values->SetFalse(a); break;
       case TruthValue::kUndefined: break;
     }
-    return;
+  } else {
+    ++diag->recursive_components;
+    if (graph.HasInternalNegation(comp)) ++diag->negation_components;
+    SolveRecursiveComponent(gp, graph, comp, disabled, values, diag);
   }
-  ++diag->recursive_components;
-  if (graph.HasInternalNegation(comp)) ++diag->negation_components;
-  SolveRecursiveComponent(gp, graph, comp, disabled, values, diag);
+  if (stages != nullptr) {
+    ReconstructComponentStages(gp, graph, comp, disabled, *values, stages);
+  }
 }
 
 void SolveAllComponentsInto(const GroundProgram& gp,
                             const AtomDependencyGraph& graph,
                             const std::vector<uint8_t>* disabled,
-                            TruthTape* values, SolverDiagnostics* diag) {
+                            TruthTape* values, StageTape* stages,
+                            SolverDiagnostics* diag) {
   values->Assign(gp.atom_count());
+  if (stages != nullptr) stages->Assign(gp.atom_count());
   diag->component_count = graph.component_count();
   for (uint32_t c = 0; c < graph.component_count(); ++c) {
     diag->max_component_size =
         std::max(diag->max_component_size,
                  static_cast<uint32_t>(graph.Atoms(c).size()));
-    SolveComponent(gp, graph, c, disabled, values, diag);
+    SolveComponent(gp, graph, c, disabled, values, stages, diag);
   }
 }
 
 WfsModel SolveAllComponents(const GroundProgram& gp,
                             const AtomDependencyGraph& graph,
                             const std::vector<uint8_t>* disabled,
-                            SolverDiagnostics* diag) {
+                            bool compute_levels, SolverDiagnostics* diag) {
   TruthTape values;
-  SolveAllComponentsInto(gp, graph, disabled, &values, diag);
+  StageTape stages;
+  SolveAllComponentsInto(gp, graph, disabled, &values,
+                         compute_levels ? &stages : nullptr, diag);
   WfsModel out;
   out.model = values.ToInterpretation();
   out.iterations = static_cast<uint32_t>(diag->alternating_rounds);
+  if (compute_levels) {
+    out.true_stage = std::move(stages.true_stage);
+    out.false_stage = std::move(stages.false_stage);
+    out.has_levels = true;
+  }
   return out;
 }
 

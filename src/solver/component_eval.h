@@ -7,6 +7,7 @@
 #include "analysis/atom_dependency_graph.h"
 #include "ground/ground_program.h"
 #include "solver/solver.h"
+#include "solver/stages.h"
 #include "solver/truth_tape.h"
 
 namespace gsls::solver {
@@ -49,17 +50,28 @@ void SolveRecursiveComponent(const GroundProgram& gp,
 /// incremental up-cone re-solve, and the parallel scheduler's workers
 /// (each worker passes its own private `diag`; see
 /// `SolverDiagnostics::MergeFrom`).
+///
+/// When `stages` is non-null, the component's global V_P stage levels are
+/// reconstructed into it right after its values finalize
+/// (`ReconstructComponentStages`, solver/stages.h) — which requires the
+/// stages of every lower component to be final in `*stages`, the exact
+/// invariant the dependency-order (and DAG-release) schedules already
+/// guarantee for the values. Null skips every levels cost.
 void SolveComponent(const GroundProgram& gp, const AtomDependencyGraph& graph,
                     uint32_t comp, const std::vector<uint8_t>* disabled,
-                    TruthTape* values, SolverDiagnostics* diag);
+                    TruthTape* values, StageTape* stages,
+                    SolverDiagnostics* diag);
 
 /// Sequential SCC-stratified solve over an already-built condensation:
 /// every component in dependency order, into `*values` (which is re-sized
-/// and reset to all-undefined). The deterministic single-thread schedule.
+/// and reset to all-undefined), with V_P stages into `*stages` when
+/// non-null (re-sized and reset likewise). The deterministic single-thread
+/// schedule.
 void SolveAllComponentsInto(const GroundProgram& gp,
                             const AtomDependencyGraph& graph,
                             const std::vector<uint8_t>* disabled,
-                            TruthTape* values, SolverDiagnostics* diag);
+                            TruthTape* values, StageTape* stages,
+                            SolverDiagnostics* diag);
 
 /// `SolveAllComponentsInto` plus conversion of the tape into the public
 /// `WfsModel`. `SolveWfs` is this plus graph construction;
@@ -67,7 +79,7 @@ void SolveAllComponentsInto(const GroundProgram& gp,
 WfsModel SolveAllComponents(const GroundProgram& gp,
                             const AtomDependencyGraph& graph,
                             const std::vector<uint8_t>* disabled,
-                            SolverDiagnostics* diag);
+                            bool compute_levels, SolverDiagnostics* diag);
 
 }  // namespace gsls::solver
 

@@ -83,22 +83,35 @@ void IncrementalSolver::EnsureParallelRuntime() {
 }
 
 void IncrementalSolver::SyncMirror(uint32_t comp) {
-  for (AtomId a : graph_->Atoms(comp)) tape_.CopyAtomTo(a, &model_.model);
+  for (AtomId a : graph_->Atoms(comp)) {
+    tape_.CopyAtomTo(a, &model_.model);
+    if (opts_.compute_levels) {
+      model_.true_stage[a] = stape_.true_stage[a];
+      model_.false_stage[a] = stape_.false_stage[a];
+    }
+  }
 }
 
 const WfsModel& IncrementalSolver::Model() {
+  solver::StageTape* stages = opts_.compute_levels ? &stape_ : nullptr;
   if (!solved_) {
     EnsureGraph();
     const uint64_t rounds_before = diag_.alternating_rounds;
     if (threads_ > 1) {
       EnsureParallelRuntime();
       solver::ParallelSolveAllComponentsInto(gp_, *graph_, *dag_, &disabled_,
-                                             pool_.get(), &tape_, &diag_);
+                                             pool_.get(), &tape_, stages,
+                                             &diag_);
     } else {
       solver::SolveAllComponentsInto(gp_, *graph_, &disabled_, &tape_,
-                                     &diag_);
+                                     stages, &diag_);
     }
     model_.model = tape_.ToInterpretation();
+    if (opts_.compute_levels) {
+      model_.true_stage = stape_.true_stage;
+      model_.false_stage = stape_.false_stage;
+      model_.has_levels = true;
+    }
     model_.iterations =
         static_cast<uint32_t>(diag_.alternating_rounds - rounds_before);
     solved_ = true;
@@ -140,7 +153,8 @@ WfsModel IncrementalSolver::SolveFresh(SolverDiagnostics* diag) const {
   if (diag == nullptr) diag = &scratch;
   *diag = SolverDiagnostics{};
   AtomDependencyGraph graph(gp_);
-  return solver::SolveAllComponents(gp_, graph, &disabled_, diag);
+  return solver::SolveAllComponents(gp_, graph, &disabled_,
+                                    opts_.compute_levels, diag);
 }
 
 void IncrementalSolver::Mark(uint32_t comp) {
@@ -155,22 +169,41 @@ namespace {
 /// heap and the parallel cone: snapshot old values, reset, re-solve, and
 /// invoke `flag(head_component)` for every component owning a rule that
 /// mentions an atom whose value moved. Returns whether anything moved.
+///
+/// With `stages` non-null the snapshot/compare covers the stage levels
+/// too: a delta can advance a literal's stage without flipping any truth
+/// value (e.g. asserting an already-derived atom as a fact pulls its stage
+/// down to 1), and dependents' stages must follow — cutting the cone on
+/// value equality alone would leave them stale.
 template <typename FlagFn>
 bool ResolveComponentDelta(const GroundProgram& gp,
                            const AtomDependencyGraph& graph, uint32_t c,
                            const std::vector<uint8_t>* disabled,
-                           solver::TruthTape* tape,
+                           solver::TruthTape* tape, solver::StageTape* stages,
                            std::vector<TruthValue>* old_vals,
+                           std::vector<uint32_t>* old_stages,
                            SolverDiagnostics* diag, FlagFn&& flag) {
   std::span<const AtomId> atoms = graph.Atoms(c);
   old_vals->clear();
   for (AtomId a : atoms) old_vals->push_back(tape->Value(a));
+  if (stages != nullptr) {
+    old_stages->clear();
+    for (AtomId a : atoms) {
+      old_stages->push_back(stages->true_stage[a]);
+      old_stages->push_back(stages->false_stage[a]);
+    }
+  }
   for (AtomId a : atoms) tape->SetUndefined(a);
-  solver::SolveComponent(gp, graph, c, disabled, tape, diag);
+  solver::SolveComponent(gp, graph, c, disabled, tape, stages, diag);
 
   bool changed = false;
   for (size_t i = 0; i < atoms.size(); ++i) {
-    if (tape->Value(atoms[i]) == (*old_vals)[i]) continue;
+    bool moved = tape->Value(atoms[i]) != (*old_vals)[i];
+    if (!moved && stages != nullptr) {
+      moved = stages->true_stage[atoms[i]] != (*old_stages)[2 * i] ||
+              stages->false_stage[atoms[i]] != (*old_stages)[2 * i + 1];
+    }
+    if (!moved) continue;
     changed = true;
     for (RuleId r : gp.PositiveOccurrences(atoms[i])) {
       uint32_t hc = graph.ComponentOf(gp.rules()[r].head);
@@ -195,6 +228,12 @@ void IncrementalSolver::ResolveUpCone() {
   // the new atoms start undefined.
   model_.model.Resize(gp_.atom_count());
   tape_.Resize(gp_.atom_count());
+  solver::StageTape* stages = opts_.compute_levels ? &stape_ : nullptr;
+  if (stages != nullptr) {
+    stape_.Resize(gp_.atom_count());
+    model_.true_stage.resize(gp_.atom_count(), 0);
+    model_.false_stage.resize(gp_.atom_count(), 0);
+  }
   // Zeros between passes (every mark is cleared by its pop); only a graph
   // rebuild changes the component count.
   if (marked_.size() != ncomp) marked_.assign(ncomp, 0);
@@ -204,6 +243,7 @@ void IncrementalSolver::ResolveUpCone() {
 
   uint64_t resolved = 0;
   std::vector<TruthValue> old_vals;
+  std::vector<uint32_t> old_stages;
   while (!heap_.empty()) {
     uint32_t c = heap_.top();
     heap_.pop();
@@ -214,8 +254,9 @@ void IncrementalSolver::ResolveUpCone() {
     // theirs actually moved. Dependent components always have a larger id
     // (dependency order), so the heap never revisits a popped component.
     bool changed =
-        ResolveComponentDelta(gp_, *graph_, c, &disabled_, &tape_, &old_vals,
-                              &diag_, [&](uint32_t hc) { Mark(hc); });
+        ResolveComponentDelta(gp_, *graph_, c, &disabled_, &tape_, stages,
+                              &old_vals, &old_stages, &diag_,
+                              [&](uint32_t hc) { Mark(hc); });
     SyncMirror(c);
     if (!changed) ++stats_.cone_cutoffs;
   }
@@ -237,6 +278,7 @@ struct alignas(64) ConeWorker {
   std::vector<uint32_t> resolved;
   uint64_t cutoffs = 0;
   std::vector<TruthValue> old_vals;
+  std::vector<uint32_t> old_stages;
 };
 
 }  // namespace
@@ -248,6 +290,12 @@ void IncrementalSolver::ResolveUpConeParallel() {
   const uint32_t ncomp = graph_->component_count();
   model_.model.Resize(gp_.atom_count());
   tape_.Resize(gp_.atom_count());
+  solver::StageTape* stages = opts_.compute_levels ? &stape_ : nullptr;
+  if (stages != nullptr) {
+    stape_.Resize(gp_.atom_count());
+    model_.true_stage.resize(gp_.atom_count(), 0);
+    model_.false_stage.resize(gp_.atom_count(), 0);
+  }
   gp_.EnsureOccurrenceIndex();  // workers must not race the lazy rebuild
 
   // The potentially-affected cone: everything reachable from the dirty
@@ -323,7 +371,8 @@ void IncrementalSolver::ResolveUpConeParallel() {
         // after this component's acq_rel release edge in the shared
         // scheduler.
         bool changed = ResolveComponentDelta(
-            gp_, *graph_, c, &disabled_, &tape_, &w.old_vals, &w.diag,
+            gp_, *graph_, c, &disabled_, &tape_, stages, &w.old_vals,
+            &w.old_stages, &w.diag,
             [&](uint32_t hc) {
               inputs_changed[cone_pos[hc]].store(1,
                                                  std::memory_order_relaxed);

@@ -11,6 +11,7 @@
 #include "ground/ground_program.h"
 #include "solver/parallel.h"
 #include "solver/solver.h"
+#include "solver/stages.h"
 #include "solver/truth_tape.h"
 #include "util/thread_pool.h"
 #include "wfs/wfs.h"
@@ -116,6 +117,14 @@ class IncrementalSolver {
   /// The well-founded model of the current program. Solves from scratch on
   /// first call, incrementally (affected up-cone only) after deltas, and
   /// returns the cache verbatim when nothing changed.
+  ///
+  /// With `SolverOptions::compute_levels`, the returned model also carries
+  /// the V_P stage levels, maintained across deltas: each re-solved
+  /// component reconstructs its stages right after its values (so only the
+  /// re-solved up-cone pays), and the change pruning compares *stages as
+  /// well as values* — a delta that moves an atom's stage without flipping
+  /// its truth still re-solves dependents, so maintained levels stay
+  /// atom-for-atom equal to a from-scratch leveled solve.
   const WfsModel& Model();
 
   /// Well-founded value of a ground atom in `Model()` (unregistered atoms
@@ -125,7 +134,8 @@ class IncrementalSolver {
   /// From-scratch masked solve of the current program, including
   /// condensation construction — the exact work a non-incremental caller
   /// would pay per delta. Always sequential: the agreement oracle and
-  /// bench baseline.
+  /// bench baseline. Computes levels iff this solver was constructed with
+  /// `compute_levels`, so it baselines the same work `Model()` maintains.
   WfsModel SolveFresh(SolverDiagnostics* diag = nullptr) const;
 
   const IncrementalStats& stats() const { return stats_; }
@@ -154,6 +164,10 @@ class IncrementalSolver {
   /// reads and writes this flat tape; `model_` is the bit-packed mirror
   /// served to callers, re-synced only for re-solved components.
   solver::TruthTape tape_;
+  /// Primary V_P stage store (`compute_levels` only), persistent like
+  /// `tape_` and mirrored into `model_.true_stage`/`false_stage` per
+  /// re-solved component by the same `SyncMirror`.
+  solver::StageTape stape_;
   WfsModel model_;
   bool solved_ = false;
   std::vector<AtomId> dirty_;  ///< atoms whose fact set changed

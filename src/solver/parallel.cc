@@ -62,11 +62,13 @@ void ParallelSolveAllComponentsInto(const GroundProgram& gp,
                                     const ComponentDag& dag,
                                     const std::vector<uint8_t>* disabled,
                                     WorkStealingPool* pool, TruthTape* values,
+                                    StageTape* stages,
                                     SolverDiagnostics* diag) {
   // The lazy occurrence index must exist before workers read it
   // concurrently.
   gp.EnsureOccurrenceIndex();
   values->Assign(gp.atom_count());
+  if (stages != nullptr) stages->Assign(gp.atom_count());
 
   uint32_t ncomp = dag.component_count();
   std::unique_ptr<std::atomic<uint32_t>[]> pending(
@@ -85,7 +87,7 @@ void ParallelSolveAllComponentsInto(const GroundProgram& gp,
         wd.max_component_size =
             std::max(wd.max_component_size,
                      static_cast<uint32_t>(graph.Atoms(c).size()));
-        SolveComponent(gp, graph, c, disabled, values, &wd);
+        SolveComponent(gp, graph, c, disabled, values, stages, &wd);
       },
       [&](uint32_t c) { return dag.Successors(c); },
       [](uint32_t s) { return s; });

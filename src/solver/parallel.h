@@ -9,6 +9,7 @@
 #include "analysis/atom_dependency_graph.h"
 #include "ground/ground_program.h"
 #include "solver/solver.h"
+#include "solver/stages.h"
 #include "solver/truth_tape.h"
 #include "util/thread_pool.h"
 
@@ -104,11 +105,20 @@ void RunReadyReleaseSchedule(WorkStealingPool* pool,
 /// the final barrier. The result is atom-for-atom the sequential model
 /// (components only ever read final lower values, so schedule order is
 /// unobservable).
+///
+/// With `stages` non-null, each worker also reconstructs its component's
+/// V_P stage levels immediately after finalizing its values — the DAG
+/// edges cover every rule-body reference, so the lower stages a component
+/// reads are final under exactly the ordering that makes its value reads
+/// safe, and distinct components write distinct `uint32_t` slots of the
+/// tape. The levels are therefore thread-count invariant for the same
+/// reason the model is.
 void ParallelSolveAllComponentsInto(const GroundProgram& gp,
                                     const AtomDependencyGraph& graph,
                                     const ComponentDag& dag,
                                     const std::vector<uint8_t>* disabled,
                                     WorkStealingPool* pool, TruthTape* values,
+                                    StageTape* stages,
                                     SolverDiagnostics* diag);
 
 }  // namespace gsls::solver

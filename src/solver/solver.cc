@@ -64,15 +64,23 @@ WfsModel SolveWfs(const GroundProgram& gp, const SolverOptions& opts,
   AtomDependencyGraph graph(gp);
   unsigned threads = solver::ResolveThreadCount(opts.num_threads);
   if (threads <= 1) {
-    return solver::SolveAllComponents(gp, graph, /*disabled=*/nullptr, diag);
+    return solver::SolveAllComponents(gp, graph, /*disabled=*/nullptr,
+                                      opts.compute_levels, diag);
   }
   solver::ComponentDag dag(gp, graph);
   solver::TruthTape values;
-  solver::ParallelSolveAllComponentsInto(gp, graph, dag, /*disabled=*/nullptr,
-                                         &CachedPool(threads), &values, diag);
+  solver::StageTape stages;
+  solver::ParallelSolveAllComponentsInto(
+      gp, graph, dag, /*disabled=*/nullptr, &CachedPool(threads), &values,
+      opts.compute_levels ? &stages : nullptr, diag);
   WfsModel out;
   out.model = values.ToInterpretation();
   out.iterations = static_cast<uint32_t>(diag->alternating_rounds);
+  if (opts.compute_levels) {
+    out.true_stage = std::move(stages.true_stage);
+    out.false_stage = std::move(stages.false_stage);
+    out.has_levels = true;
+  }
   return out;
 }
 

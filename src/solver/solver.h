@@ -42,6 +42,14 @@ struct SolverOptions {
   /// predecessors are final, and the model is identical regardless of the
   /// schedule.
   unsigned num_threads = 1;
+  /// Also reconstruct the V_P stage levels (Def. 2.4) into
+  /// `WfsModel::true_stage`/`false_stage`, composed per component from the
+  /// SCC schedule (solver/stages.h) right after each component's values
+  /// finalize — on the sequential loop, the parallel DAG schedule, and the
+  /// incremental up-cone re-solve alike, at any thread count. Off (the
+  /// default) costs nothing: no tape is allocated and no per-component
+  /// pass runs.
+  bool compute_levels = false;
 };
 
 /// Computes the well-founded model by SCC-stratified evaluation (the

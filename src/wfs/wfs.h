@@ -12,11 +12,20 @@
 namespace gsls {
 
 /// The well-founded partial model of a finite ground program, with
-/// iteration diagnostics.
+/// iteration diagnostics and (when requested) the V_P stage levels.
 struct WfsModel {
   Interpretation model;
   /// Number of outer iterations until the fixpoint closed.
   uint32_t iterations = 0;
+
+  /// Global-tree stage levels (Def. 2.4 / Cor. 4.6), per atom, 0 when the
+  /// literal of that sign is not in the model. Filled only when the solve
+  /// was asked for them (`SolverOptions::compute_levels`), in which case
+  /// they are reconstructed from the SCC schedule (solver/stages.h) and
+  /// agree atom-for-atom with the `ComputeWfsStages` oracle.
+  std::vector<uint32_t> true_stage;
+  std::vector<uint32_t> false_stage;
+  bool has_levels = false;
 
   TruthValue Value(AtomId a) const { return model.Value(a); }
 };
@@ -41,6 +50,14 @@ WfsModel ComputeWfs(const GroundProgram& gp);
 /// Computes M_WF(P) by iterating V_P(I) = T̃_P^ω(I) ∪ ¬·U_P(I) from ∅
 /// (Def. 2.4 / Lemma 2.1), recording the stage of every literal. The
 /// stages are what Corollary 4.6 relates to global-tree levels.
+///
+/// Test/bench oracle only: no production path uses this quadratic,
+/// inherently sequential iteration anymore. `SolveWfs` / `IncrementalSolver`
+/// with `SolverOptions::compute_levels` reconstruct the identical stages
+/// from the SCC schedule (solver/stages.h) — near-linear, parallel, and
+/// maintained incrementally across fact deltas — and both engines read
+/// their levels from there. The executable definition stays here as the
+/// agreement reference (tests/stages_test.cc, bench_levels_vs_stages).
 WfsStages ComputeWfsStages(const GroundProgram& gp);
 
 /// Computes M_WF(P) by Van Gelder's alternating fixpoint (the polynomial

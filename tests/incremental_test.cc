@@ -220,7 +220,6 @@ TEST(IncrementalTest, TabledEngineWithoutStagesMatchesStagedEngine) {
     Result<TabledEngine> modelonly = TabledEngine::Create(f.program, fast);
     ASSERT_TRUE(staged.ok());
     ASSERT_TRUE(modelonly.ok());
-    EXPECT_TRUE(modelonly->incremental());
     const GroundProgram& gp = staged->ground();
     for (AtomId a = 0; a < gp.atom_count(); ++a) {
       const Term* atom = gp.AtomTerm(a);
@@ -259,10 +258,15 @@ TEST(IncrementalTest, TabledEngineFactDeltas) {
   EXPECT_EQ(engine->StatusOf(win_a), GoalStatus::kSuccessful);
   EXPECT_FALSE(engine->LevelOf(win_a).has_value());
 
-  // A staged engine refuses deltas (its stages would go stale).
+  // A staged engine takes the same deltas and keeps its levels fresh
+  // (regression: this used to be a silent no-op returning false). The full
+  // delta/level matrix lives in stages_test.cc.
   Result<TabledEngine> staged = TabledEngine::Create(f.program);
   ASSERT_TRUE(staged.ok());
-  EXPECT_FALSE(staged->RetractFact(MustParseTerm(f.store, "move(a, b)")));
+  EXPECT_TRUE(staged->RetractFact(MustParseTerm(f.store, "move(b, c)")));
+  EXPECT_FALSE(staged->RetractFact(MustParseTerm(f.store, "move(b, c)")));
+  EXPECT_EQ(staged->ValueOf(win_a), TruthValue::kTrue);
+  EXPECT_TRUE(staged->LevelOf(win_a).has_value());
 }
 
 TEST(IncrementalTest, EngineOracleIsReusedAcrossMemoClears) {

@@ -146,7 +146,12 @@ TEST(IntegrationTest, LargeChainScalesLinearly) {
   // n400 is terminal (lost); n1 is 399 moves away — odd distance wins.
   EXPECT_EQ(tabled->StatusOf(MustParseTerm(f.store, "win(n1)")),
             GoalStatus::kSuccessful);
-  EXPECT_GE(tabled->stages().iterations, 400u);
+  // Levels come from the SCC stage reconstruction now (no V_P iteration):
+  // the chain's root literal settles at the deepest stage.
+  std::optional<Ordinal> level =
+      tabled->LevelOf(MustParseTerm(f.store, "win(n1)"));
+  ASSERT_TRUE(level.has_value());
+  EXPECT_EQ(*level, Ordinal::Finite(400));
 }
 
 TEST(IntegrationTest, AugmentationPreservesOriginalAtoms) {
