@@ -21,7 +21,8 @@ void PrintVerification() {
   Program program = MustParseProgram(store, workload::VanGelderProgram());
 
   std::printf("=== E2 / Figure 2: T_{u(i)}, i >= 1 ===\n");
-  std::printf("paper: u(1) dead; u(i>=2) single leaf {not w(i-1)} at depth i\n");
+  std::printf(
+      "paper: u(1) dead; u(i>=2) single leaf {not w(i-1)} at depth i\n");
   std::printf("%4s  %8s  %-22s %6s  %s\n", "i", "leaves", "leaf goal",
               "depth", "matches paper");
   for (int i = 1; i <= 10; ++i) {

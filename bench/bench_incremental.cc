@@ -130,7 +130,8 @@ bool PrintVerification() {
   ok &= RunFamily("chain(1024)", workload::GameChain(1024));
   ok &= RunFamily("chain(2048)", workload::GameChain(2048));
   ok &= RunFamily("grid(24x24)", workload::GameGrid(24, 24));
-  ok &= RunFamily("cycle(101)+tail(100)", workload::GameCycleWithTail(101, 100));
+  ok &= RunFamily("cycle(101)+tail(100)",
+                  workload::GameCycleWithTail(101, 100));
   ok &= RunFamily("random(64,10%)", workload::RandomGame(rng, 64, 10));
   std::printf(
       "\nExpected shape: agree everywhere; speedup grows with program size\n"

@@ -1,0 +1,361 @@
+// Rule-level incremental deltas vs. fresh solve: AssertRule/RetractRule
+// churn over the chain / grid / cycle / random-game families, with every
+// verification delta's model *and stage levels* checked against a
+// from-scratch masked solve — sequentially and threaded — plus 300+
+// randomized rule-churn sequences over small programs (where merges and
+// splits of components are frequent) and the paper's example programs.
+// The headline is chain(2048): a rule toggle whose edges respect the
+// dependency order repairs the condensation in O(rule) and re-solves only
+// the change-pruned up-cone, so the per-delta cost must sit far below a
+// fresh `SolveWfs` (target >= 10x; measured ~100x+). Any disagreement
+// makes the process exit nonzero — this table is a hard CI gate.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "ground/grounder.h"
+#include "lang/parser.h"
+#include "solver/incremental.h"
+#include "solver/solver.h"
+#include "util/rng.h"
+#include "util/strings.h"
+#include "wfs/wfs.h"
+#include "workload/generators.h"
+
+using namespace gsls;
+
+namespace {
+
+GroundProgram GroundOf(const std::string& src, TermStore& store) {
+  Program program = MustParseProgram(store, src);
+  GroundingOptions gopts;
+  gopts.max_rules = 5'000'000;
+  Result<GroundProgram> gp = GroundRelevant(program, gopts);
+  if (!gp.ok()) {
+    std::fprintf(stderr, "grounding failed: %s\n",
+                 gp.status().ToString().c_str());
+    abort();
+  }
+  return std::move(gp.value());
+}
+
+/// Non-unit rules of the base program — the pool a rule-churn stream
+/// toggles (game rules in the win/move families).
+std::vector<RuleId> NonUnitRules(const GroundProgram& gp) {
+  std::vector<RuleId> out;
+  for (RuleId r = 0; r < gp.rule_count(); ++r) {
+    const GroundRule& rule = gp.rules()[r];
+    if (!rule.pos.empty() || !rule.neg.empty()) out.push_back(r);
+  }
+  return out;
+}
+
+void ToggleRule(IncrementalSolver& inc, RuleId r) {
+  if (inc.RuleEnabled(r)) {
+    inc.RetractRule(r);
+  } else {
+    inc.AssertRule(inc.program().rules()[r]);
+  }
+}
+
+/// One agreement check: model and (when computed) stage levels against the
+/// fresh masked solve. Prints and returns false on the first mismatch.
+bool CheckAgainstFresh(IncrementalSolver& inc, const char* name,
+                       const std::string& context) {
+  const WfsModel& got = inc.Model();
+  WfsModel want = inc.SolveFresh();
+  if (!(got.model == want.model)) {
+    std::printf("DISAGREEMENT on %s (%s):\n%s", name, context.c_str(),
+                DescribeModelDifference(inc.program(), got.model, want.model)
+                    .c_str());
+    return false;
+  }
+  if (inc.options().compute_levels) {
+    for (AtomId a = 0; a < inc.program().atom_count(); ++a) {
+      if (got.true_stage[a] != want.true_stage[a] ||
+          got.false_stage[a] != want.false_stage[a]) {
+        std::printf(
+            "LEVEL DISAGREEMENT on %s (%s) atom %u: got (%u,%u) want "
+            "(%u,%u)\n",
+            name, context.c_str(), a, got.true_stage[a], got.false_stage[a],
+            want.true_stage[a], want.false_stage[a]);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// Agreement sweep over one workload family at one thread count: toggles
+/// random non-unit rules, checking values + levels after every delta.
+bool VerifyFamily(const char* name, const std::string& src, unsigned threads,
+                  int deltas) {
+  TermStore store;
+  SolverOptions opts;
+  opts.num_threads = threads;
+  opts.compute_levels = true;
+  IncrementalSolver inc(GroundOf(src, store), opts);
+  inc.Model();
+  std::vector<RuleId> rules = NonUnitRules(inc.program());
+  if (rules.empty()) return true;
+  Rng rng(0xDE17A5 + threads);
+  for (int d = 0; d < deltas; ++d) {
+    ToggleRule(inc, rules[rng.Uniform(rules.size())]);
+    if (!CheckAgainstFresh(inc, name, StrCat("threads=", threads, " delta ",
+                                             d))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// One randomized churn sequence over a small random program: toggles
+/// base rules and asserts synthetic rules over the atom pool (frequent
+/// component merges and splits), every delta checked.
+bool VerifyRandomSequence(uint64_t seed, unsigned threads) {
+  Rng rng(seed);
+  TermStore store;
+  SolverOptions opts;
+  opts.num_threads = threads;
+  opts.compute_levels = true;
+  IncrementalSolver inc(
+      GroundOf(workload::RandomPropositional(rng, 10, 16, 3), store), opts);
+  inc.Model();
+  const size_t n = inc.program().atom_count();
+  if (n == 0) return true;
+  for (int d = 0; d < 8; ++d) {
+    if (rng.Chance(1, 2) && inc.program().rule_count() > 0) {
+      ToggleRule(inc, static_cast<RuleId>(
+                          rng.Uniform(inc.program().rule_count())));
+    } else {
+      GroundRule r;
+      r.head = static_cast<AtomId>(rng.Uniform(n));
+      int body = rng.UniformInt(1, 3);
+      for (int b = 0; b < body; ++b) {
+        AtomId atom = static_cast<AtomId>(rng.Uniform(n));
+        if (rng.Chance(2, 5)) {
+          r.neg.push_back(atom);
+        } else {
+          r.pos.push_back(atom);
+        }
+      }
+      inc.AssertRule(std::move(r));
+    }
+    if (!CheckAgainstFresh(inc, "random-churn",
+                           StrCat("seed ", seed, " threads ", threads,
+                                  " delta ", d))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Timing row: per-rule-delta incremental vs per-delta fresh solve.
+bool TimeFamily(const char* name, const std::string& src) {
+  TermStore store;
+  SolverOptions opts;
+  opts.compute_levels = true;
+  IncrementalSolver inc(GroundOf(src, store), opts);
+  inc.Model();
+  std::vector<RuleId> rules = NonUnitRules(inc.program());
+  if (rules.empty()) {
+    std::printf("%-22s no non-unit rules; skipped\n", name);
+    return true;
+  }
+
+  Rng rng(0x5EED);
+  // Short agreement sweep first (the heavy ones ran in VerifyFamily).
+  bool agree = true;
+  for (int d = 0; d < 10; ++d) {
+    ToggleRule(inc, rules[rng.Uniform(rules.size())]);
+    if (!CheckAgainstFresh(inc, name, StrCat("timed sweep delta ", d))) {
+      agree = false;
+      break;
+    }
+  }
+
+  const int kTimedDeltas = 400;
+  auto start = std::chrono::steady_clock::now();
+  for (int d = 0; d < kTimedDeltas; ++d) {
+    ToggleRule(inc, rules[rng.Uniform(rules.size())]);
+    benchmark::DoNotOptimize(inc.Model().model.atom_count());
+  }
+  std::chrono::duration<double> inc_s =
+      std::chrono::steady_clock::now() - start;
+
+  const int kFreshDeltas = 30;
+  start = std::chrono::steady_clock::now();
+  for (int d = 0; d < kFreshDeltas; ++d) {
+    ToggleRule(inc, rules[rng.Uniform(rules.size())]);
+    benchmark::DoNotOptimize(inc.SolveFresh().model.atom_count());
+  }
+  std::chrono::duration<double> fresh_s =
+      std::chrono::steady_clock::now() - start;
+
+  double inc_us = inc_s.count() * 1e6 / kTimedDeltas;
+  double fresh_us = fresh_s.count() * 1e6 / kFreshDeltas;
+  const DynamicCondensation::Stats* cs = inc.condensation_stats();
+  std::printf("%-22s %8zu %8zu %10.2f %10.2f %8.1fx %5lu %5lu %5lu  %s\n",
+              name, inc.program().atom_count(), rules.size(), inc_us,
+              fresh_us, fresh_us / (inc_us > 0 ? inc_us : 1e-9),
+              static_cast<unsigned long>(cs == nullptr ? 0 : cs->windows),
+              static_cast<unsigned long>(cs == nullptr ? 0 : cs->merges),
+              static_cast<unsigned long>(cs == nullptr ? 0 : cs->splits),
+              agree ? "yes" : "NO");
+  return agree;
+}
+
+bool PrintVerification() {
+  std::printf(
+      "=== rule-delta agreement gate (values + levels, 1 and 2 threads) "
+      "===\n");
+  bool ok = true;
+  struct Family {
+    const char* name;
+    std::string src;
+  } families[] = {
+      {"paper:van_gelder", workload::VanGelderProgram()},
+      {"paper:ex3.2", workload::Example32Program()},
+      {"paper:ex3.3", workload::Example33Program()},
+      {"chain(256)", workload::GameChain(256)},
+      {"grid(12x12)", workload::GameGrid(12, 12)},
+      {"cycle(33)+tail(32)", workload::GameCycleWithTail(33, 32)},
+  };
+  Rng rng(20260729);
+  std::string random_game = workload::RandomGame(rng, 48, 10);
+  for (const Family& fam : families) {
+    ok = ok && VerifyFamily(fam.name, fam.src, 1, 40);
+    ok = ok && VerifyFamily(fam.name, fam.src, 2, 40);
+  }
+  ok = ok && VerifyFamily("random(48,10%)", random_game, 1, 40);
+  ok = ok && VerifyFamily("random(48,10%)", random_game, 2, 40);
+  std::printf("  paper + workload families: %s\n", ok ? "agree" : "FAIL");
+
+  // 300+ randomized churn sequences, split across thread counts.
+  int sequences = 0;
+  for (uint64_t seed = 1; ok && seed <= 160; ++seed) {
+    ok = ok && VerifyRandomSequence(seed, 1);
+    ++sequences;
+  }
+  for (uint64_t seed = 1000; ok && seed <= 1160; ++seed) {
+    ok = ok && VerifyRandomSequence(seed, 2);
+    ++sequences;
+  }
+  std::printf("  randomized rule-churn sequences: %d (%s)\n\n", sequences,
+              ok ? "agree" : "FAIL");
+
+  std::printf("=== rule-delta re-solve vs fresh SolveWfs (per delta) ===\n");
+  std::printf("%-22s %8s %8s %10s %10s %8s %5s %5s %5s  %s\n", "workload",
+              "atoms", "rules", "inc(us)", "fresh(us)", "speedup", "win",
+              "mrg", "spl", "agree");
+  ok = ok && TimeFamily("chain(256)", workload::GameChain(256));
+  ok = ok && TimeFamily("chain(1024)", workload::GameChain(1024));
+  ok = ok && TimeFamily("chain(2048)", workload::GameChain(2048));
+  ok = ok && TimeFamily("grid(24x24)", workload::GameGrid(24, 24));
+  ok = ok && TimeFamily("cycle(101)+tail(100)",
+                        workload::GameCycleWithTail(101, 100));
+  Rng rng2(7);
+  ok = ok && TimeFamily("random(64,10%)", workload::RandomGame(rng2, 64, 10));
+  std::printf(
+      "\nExpected shape: agree everywhere; speedup grows with program size\n"
+      "(>= 10x at chain(2048)) — order-respecting rule toggles repair the\n"
+      "condensation in O(rule) (win=windows stays low on stratified\n"
+      "families) while the fresh solve pays Tarjan + a full sweep. The\n"
+      "cycle family shows real merges/splits per toggle.\n\n");
+  return ok;
+}
+
+void BM_RuleDelta_Chain(benchmark::State& state) {
+  TermStore store;
+  SolverOptions opts;
+  opts.compute_levels = true;
+  IncrementalSolver inc(
+      GroundOf(workload::GameChain(static_cast<int>(state.range(0))), store),
+      opts);
+  inc.Model();
+  std::vector<RuleId> rules = NonUnitRules(inc.program());
+  Rng rng(17);
+  for (auto _ : state) {
+    ToggleRule(inc, rules[rng.Uniform(rules.size())]);
+    benchmark::DoNotOptimize(inc.Model().model.atom_count());
+  }
+  state.counters["atoms"] = static_cast<double>(inc.program().atom_count());
+}
+BENCHMARK(BM_RuleDelta_Chain)->Arg(256)->Arg(1024)->Arg(2048);
+
+void BM_FreshRuleDelta_Chain(benchmark::State& state) {
+  TermStore store;
+  SolverOptions opts;
+  opts.compute_levels = true;
+  IncrementalSolver inc(
+      GroundOf(workload::GameChain(static_cast<int>(state.range(0))), store),
+      opts);
+  std::vector<RuleId> rules = NonUnitRules(inc.program());
+  Rng rng(17);
+  for (auto _ : state) {
+    ToggleRule(inc, rules[rng.Uniform(rules.size())]);
+    benchmark::DoNotOptimize(inc.SolveFresh().model.atom_count());
+  }
+  state.counters["atoms"] = static_cast<double>(inc.program().atom_count());
+}
+BENCHMARK(BM_FreshRuleDelta_Chain)->Arg(256)->Arg(1024)->Arg(2048);
+
+// The structural worst case: toggling cycle rules merges and splits the
+// cycle component itself, so every delta pays a recondensation window.
+void BM_RuleDelta_CycleMergeSplit(benchmark::State& state) {
+  TermStore store;
+  SolverOptions opts;
+  opts.compute_levels = true;
+  IncrementalSolver inc(
+      GroundOf(workload::GameCycleWithTail(
+                   static_cast<int>(state.range(0)), 16),
+               store),
+      opts);
+  inc.Model();
+  std::vector<RuleId> rules = NonUnitRules(inc.program());
+  Rng rng(23);
+  for (auto _ : state) {
+    ToggleRule(inc, rules[rng.Uniform(rules.size())]);
+    benchmark::DoNotOptimize(inc.Model().model.atom_count());
+  }
+  const DynamicCondensation::Stats* cs = inc.condensation_stats();
+  if (cs != nullptr) {
+    state.counters["windows"] = static_cast<double>(cs->windows);
+  }
+}
+BENCHMARK(BM_RuleDelta_CycleMergeSplit)->Arg(33)->Arg(101)->Arg(301);
+
+void BM_RuleDelta_RandomGame(benchmark::State& state) {
+  Rng gen(5);
+  TermStore store;
+  SolverOptions opts;
+  opts.compute_levels = true;
+  IncrementalSolver inc(GroundOf(
+      workload::RandomGame(gen, static_cast<int>(state.range(0)), 10),
+      store), opts);
+  inc.Model();
+  std::vector<RuleId> rules = NonUnitRules(inc.program());
+  Rng rng(29);
+  for (auto _ : state) {
+    ToggleRule(inc, rules[rng.Uniform(rules.size())]);
+    benchmark::DoNotOptimize(inc.Model().model.atom_count());
+  }
+}
+BENCHMARK(BM_RuleDelta_RandomGame)->Arg(16)->Arg(32)->Arg(64);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool ok = PrintVerification();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  if (!ok) {
+    std::fprintf(stderr, "rule-delta/fresh model or level disagreement\n");
+    return 1;
+  }
+  return 0;
+}

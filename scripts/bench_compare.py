@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over the BENCH_*.json trajectory.
+
+Compares the current run's Google-Benchmark JSON files against the
+artifacts of the previous main-branch run and fails (exit 1) when any
+per-family benchmark row regressed by more than the tolerance factor.
+
+Usage:
+  bench_compare.py --baseline DIR --current DIR [--tolerance 1.5]
+
+Rules of the gate:
+  * A BENCH_*.json present in the baseline but missing from the current
+    run is an error (a family silently dropped is itself a regression).
+  * Benchmarks present only in the current run pass (new families).
+  * Rows are matched by full benchmark name (e.g. "BM_RuleDelta_Chain/2048")
+    and compared on real_time, normalized to nanoseconds.
+  * CI runners are noisy; 1.5x is deliberately loose — it catches
+    order-of-magnitude breakage (a lost fast path), not jitter.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_rows(path):
+    """benchmark name -> real_time in ns (aggregates skipped)."""
+    with open(path) as f:
+        data = json.load(f)
+    rows = {}
+    for b in data.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        unit = UNIT_NS.get(b.get("time_unit", "ns"))
+        if unit is None or "real_time" not in b:
+            continue
+        rows[b["name"]] = b["real_time"] * unit
+    return rows
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--current", required=True)
+    ap.add_argument("--tolerance", type=float, default=1.5)
+    args = ap.parse_args()
+
+    baseline_files = sorted(
+        glob.glob(os.path.join(args.baseline, "BENCH_*.json")))
+    if not baseline_files:
+        print("bench-compare: no baseline BENCH_*.json found; "
+              "first run on this branch — passing.")
+        return 0
+
+    regressions = []
+    compared = 0
+    for base_path in baseline_files:
+        name = os.path.basename(base_path)
+        cur_path = os.path.join(args.current, name)
+        if not os.path.exists(cur_path):
+            regressions.append(f"{name}: missing from current run")
+            continue
+        base = load_rows(base_path)
+        cur = load_rows(cur_path)
+        for row, base_ns in sorted(base.items()):
+            cur_ns = cur.get(row)
+            if cur_ns is None:
+                # Renamed/removed rows inside a surviving family are
+                # reported, not failed: the file-level check above already
+                # guards against wholesale loss.
+                print(f"  note: {name}:{row} absent in current run")
+                continue
+            compared += 1
+            ratio = cur_ns / base_ns if base_ns > 0 else float("inf")
+            marker = "REGRESSION" if ratio > args.tolerance else "ok"
+            print(f"  {name}:{row}: {base_ns:.0f}ns -> {cur_ns:.0f}ns "
+                  f"({ratio:.2f}x) {marker}")
+            if ratio > args.tolerance:
+                regressions.append(
+                    f"{name}:{row}: {ratio:.2f}x slower "
+                    f"({base_ns:.0f}ns -> {cur_ns:.0f}ns)")
+
+    print(f"bench-compare: {compared} rows compared, "
+          f"{len(regressions)} regression(s), tolerance {args.tolerance}x")
+    if regressions:
+        print("\nFAIL: perf regressions beyond tolerance:")
+        for r in regressions:
+            print(f"  {r}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

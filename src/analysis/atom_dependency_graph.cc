@@ -9,21 +9,26 @@ namespace {
 /// Flat CSR adjacency: successors of a head atom are the body atoms (both
 /// signs) of its rules, with multiplicity — Tarjan is indifferent to
 /// duplicate edges and skipping deduplication keeps construction linear.
+/// Rules flagged in the optional `disabled` mask contribute no edges.
 struct Adjacency {
   std::vector<uint32_t> offsets;
   std::vector<AtomId> targets;
 
-  explicit Adjacency(const GroundProgram& gp) {
+  Adjacency(const GroundProgram& gp, const std::vector<uint8_t>* disabled) {
     size_t n = gp.atom_count();
     offsets.assign(n + 1, 0);
-    for (const GroundRule& r : gp.rules()) {
+    for (RuleId id = 0; id < gp.rule_count(); ++id) {
+      if (!RuleEnabledIn(disabled, id)) continue;
+      const GroundRule& r = gp.rules()[id];
       offsets[r.head + 1] +=
           static_cast<uint32_t>(r.pos.size() + r.neg.size());
     }
     for (size_t i = 0; i < n; ++i) offsets[i + 1] += offsets[i];
     targets.resize(offsets[n]);
     std::vector<uint32_t> cursor(offsets.begin(), offsets.end() - 1);
-    for (const GroundRule& r : gp.rules()) {
+    for (RuleId id = 0; id < gp.rule_count(); ++id) {
+      if (!RuleEnabledIn(disabled, id)) continue;
+      const GroundRule& r = gp.rules()[id];
       for (AtomId a : r.pos) targets[cursor[r.head]++] = a;
       for (AtomId a : r.neg) targets[cursor[r.head]++] = a;
     }
@@ -32,9 +37,10 @@ struct Adjacency {
 
 }  // namespace
 
-AtomDependencyGraph::AtomDependencyGraph(const GroundProgram& gp) {
+AtomDependencyGraph::AtomDependencyGraph(
+    const GroundProgram& gp, const std::vector<uint8_t>* disabled) {
   size_t n = gp.atom_count();
-  Adjacency adj(gp);
+  Adjacency adj(gp, disabled);
 
   comp_of_.assign(n, UINT32_MAX);
   local_of_.assign(n, 0);
@@ -102,7 +108,9 @@ AtomDependencyGraph::AtomDependencyGraph(const GroundProgram& gp) {
   for (uint32_t c = 0; c < component_count(); ++c) {
     if (comp_offsets_[c + 1] - comp_offsets_[c] > 1) recursive_[c] = 1;
   }
-  for (const GroundRule& r : gp.rules()) {
+  for (RuleId id = 0; id < gp.rule_count(); ++id) {
+    if (!RuleEnabledIn(disabled, id)) continue;
+    const GroundRule& r = gp.rules()[id];
     uint32_t head_comp = comp_of_[r.head];
     for (AtomId a : r.pos) {
       if (comp_of_[a] == head_comp) recursive_[head_comp] = 1;

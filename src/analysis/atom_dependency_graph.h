@@ -17,9 +17,16 @@ namespace gsls {
 /// nonground programs; this graph is exact on a grounding and is what the
 /// SCC-stratified solver (src/solver/) schedules on. Construction is a
 /// single iterative Tarjan pass: O(atoms + body literals).
+///
+/// With a `disabled` mask (one byte per `RuleId`, nonzero = the rule does
+/// not exist), the graph is the condensation of the *enabled* subprogram —
+/// the view `DynamicCondensation` (analysis/dynamic_condensation.h)
+/// maintains under rule-level deltas, and the baseline
+/// `IncrementalSolver::SolveFresh` builds from scratch.
 class AtomDependencyGraph {
  public:
-  explicit AtomDependencyGraph(const GroundProgram& gp);
+  explicit AtomDependencyGraph(const GroundProgram& gp,
+                               const std::vector<uint8_t>* disabled = nullptr);
 
   /// Number of strongly connected components. Every registered atom is in
   /// exactly one component (isolated atoms form singletons).
@@ -70,6 +77,12 @@ class AtomDependencyGraph {
   bool IsAcyclic() const;
 
  private:
+  /// The dynamic-SCC layer repairs this condensation in place on rule
+  /// deltas (windowed re-Tarjan + splice) instead of reconstructing it.
+  friend class DynamicCondensation;
+
+  AtomDependencyGraph() = default;  ///< for DynamicCondensation only
+
   std::vector<uint32_t> comp_of_;    ///< per atom
   std::vector<uint32_t> local_of_;   ///< per atom: rank within component
   std::vector<uint32_t> comp_offsets_;  ///< CSR offsets into comp_atoms_

@@ -1,0 +1,316 @@
+#include "analysis/dynamic_condensation.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/strings.h"
+
+namespace gsls {
+
+std::string DynamicCondensation::Stats::ToString() const {
+  return StrCat("inserts=", inserts, " removals=", removals,
+                " windows=", windows, " window_atoms=", window_atoms,
+                " merges=", merges, " splits=", splits);
+}
+
+DynamicCondensation::DynamicCondensation(
+    const GroundProgram& gp, const std::vector<uint8_t>* disabled)
+    : graph_(gp, disabled) {}
+
+void DynamicCondensation::AddAtoms(size_t new_atom_count) {
+  AtomDependencyGraph& g = graph_;
+  for (AtomId a = static_cast<AtomId>(g.comp_of_.size()); a < new_atom_count;
+       ++a) {
+    g.comp_of_.push_back(g.component_count());
+    g.local_of_.push_back(0);
+    g.comp_atoms_.push_back(a);
+    g.comp_offsets_.push_back(static_cast<uint32_t>(g.comp_atoms_.size()));
+    g.internal_neg_.push_back(0);
+    g.recursive_.push_back(0);
+  }
+}
+
+void DynamicCondensation::RecondenseWindow(
+    const GroundProgram& gp, const std::vector<uint8_t>* disabled,
+    uint32_t lo, uint32_t hi, CondensationRepair* out) {
+  AtomDependencyGraph& g = graph_;
+  const uint32_t old_k = hi - lo + 1;
+  const uint32_t abegin = g.comp_offsets_[lo];
+  const uint32_t aend = g.comp_offsets_[hi + 1];
+  const uint32_t w = aend - abegin;
+
+  out->recondensed = true;
+  out->window_lo = lo;
+  out->old_window_size = old_k;
+  out->old_to_new.assign(old_k, UINT32_MAX);
+  ++stats_.windows;
+  stats_.window_atoms += w;
+
+  old_window_atoms_.assign(g.comp_atoms_.begin() + abegin,
+                           g.comp_atoms_.begin() + aend);
+
+  // Window-local dense index of an atom: its component's slice offset plus
+  // its rank inside the component. Valid only against the pre-repair
+  // arrays, so the whole local adjacency is materialized before anything
+  // mutates.
+  auto local_index = [&](AtomId b) {
+    return g.comp_offsets_[g.comp_of_[b]] - abegin + g.local_of_[b];
+  };
+  auto in_window = [&](AtomId b) {
+    uint32_t c = g.comp_of_[b];
+    return c >= lo && c <= hi;
+  };
+
+  // Induced-subgraph adjacency (two counting passes, window-local ids).
+  // Edges to atoms below the window are final dependencies and cannot lie
+  // on a window cycle; edges above the window cannot exist — every enabled
+  // rule except the delta respects the order, and the delta's endpoints
+  // define the window.
+  std::vector<uint32_t> adj_off(w + 1, 0);
+  for (uint32_t i = 0; i < w; ++i) {
+    for (RuleId rid : gp.RulesFor(old_window_atoms_[i])) {
+      if (!RuleEnabledIn(disabled, rid)) continue;
+      const GroundRule& r = gp.rules()[rid];
+      for (AtomId b : r.pos) {
+        if (in_window(b)) ++adj_off[i + 1];
+      }
+      for (AtomId b : r.neg) {
+        if (in_window(b)) ++adj_off[i + 1];
+      }
+    }
+  }
+  for (uint32_t i = 0; i < w; ++i) adj_off[i + 1] += adj_off[i];
+  std::vector<uint32_t> adj_tgt(adj_off[w]);
+  std::vector<uint32_t> cursor(adj_off.begin(), adj_off.end() - 1);
+  for (uint32_t i = 0; i < w; ++i) {
+    for (RuleId rid : gp.RulesFor(old_window_atoms_[i])) {
+      if (!RuleEnabledIn(disabled, rid)) continue;
+      const GroundRule& r = gp.rules()[rid];
+      for (AtomId b : r.pos) {
+        if (in_window(b)) adj_tgt[cursor[i]++] = local_index(b);
+      }
+      for (AtomId b : r.neg) {
+        if (in_window(b)) adj_tgt[cursor[i]++] = local_index(b);
+      }
+    }
+  }
+
+  // Iterative Tarjan over the window-local graph — the same callees-first
+  // emission as the full builder, so new ids lo.. are in dependency order
+  // among themselves (and relative to the untouched outside: everything a
+  // window component depends on outside the window sits below `lo`,
+  // everything depending on it sits above `hi`).
+  new_atoms_.clear();
+  new_offsets_.assign(1, 0);
+  std::vector<uint32_t> index(w, UINT32_MAX);
+  std::vector<uint32_t> lowlink(w, 0);
+  std::vector<bool> on_stack(w, false);
+  std::vector<uint32_t> stack;
+  struct Frame {
+    uint32_t node;
+    uint32_t edge;
+  };
+  std::vector<Frame> frames;
+  uint32_t counter = 0;
+  uint32_t ncomp = 0;
+  // Membership-change tracking: a new component that merges several old
+  // ones, or an old one split across several new ones, must be re-solved.
+  std::vector<uint8_t> changed;
+  std::vector<uint32_t> first_old;
+
+  for (uint32_t root = 0; root < w; ++root) {
+    if (index[root] != UINT32_MAX) continue;
+    index[root] = lowlink[root] = counter++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    frames.push_back(Frame{root, adj_off[root]});
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      if (f.edge < adj_off[f.node + 1]) {
+        uint32_t next = adj_tgt[f.edge++];
+        if (index[next] == UINT32_MAX) {
+          index[next] = lowlink[next] = counter++;
+          stack.push_back(next);
+          on_stack[next] = true;
+          frames.push_back(Frame{next, adj_off[next]});
+        } else if (on_stack[next]) {
+          lowlink[f.node] = std::min(lowlink[f.node], index[next]);
+        }
+        continue;
+      }
+      uint32_t done = f.node;
+      frames.pop_back();
+      if (!frames.empty()) {
+        lowlink[frames.back().node] =
+            std::min(lowlink[frames.back().node], lowlink[done]);
+      }
+      if (lowlink[done] == index[done]) {
+        uint32_t nc = ncomp++;
+        changed.push_back(0);
+        first_old.push_back(UINT32_MAX);
+        uint32_t rank = 0;
+        while (true) {
+          uint32_t v = stack.back();
+          stack.pop_back();
+          on_stack[v] = false;
+          AtomId atom = old_window_atoms_[v];
+          uint32_t oldc = g.comp_of_[atom];
+          if (first_old[nc] == UINT32_MAX) {
+            first_old[nc] = oldc;
+          } else if (first_old[nc] != oldc) {
+            changed[nc] = 1;  // merged atoms of distinct old components
+          }
+          uint32_t& slot = out->old_to_new[oldc - lo];
+          if (slot == UINT32_MAX) {
+            slot = lo + nc;
+          } else if (slot != lo + nc) {
+            // The old component split across new ones: both sides changed.
+            changed[nc] = 1;
+            changed[slot - lo] = 1;
+          }
+          g.comp_of_[atom] = lo + nc;
+          g.local_of_[atom] = rank++;
+          new_atoms_.push_back(atom);
+          if (v == done) break;
+        }
+        new_offsets_.push_back(static_cast<uint32_t>(new_atoms_.size()));
+      }
+    }
+  }
+
+  const uint32_t new_k = ncomp;
+  out->new_window_size = new_k;
+  const int64_t delta = static_cast<int64_t>(new_k) - old_k;
+  if (delta < 0) ++stats_.merges;
+  if (delta > 0) ++stats_.splits;
+
+  // Splice: rewrite the window slice (same atoms, new grouping), resize
+  // the per-component arrays by `delta`, and shift the component ids of
+  // every atom above the window. Offsets above the window keep their
+  // values — the window's atom total is unchanged.
+  std::copy(new_atoms_.begin(), new_atoms_.end(),
+            g.comp_atoms_.begin() + abegin);
+  if (delta < 0) {
+    g.comp_offsets_.erase(g.comp_offsets_.begin() + lo + 1 + new_k,
+                          g.comp_offsets_.begin() + lo + 1 + old_k);
+    g.internal_neg_.erase(g.internal_neg_.begin() + lo + new_k,
+                          g.internal_neg_.begin() + lo + old_k);
+    g.recursive_.erase(g.recursive_.begin() + lo + new_k,
+                       g.recursive_.begin() + lo + old_k);
+  } else if (delta > 0) {
+    g.comp_offsets_.insert(g.comp_offsets_.begin() + lo + 1 + old_k,
+                           static_cast<size_t>(delta), 0);
+    g.internal_neg_.insert(g.internal_neg_.begin() + lo + old_k,
+                           static_cast<size_t>(delta), 0);
+    g.recursive_.insert(g.recursive_.begin() + lo + old_k,
+                        static_cast<size_t>(delta), 0);
+  }
+  for (uint32_t i = 1; i <= new_k; ++i) {
+    g.comp_offsets_[lo + i] = abegin + new_offsets_[i];
+  }
+  if (delta != 0) {
+    for (size_t p = aend; p < g.comp_atoms_.size(); ++p) {
+      g.comp_of_[g.comp_atoms_[p]] =
+          static_cast<uint32_t>(g.comp_of_[g.comp_atoms_[p]] + delta);
+    }
+  }
+
+  // Exact flags for the new window components (the builder's rule, window
+  // heads only — intra-component edges are all that flags describe).
+  for (uint32_t i = 0; i < new_k; ++i) {
+    g.internal_neg_[lo + i] = 0;
+    g.recursive_[lo + i] =
+        (new_offsets_[i + 1] - new_offsets_[i] > 1) ? 1 : 0;
+  }
+  for (AtomId a : new_atoms_) {
+    uint32_t hc = g.comp_of_[a];
+    for (RuleId rid : gp.RulesFor(a)) {
+      if (!RuleEnabledIn(disabled, rid)) continue;
+      const GroundRule& r = gp.rules()[rid];
+      for (AtomId b : r.pos) {
+        if (g.comp_of_[b] == hc) g.recursive_[hc] = 1;
+      }
+      for (AtomId b : r.neg) {
+        if (g.comp_of_[b] == hc) {
+          g.internal_neg_[hc] = 1;
+          g.recursive_[hc] = 1;
+        }
+      }
+    }
+  }
+
+  for (uint32_t nc = 0; nc < new_k; ++nc) {
+    if (changed[nc]) out->dirty.push_back(lo + nc);
+  }
+}
+
+CondensationRepair DynamicCondensation::InsertRule(
+    const GroundProgram& gp, const std::vector<uint8_t>* disabled, RuleId r) {
+  ++stats_.inserts;
+  CondensationRepair out;
+  const GroundRule& rule = gp.rules()[r];
+  AtomDependencyGraph& g = graph_;
+  assert(rule.head < g.comp_of_.size());
+  uint32_t ch = g.comp_of_[rule.head];
+  uint32_t cmax = ch;
+  for (AtomId b : rule.pos) cmax = std::max(cmax, g.comp_of_[b]);
+  for (AtomId b : rule.neg) cmax = std::max(cmax, g.comp_of_[b]);
+  if (cmax > ch) {
+    // The delta's head now depends on a component ordered after it — the
+    // one way a rule insertion can close a cycle or break the id order.
+    // Any closing path descends through ids in [ch, cmax], so that window
+    // is the whole affected region.
+    RecondenseWindow(gp, disabled, ch, cmax, &out);
+  } else {
+    // Order-respecting edges: membership and ids hold everywhere; only the
+    // head component's recursion flags can tighten.
+    for (AtomId b : rule.pos) {
+      if (g.comp_of_[b] == ch) g.recursive_[ch] = 1;
+    }
+    for (AtomId b : rule.neg) {
+      if (g.comp_of_[b] == ch) {
+        g.internal_neg_[ch] = 1;
+        g.recursive_[ch] = 1;
+      }
+    }
+  }
+
+  uint32_t hc = g.comp_of_[rule.head];
+  out.dirty.push_back(hc);
+  for (AtomId b : rule.pos) {
+    uint32_t bc = g.comp_of_[b];
+    if (bc != hc) out.new_edges.emplace_back(bc, hc);
+  }
+  for (AtomId b : rule.neg) {
+    uint32_t bc = g.comp_of_[b];
+    if (bc != hc) out.new_edges.emplace_back(bc, hc);
+  }
+  std::sort(out.new_edges.begin(), out.new_edges.end());
+  out.new_edges.erase(std::unique(out.new_edges.begin(), out.new_edges.end()),
+                      out.new_edges.end());
+  return out;
+}
+
+CondensationRepair DynamicCondensation::RemoveRule(
+    const GroundProgram& gp, const std::vector<uint8_t>* disabled, RuleId r) {
+  ++stats_.removals;
+  CondensationRepair out;
+  const GroundRule& rule = gp.rules()[r];
+  AtomDependencyGraph& g = graph_;
+  assert(!RuleEnabledIn(disabled, r));
+  uint32_t ch = g.comp_of_[rule.head];
+  bool intra = false;
+  for (AtomId b : rule.pos) intra = intra || g.comp_of_[b] == ch;
+  for (AtomId b : rule.neg) intra = intra || g.comp_of_[b] == ch;
+  if (intra) {
+    // The retracted rule carried intra-component edges: the head's
+    // component may no longer be strongly connected. Removing
+    // cross-component edges, by contrast, never changes membership and
+    // only relaxes order constraints, which stay satisfied.
+    RecondenseWindow(gp, disabled, ch, ch, &out);
+  }
+  out.dirty.push_back(g.comp_of_[rule.head]);
+  return out;
+}
+
+}  // namespace gsls

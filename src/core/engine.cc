@@ -45,45 +45,130 @@ uint64_t MixKey(uint64_t h, uint64_t v) {
 GlobalSlsEngine::GlobalSlsEngine(const Program& program, EngineOptions opts)
     : program_(program), store_(program.store()), opts_(opts) {}
 
-void GlobalSlsEngine::MaybeSeedOracle() {
-  if (oracle_attempted_) return;
-  oracle_attempted_ = true;
+bool GlobalSlsEngine::OracleApplies() {
   // The bottom-up model matches the search statuses only under the
   // preferential rule (Thm. 4.7); the counterexample computation rules of
   // Examples 3.2/3.3 must keep exhibiting their incompleteness.
-  if (!opts_.bottom_up_oracle || !opts_.memo_simplification) return;
+  if (!opts_.bottom_up_oracle || !opts_.memo_simplification) return false;
   if (opts_.selection != SelectionMode::kPositivistic ||
       !opts_.negatively_parallel) {
-    return;
+    return false;
   }
   // Exactness needs the depth-1 relevant grounding to be the whole
   // relevant instantiation: function-free programs only (arguments are
-  // constants or variables, i.e. atom depth <= 2).
+  // constants or variables, i.e. atom depth <= 2). The scan's verdict
+  // only moves when the clause base does, so it is cached by clause
+  // count — a rule-delta stream must not pay O(program) per delta here.
+  if (applies_checked_count_ == program_.clauses().size()) {
+    return applies_cache_;
+  }
+  applies_checked_count_ = program_.clauses().size();
+  applies_cache_ = true;
   for (const Clause& c : program_.clauses()) {
-    if (c.head->depth() > 2) return;
+    if (c.head->depth() > 2) applies_cache_ = false;
     for (const Literal& l : c.body) {
-      if (l.atom->depth() > 2) return;
+      if (l.atom->depth() > 2) applies_cache_ = false;
     }
   }
+  return applies_cache_;
+}
+
+bool GlobalSlsEngine::ApplyOracleRuleDelta(bool is_assert, const Clause& rule,
+                                           RuleId* id_out) {
+  std::vector<const Term*> pos;
+  std::vector<const Term*> neg;
+  for (const Literal& l : rule.body) {
+    (l.positive ? pos : neg).push_back(l.atom);
+  }
+  if (is_assert) {
+    bool changed = false;
+    RuleId id = oracle_solver_->AssertRule(rule.head, pos, neg, &changed);
+    if (id_out != nullptr) *id_out = id;
+    return changed;
+  }
+  // Content-addressed retraction: unknown atoms mean the rule cannot be
+  // registered, hence there is nothing to retract.
+  const GroundProgram& gp = oracle_solver_->program();
+  std::optional<AtomId> head = gp.FindAtom(rule.head);
+  if (!head.has_value()) return false;
+  GroundRule ground{*head, {}, {}};
+  for (const Term* t : pos) {
+    std::optional<AtomId> a = gp.FindAtom(t);
+    if (!a.has_value()) return false;
+    ground.pos.push_back(*a);
+  }
+  for (const Term* t : neg) {
+    std::optional<AtomId> a = gp.FindAtom(t);
+    if (!a.has_value()) return false;
+    ground.neg.push_back(*a);
+  }
+  std::optional<RuleId> id = gp.FindRule(std::move(ground));
+  if (!id.has_value()) return false;
+  return oracle_solver_->RetractRule(*id);
+}
+
+void GlobalSlsEngine::LogOracleRuleDelta(bool is_assert, const Clause& rule) {
+  std::vector<const Term*> pos;
+  std::vector<const Term*> neg;
+  for (const Literal& l : rule.body) {
+    (l.positive ? pos : neg).push_back(l.atom);
+  }
+  std::sort(pos.begin(), pos.end());
+  std::sort(neg.begin(), neg.end());
+  std::vector<const Term*> key;
+  key.reserve(pos.size() + neg.size() + 2);
+  key.push_back(rule.head);
+  key.insert(key.end(), pos.begin(), pos.end());
+  key.push_back(nullptr);
+  key.insert(key.end(), neg.begin(), neg.end());
+  auto [it, inserted] =
+      oracle_rule_index_.emplace(key, oracle_rule_log_.size());
+  if (inserted) {
+    oracle_rule_log_.push_back(OracleDelta{is_assert, rule, std::move(key)});
+  } else {
+    oracle_rule_log_[it->second] = OracleDelta{is_assert, rule,
+                                               std::move(key)};
+  }
+}
+
+void GlobalSlsEngine::EnsureOracleBuilt() {
+  if (!OracleApplies()) {
+    // The clause base may have grown out of the oracle's domain (e.g. a
+    // function-symbol clause arrived): a previously built oracle is now
+    // stale and must never seed another memo. Queries fall back to plain
+    // search; the rule log is kept in case applicability returns.
+    oracle_solver_.reset();
+    return;
+  }
   // A program that gained clauses since the oracle was built (AddClause,
-  // then ClearMemo) invalidates the ground model wholesale: rebuild.
+  // then ClearMemo) invalidates the ground model wholesale: rebuild, then
+  // replay the logged rule deltas so they survive the rebuild.
   if (oracle_solver_ != nullptr &&
       oracle_clause_count_ != program_.clauses().size()) {
     oracle_solver_.reset();
   }
-  if (oracle_solver_ == nullptr) {
-    GroundingOptions gopts;
-    Result<GroundProgram> ground = GroundRelevant(program_, gopts);
-    if (!ground.ok()) return;  // over budget: fall back to plain search
-    // Levels ride the same SCC schedule as the model (solver/stages.h):
-    // per-component reconstruction, parallel-safe, maintained across any
-    // future deltas — the V_P stage iteration is a test oracle only.
-    SolverOptions sopts = opts_.solver;
-    sopts.compute_levels = opts_.compute_levels;
-    oracle_solver_ = std::make_unique<IncrementalSolver>(
-        std::move(ground.value()), sopts);
-    oracle_clause_count_ = program_.clauses().size();
+  if (oracle_solver_ != nullptr) return;
+  GroundingOptions gopts;
+  Result<GroundProgram> ground = GroundRelevant(program_, gopts);
+  if (!ground.ok()) return;  // over budget: fall back to plain search
+  // Levels ride the same SCC schedule as the model (solver/stages.h):
+  // per-component reconstruction, parallel-safe, maintained across any
+  // future deltas — the V_P stage iteration is a test oracle only.
+  SolverOptions sopts = opts_.solver;
+  sopts.compute_levels = opts_.compute_levels;
+  oracle_solver_ = std::make_unique<IncrementalSolver>(
+      std::move(ground.value()), sopts);
+  oracle_clause_count_ = program_.clauses().size();
+  for (const OracleDelta& d : oracle_rule_log_) {
+    ApplyOracleRuleDelta(d.is_assert, d.rule);
   }
+}
+
+void GlobalSlsEngine::MaybeSeedOracle() {
+  if (oracle_attempted_) return;
+  oracle_attempted_ = true;
+  EnsureOracleBuilt();
+  if (oracle_solver_ == nullptr) return;
   // The incremental instance persists across queries and `ClearMemo`:
   // `Model()` returns the cached solve when the program is unchanged, so
   // reseeding is one O(atoms) memo fill, not a re-ground and re-solve.
@@ -114,6 +199,40 @@ void GlobalSlsEngine::MaybeSeedOracle() {
         break;
     }
   }
+}
+
+Result<RuleId> GlobalSlsEngine::AssertRule(const Clause& rule) {
+  if (!rule.ground()) {
+    return Status::InvalidArgument("AssertRule requires a ground clause: " +
+                                   rule.ToString(store_));
+  }
+  EnsureOracleBuilt();  // no memo fill — the next query seeds it once
+  if (oracle_solver_ == nullptr) {
+    return Status::FailedPrecondition(
+        "bottom-up oracle unavailable for this engine (disabled, "
+        "non-preferential options, non-function-free program, or "
+        "grounding over budget)");
+  }
+  RuleId id = 0;
+  bool changed = ApplyOracleRuleDelta(/*is_assert=*/true, rule, &id);
+  // No-op asserts (identical rule already enabled) need no log entry:
+  // either the rule is in the base grounding, or an earlier assert of the
+  // same content is already logged.
+  if (changed) {
+    LogOracleRuleDelta(true, rule);
+    ClearMemo();  // next query reseeds from the repaired model
+  }
+  return id;
+}
+
+bool GlobalSlsEngine::RetractRule(const Clause& rule) {
+  if (!rule.ground()) return false;
+  EnsureOracleBuilt();
+  if (oracle_solver_ == nullptr) return false;
+  if (!ApplyOracleRuleDelta(/*is_assert=*/false, rule)) return false;
+  LogOracleRuleDelta(false, rule);
+  ClearMemo();
+  return true;
 }
 
 size_t GlobalSlsEngine::SelectLiteral(const Goal& goal) const {

@@ -11,6 +11,7 @@
 #include "lang/program.h"
 #include "solver/incremental.h"
 #include "term/substitution.h"
+#include "util/status.h"
 
 namespace gsls {
 
@@ -144,6 +145,29 @@ class GlobalSlsEngine {
     oracle_attempted_ = false;
   }
 
+  /// Asserts a *ground* rule through the persistent bottom-up oracle: the
+  /// rule joins the oracle's ground program (or re-enables the identical
+  /// retracted rule), the condensation is repaired locally
+  /// (analysis/dynamic_condensation.h), and the memo is cleared so the
+  /// next query reseeds from the incrementally re-solved model — no
+  /// re-ground, no wholesale oracle rebuild, no memo fill before the next
+  /// query. This is the ground-delta alternative to `Program::AddClause`
+  /// + `ClearMemo`; rule deltas are logged and replayed if the clause
+  /// base later grows and forces an oracle rebuild, so they are never
+  /// silently lost. Builds the oracle on first use; returns
+  /// FailedPrecondition when the oracle does not apply to this engine
+  /// (see `EngineOptions::bottom_up_oracle` and the exactness
+  /// conditions), InvalidArgument for a nonground clause. The returned id
+  /// is valid until the next oracle rebuild — retraction is therefore
+  /// *content*-addressed, see below.
+  Result<RuleId> AssertRule(const Clause& rule);
+
+  /// Retracts the ground rule identical to `rule` (from `AssertRule` or
+  /// the base grounding). Content-addressed so the handle survives oracle
+  /// rebuilds. Returns true iff such a rule was enabled; clears the memo
+  /// on change.
+  bool RetractRule(const Clause& rule);
+
   /// The persistent bottom-up oracle instance, if one has been built
   /// (null before the first query or when the oracle does not apply).
   const IncrementalSolver* oracle_solver() const {
@@ -217,6 +241,30 @@ class GlobalSlsEngine {
   /// goal is nonground (pruning disabled for it).
   static uint64_t GroundGoalKey(const Goal& goal);
 
+  /// True when the bottom-up oracle applies to this engine's options and
+  /// program (preferential rule, memoing, function-free clauses). The
+  /// clause scan is cached by clause count.
+  bool OracleApplies();
+
+  /// Builds (or, after the clause base grew, rebuilds) the persistent
+  /// oracle without touching the memo; rule deltas recorded in
+  /// `oracle_rule_log_` are replayed onto a rebuilt oracle, so they
+  /// survive `Program::AddClause`. No-op when the oracle does not apply
+  /// or grounding exceeds its budget.
+  void EnsureOracleBuilt();
+
+  /// Applies one logged rule delta to the oracle. Returns whether the
+  /// oracle's program changed.
+  bool ApplyOracleRuleDelta(bool is_assert, const Clause& rule,
+                            RuleId* id_out = nullptr);
+
+  /// Records a rule delta in the replay log, replacing any earlier entry
+  /// for the same rule content (the last delta per rule is its net
+  /// state, and deltas of distinct rules commute) — the log stays
+  /// bounded by the number of *distinct* rules ever toggled, not the
+  /// delta count.
+  void LogOracleRuleDelta(bool is_assert, const Clause& rule);
+
   /// Seeds the memo from the bottom-up well-founded model on the first
   /// query, when `bottom_up_oracle` applies (see EngineOptions). No-op on
   /// programs with function symbols or under counterexample rules.
@@ -232,6 +280,37 @@ class GlobalSlsEngine {
   /// mutate-then-`ClearMemo` pattern must not answer from a stale model.
   std::unique_ptr<IncrementalSolver> oracle_solver_;
   size_t oracle_clause_count_ = 0;
+  /// Net ground rule deltas applied through `AssertRule`/`RetractRule`
+  /// (one entry per distinct rule content, last delta wins). Clauses hold
+  /// hash-consed terms of `store_`, so the log stays valid across oracle
+  /// rebuilds and is replayed onto each new oracle. `key` is the content
+  /// signature: head, sorted positive atoms, a null separator, sorted
+  /// negative atoms.
+  struct OracleDelta {
+    bool is_assert = true;
+    Clause rule;
+    std::vector<const Term*> key;
+  };
+  struct OracleDeltaKeyHash {
+    size_t operator()(const std::vector<const Term*>& key) const {
+      size_t h = key.size();
+      for (const Term* t : key) {
+        h ^= std::hash<const Term*>()(t) + 0x9e3779b97f4a7c15ULL +
+             (h << 6) + (h >> 2);
+      }
+      return h;
+    }
+  };
+  std::vector<OracleDelta> oracle_rule_log_;
+  /// Content signature -> index in `oracle_rule_log_`: last-delta-wins
+  /// replacement is O(1), so an N-delta stream maintains the log in O(N)
+  /// (entries of distinct rules commute, so in-place overwrite preserves
+  /// replay semantics).
+  std::unordered_map<std::vector<const Term*>, size_t, OracleDeltaKeyHash>
+      oracle_rule_index_;
+  /// `OracleApplies` clause-scan cache (keyed by clause count).
+  size_t applies_checked_count_ = static_cast<size_t>(-1);
+  bool applies_cache_ = false;
   std::unordered_map<const Term*, MemoEntry> memo_;
   size_t work_ = 0;
   size_t negation_nodes_ = 0;

@@ -47,6 +47,24 @@ bool TabledEngine::RetractFact(const Term* fact) {
   return incremental_->Retract(fact);
 }
 
+Result<RuleId> TabledEngine::AssertRule(const Clause& rule) {
+  if (!rule.ground()) {
+    return Status::InvalidArgument(
+        StrCat("AssertRule requires a ground clause: ",
+               rule.ToString(program_->store())));
+  }
+  std::vector<const Term*> pos;
+  std::vector<const Term*> neg;
+  for (const Literal& l : rule.body) {
+    (l.positive ? pos : neg).push_back(l.atom);
+  }
+  return incremental_->AssertRule(rule.head, pos, neg);
+}
+
+bool TabledEngine::RetractRule(RuleId r) {
+  return incremental_->RetractRule(r);
+}
+
 TruthValue TabledEngine::ValueOf(const Term* ground_atom) const {
   std::optional<AtomId> id = ground().FindAtom(ground_atom);
   // Atoms outside the relevant instantiation have no derivation, hence are

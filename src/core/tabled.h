@@ -92,6 +92,20 @@ class TabledEngine {
   bool AssertFact(const Term* fact);
   bool RetractFact(const Term* fact);
 
+  /// Asserts an arbitrary *ground* rule between queries: interns its
+  /// atoms, appends it to the tables (or re-enables the identical
+  /// retracted rule), and repairs the condensation locally
+  /// (analysis/dynamic_condensation.h) — components may merge, and only
+  /// the affected up-cone re-solves on the next read, stage levels
+  /// included. Returns the rule's id (the retraction handle), or
+  /// InvalidArgument for a nonground clause.
+  Result<RuleId> AssertRule(const Clause& rule);
+
+  /// Retracts rule `r` — from the base grounding or a previous
+  /// `AssertRule`. The head's component re-condenses if the rule held it
+  /// together (it may split). Returns true iff the rule was enabled.
+  bool RetractRule(RuleId r);
+
   /// The persistent solver behind this engine (delta mask, stats,
   /// diagnostics).
   const IncrementalSolver& solver() const { return *incremental_; }

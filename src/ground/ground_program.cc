@@ -31,18 +31,21 @@ uint64_t RuleFingerprint(const GroundRule& r) {
   for (AtomId a : r.neg) h = h * 0xc4ceb9fe1a85ec53ULL + a + 0x200;
   return h;
 }
+
+/// Body order is semantically irrelevant in a ground rule; `AddRule` and
+/// `FindRule` normalize before hashing/comparing.
+void NormalizeBody(GroundRule* rule) {
+  std::sort(rule->pos.begin(), rule->pos.end());
+  rule->pos.erase(std::unique(rule->pos.begin(), rule->pos.end()),
+                  rule->pos.end());
+  std::sort(rule->neg.begin(), rule->neg.end());
+  rule->neg.erase(std::unique(rule->neg.begin(), rule->neg.end()),
+                  rule->neg.end());
+}
 }  // namespace
 
 RuleId GroundProgram::AddRule(GroundRule rule) {
-  // Normalize body order for deduplication (body literal order is
-  // semantically irrelevant in a ground rule).
-  std::sort(rule.pos.begin(), rule.pos.end());
-  rule.pos.erase(std::unique(rule.pos.begin(), rule.pos.end()),
-                 rule.pos.end());
-  std::sort(rule.neg.begin(), rule.neg.end());
-  rule.neg.erase(std::unique(rule.neg.begin(), rule.neg.end()),
-                 rule.neg.end());
-
+  NormalizeBody(&rule);
   uint64_t fp = RuleFingerprint(rule);
   auto& bucket = rule_dedup_[fp];
   for (RuleId id : bucket) {
@@ -56,19 +59,25 @@ RuleId GroundProgram::AddRule(GroundRule rule) {
   bucket.push_back(id);
   bool unit = rule.pos.empty() && rule.neg.empty();
   if (unit) unit_rule_.emplace(rule.head, id);
-  // AddRule requires exclusive access, so the state transitions are
-  // plain stores. A unit rule on an already-indexed atom has no body:
-  // only its head's `rules_for_` row grows, which queues a cheap merge
-  // (`IncrementalSolver::Assert` of a first-time fact must not pay a
-  // full O(program) rebuild). Anything else goes stale.
+  // AddRule requires exclusive access, so the state transitions are plain
+  // stores. A rule over already-indexed atoms only appends to existing
+  // rows, which queues a cheap merge — the hot path for both
+  // `IncrementalSolver::Assert` of a first-time fact and non-unit
+  // `AssertRule` deltas, neither of which may pay a full O(program)
+  // rebuild. Only a rule mentioning a never-indexed atom goes stale.
   IndexState state = sync_->state.load(std::memory_order_relaxed);
   if (state != IndexState::kStale) {
-    if (unit && rule.head < rules_for_.rows()) {
-      pending_unit_rows_.emplace_back(rule.head, id);
-      sync_->state.store(IndexState::kPendingUnits,
+    bool indexed = rule.head < rules_for_.rows();
+    for (AtomId a : rule.pos) indexed = indexed && a < rules_for_.rows();
+    for (AtomId a : rule.neg) indexed = indexed && a < rules_for_.rows();
+    if (indexed) {
+      pending_rows_.push_back(id);
+      pending_has_body_ = pending_has_body_ || !unit;
+      sync_->state.store(IndexState::kPendingRows,
                          std::memory_order_relaxed);
     } else {
-      pending_unit_rows_.clear();
+      pending_rows_.clear();
+      pending_has_body_ = false;
       sync_->state.store(IndexState::kStale, std::memory_order_relaxed);
     }
   }
@@ -80,6 +89,20 @@ std::optional<RuleId> GroundProgram::FindUnitRule(AtomId atom) const {
   auto it = unit_rule_.find(atom);
   if (it == unit_rule_.end()) return std::nullopt;
   return it->second;
+}
+
+std::optional<RuleId> GroundProgram::FindRule(GroundRule rule) const {
+  NormalizeBody(&rule);
+  auto it = rule_dedup_.find(RuleFingerprint(rule));
+  if (it == rule_dedup_.end()) return std::nullopt;
+  for (RuleId id : it->second) {
+    const GroundRule& existing = rules_[id];
+    if (existing.head == rule.head && existing.pos == rule.pos &&
+        existing.neg == rule.neg) {
+      return id;
+    }
+  }
+  return std::nullopt;
 }
 
 void GroundProgram::RebuildOccurrenceIndex() const {
@@ -108,29 +131,55 @@ void GroundProgram::RebuildOccurrenceIndex() const {
   rules_for_.FinishFilling();
   pos_occ_.FinishFilling();
   neg_occ_.FinishFilling();
-  pending_unit_rows_.clear();
+  pending_rows_.clear();
+  pending_has_body_ = false;
 }
 
-void GroundProgram::MergePendingUnitRows() const {
-  // One counting pass over the existing payload plus the queue. Pending
-  // ids are all larger than every indexed id and arrive in id order (and
-  // dedup allows at most one unit rule per atom), so appending them after
-  // their row's old items keeps rows id-sorted.
-  uint32_t rows = static_cast<uint32_t>(rules_for_.rows());
+namespace {
+
+/// Rebuilds `*index` with the queued appends folded in: one counting pass
+/// over the old payload plus the queue, old items first per row so rows
+/// stay id-sorted (pending ids all exceed indexed ids).
+template <typename PerRule>
+void MergeRows(Csr<RuleId>* index, const std::vector<RuleId>& pending,
+               PerRule&& rows_of) {
+  uint32_t rows = static_cast<uint32_t>(index->rows());
   Csr<RuleId> merged;
   merged.Reset(rows);
   for (uint32_t a = 0; a < rows; ++a) {
-    merged.AddCount(a, static_cast<uint32_t>(rules_for_.Row(a).size()));
+    merged.AddCount(a, static_cast<uint32_t>(index->Row(a).size()));
   }
-  for (const auto& [a, id] : pending_unit_rows_) merged.CountAt(a);
+  for (RuleId id : pending) {
+    rows_of(id, [&](AtomId a) { merged.CountAt(a); });
+  }
   merged.FinishCounting();
   for (uint32_t a = 0; a < rows; ++a) {
-    for (RuleId id : rules_for_.Row(a)) merged.Fill(a, id);
+    for (RuleId id : index->Row(a)) merged.Fill(a, id);
   }
-  for (const auto& [a, id] : pending_unit_rows_) merged.Fill(a, id);
+  for (RuleId id : pending) {
+    rows_of(id, [&](AtomId a) { merged.Fill(a, id); });
+  }
   merged.FinishFilling();
-  rules_for_ = std::move(merged);
-  pending_unit_rows_.clear();
+  *index = std::move(merged);
+}
+
+}  // namespace
+
+void GroundProgram::MergePendingRows() const {
+  MergeRows(&rules_for_, pending_rows_, [&](RuleId id, auto&& emit) {
+    emit(rules_[id].head);
+  });
+  // Unit-only queues (fact churn) leave the occurrence indexes untouched.
+  if (pending_has_body_) {
+    MergeRows(&pos_occ_, pending_rows_, [&](RuleId id, auto&& emit) {
+      for (AtomId a : rules_[id].pos) emit(a);
+    });
+    MergeRows(&neg_occ_, pending_rows_, [&](RuleId id, auto&& emit) {
+      for (AtomId a : rules_[id].neg) emit(a);
+    });
+  }
+  pending_rows_.clear();
+  pending_has_body_ = false;
 }
 
 void GroundProgram::EnsureOccurrenceIndex() const {
@@ -140,7 +189,7 @@ void GroundProgram::EnsureOccurrenceIndex() const {
   std::lock_guard<std::mutex> lk(sync_->mu);
   switch (sync_->state.load(std::memory_order_relaxed)) {
     case IndexState::kFresh: return;  // lost the race to another reader
-    case IndexState::kPendingUnits: MergePendingUnitRows(); break;
+    case IndexState::kPendingRows: MergePendingRows(); break;
     case IndexState::kStale: RebuildOccurrenceIndex(); break;
   }
   sync_->state.store(IndexState::kFresh, std::memory_order_release);

@@ -30,6 +30,15 @@ struct GroundRule {
   std::vector<AtomId> neg;
 };
 
+/// True iff rule `r` is enabled under an optional per-`RuleId` disabled
+/// mask (nonzero byte = retracted; out-of-range ids are enabled). The one
+/// definition of the mask convention `IncrementalSolver` maintains and
+/// every masked consumer (condensation, scheduling DAG, per-SCC
+/// evaluation) reads.
+inline bool RuleEnabledIn(const std::vector<uint8_t>* disabled, RuleId r) {
+  return disabled == nullptr || r >= disabled->size() || (*disabled)[r] == 0;
+}
+
 /// A finite fragment of the Herbrand instantiation of a program (Def. 1.5):
 /// ground atoms with dense ids, ground rules, and the occurrence indexes
 /// needed by linear-time fixpoint algorithms.
@@ -57,6 +66,11 @@ class GroundProgram {
   /// rule.
   std::optional<RuleId> FindUnitRule(AtomId atom) const;
 
+  /// The id of the rule identical to `rule` (body order irrelevant), if
+  /// present — content-addressed lookup over the dedup index, used to
+  /// re-target rule deltas after a re-ground.
+  std::optional<RuleId> FindRule(GroundRule rule) const;
+
   const std::vector<GroundRule>& rules() const { return rules_; }
   size_t rule_count() const { return rules_.size(); }
 
@@ -64,10 +78,12 @@ class GroundProgram {
   ///
   /// The three index accessors serve spans into a flat CSR index (one
   /// offsets + payload pair per index, `util/csr.h`) that is maintained
-  /// lazily: `AddRule` marks it stale (or, for a unit rule on an indexed
-  /// atom — `IncrementalSolver::Assert` of a first-time fact — queues a
-  /// cheap single-index merge), and the first lookup afterwards pays the
-  /// deferred work once. Spans are invalidated by the next `AddRule`.
+  /// lazily: `AddRule` over already-indexed atoms — a first-time fact from
+  /// `IncrementalSolver::Assert`, or a non-unit delta from `AssertRule` —
+  /// queues a cheap row merge (one counting pass per affected index, no
+  /// rule rescan), and only a rule mentioning a never-indexed atom goes
+  /// fully stale; the first lookup afterwards pays the deferred work once.
+  /// Spans are invalidated by the next `AddRule`.
   /// Concurrent const lookups are safe even when the first one triggers
   /// the rebuild (it runs under an internal mutex behind an atomic
   /// freshness check); mutation (`AddRule`/`InternAtom`) still requires
@@ -99,15 +115,17 @@ class GroundProgram {
 
  private:
   enum class IndexState : uint8_t {
-    kStale,         ///< full two-pass rebuild needed
-    kPendingUnits,  ///< valid base + queued unit-rule row appends
-    kFresh,         ///< serves reads as-is
+    kStale,        ///< full two-pass rebuild needed
+    kPendingRows,  ///< valid base + queued per-rule row appends
+    kFresh,        ///< serves reads as-is
   };
 
-  /// Applies the queued unit-rule appends as one counting pass over the
-  /// existing `rules_for_` (unit rules have no body, so the occurrence
-  /// indexes are untouched). Caller holds `sync_->mu`.
-  void MergePendingUnitRows() const;
+  /// Applies the queued rule appends as one counting pass per affected
+  /// index (`rules_for_` always; the occurrence indexes only when some
+  /// queued rule has a body). Pending ids all exceed every indexed id and
+  /// arrive in id order, so appending keeps rows id-sorted. Caller holds
+  /// `sync_->mu`.
+  void MergePendingRows() const;
   void RebuildOccurrenceIndex() const;  ///< caller holds `sync_->mu`
 
   TermStore* store_;
@@ -129,7 +147,8 @@ class GroundProgram {
   mutable Csr<RuleId> rules_for_;
   mutable Csr<RuleId> pos_occ_;
   mutable Csr<RuleId> neg_occ_;
-  mutable std::vector<std::pair<AtomId, RuleId>> pending_unit_rows_;
+  mutable std::vector<RuleId> pending_rows_;
+  mutable bool pending_has_body_ = false;
   mutable std::unique_ptr<IndexSync> sync_ = std::make_unique<IndexSync>();
 };
 

@@ -48,9 +48,24 @@ Result<std::vector<Token>> Lex(std::string_view src) {
       continue;
     }
     int tl = line, tc = col;
-    if (ch == '(') { push(TokenKind::kLParen, "(", tl, tc); ++i; ++col; continue; }
-    if (ch == ')') { push(TokenKind::kRParen, ")", tl, tc); ++i; ++col; continue; }
-    if (ch == ',') { push(TokenKind::kComma, ",", tl, tc); ++i; ++col; continue; }
+    if (ch == '(') {
+      push(TokenKind::kLParen, "(", tl, tc);
+      ++i;
+      ++col;
+      continue;
+    }
+    if (ch == ')') {
+      push(TokenKind::kRParen, ")", tl, tc);
+      ++i;
+      ++col;
+      continue;
+    }
+    if (ch == ',') {
+      push(TokenKind::kComma, ",", tl, tc);
+      ++i;
+      ++col;
+      continue;
+    }
     if (ch == '.') { push(TokenKind::kDot, ".", tl, tc); ++i; ++col; continue; }
     if (ch == ':' && i + 1 < src.size() && src[i + 1] == '-') {
       push(TokenKind::kImplies, ":-", tl, tc);

@@ -11,7 +11,7 @@ namespace gsls {
 
 /// Token kinds for the Prolog-like surface syntax.
 enum class TokenKind {
-  kName,      ///< lowercase identifier or quoted atom or integer: `foo`, `s`, `0`
+  kName,      ///< lowercase identifier, quoted atom, or integer: `foo`, `0`
   kVariable,  ///< uppercase/underscore identifier: `X`, `_G1`, `_`
   kLParen,
   kRParen,

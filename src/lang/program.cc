@@ -95,7 +95,9 @@ bool Program::HasNegation() const {
 
 bool Program::IsRangeRestricted() const {
   return std::all_of(clauses_.begin(), clauses_.end(),
-                     [](const Clause& c) { return gsls::IsRangeRestricted(c); });
+                     [](const Clause& c) {
+                       return gsls::IsRangeRestricted(c);
+                     });
 }
 
 std::string Program::ToString() const {

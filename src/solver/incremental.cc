@@ -10,7 +10,8 @@
 namespace gsls {
 
 std::string IncrementalStats::ToString() const {
-  return StrCat("deltas=", deltas, " full=", full_solves,
+  return StrCat("deltas=", deltas, " rule_deltas=", rule_deltas,
+                " full=", full_solves,
                 " incremental=", incremental_solves,
                 " rebuilds=", graph_rebuilds,
                 " resolved=", components_resolved,
@@ -61,21 +62,134 @@ bool IncrementalSolver::HasFact(AtomId atom) const {
   return unit.has_value() && RuleEnabled(*unit);
 }
 
+RuleId IncrementalSolver::AssertRule(GroundRule rule, bool* changed) {
+  if (rule.pos.empty() && rule.neg.empty()) {
+    // Unit rules are fact deltas: same path, same invariants (no edges).
+    AtomId head = rule.head;
+    bool did = AssertAtom(head);
+    if (changed != nullptr) *changed = did;
+    return *gp_.FindUnitRule(head);
+  }
+  size_t rules_before = gp_.rule_count();
+  RuleId id = gp_.AddRule(std::move(rule));
+  bool is_new = gp_.rule_count() != rules_before;
+  if (!is_new && RuleEnabled(id)) {
+    if (changed != nullptr) *changed = false;
+    return id;  // the identical rule is already enabled
+  }
+  disabled_.resize(gp_.rule_count(), 0);
+  disabled_[id] = 0;  // re-enable when it was a retracted duplicate
+  ++stats_.rule_deltas;
+  MarkDirty(gp_.rules()[id].head);
+  if (cond_ != nullptr) {
+    EnsureGraph();  // cover atoms interned since the last repair
+    ApplyRepair(cond_->InsertRule(gp_, &disabled_, id));
+  }
+  if (changed != nullptr) *changed = true;
+  return id;
+}
+
+RuleId IncrementalSolver::AssertRule(const Term* head,
+                                     std::span<const Term* const> pos,
+                                     std::span<const Term* const> neg,
+                                     bool* changed) {
+  GroundRule rule;
+  rule.head = gp_.InternAtom(head);
+  rule.pos.reserve(pos.size());
+  rule.neg.reserve(neg.size());
+  for (const Term* t : pos) rule.pos.push_back(gp_.InternAtom(t));
+  for (const Term* t : neg) rule.neg.push_back(gp_.InternAtom(t));
+  return AssertRule(std::move(rule), changed);
+}
+
+bool IncrementalSolver::RetractRule(RuleId r) {
+  if (r >= gp_.rule_count() || !RuleEnabled(r)) return false;
+  const GroundRule& rule = gp_.rules()[r];
+  if (rule.pos.empty() && rule.neg.empty()) return RetractAtom(rule.head);
+  disabled_.resize(gp_.rule_count(), 0);
+  disabled_[r] = 1;
+  ++stats_.rule_deltas;
+  MarkDirty(rule.head);
+  if (cond_ != nullptr) {
+    EnsureGraph();
+    ApplyRepair(cond_->RemoveRule(gp_, &disabled_, r));
+  }
+  return true;
+}
+
 void IncrementalSolver::MarkDirty(AtomId atom) {
   ++stats_.deltas;
   dirty_.push_back(atom);
 }
 
+void IncrementalSolver::ApplyRepair(const CondensationRepair& rep) {
+  const AtomDependencyGraph& g = cond_->graph();
+  // Components are marked through a stable representative atom: later
+  // deltas may renumber components again before `Model()` resolves them.
+  for (uint32_t c : rep.dirty) {
+    std::span<const AtomId> atoms = g.Atoms(c);
+    if (!atoms.empty()) dirty_.push_back(atoms[0]);
+  }
+  if (dag_ == nullptr) return;
+  if (!rep.recondensed) {
+    // Edge-only delta — the streaming common case. Queue the edges; one
+    // merge pass patches the DAG when the parallel path next reads it,
+    // so a burst of N order-respecting deltas pays one splice, not N.
+    pending_dag_edges_.insert(pending_dag_edges_.end(),
+                              rep.new_edges.begin(), rep.new_edges.end());
+    return;
+  }
+  // The repair renumbered component ids: queued edges (in pre-repair
+  // ids) must land before the remap.
+  FlushPendingDagEdges();
+  if (rep.split()) {
+    // A split fans one old id out to several; remapping rows is no longer
+    // well defined, so the scheduling DAG rebuilds lazily.
+    dag_.reset();
+  } else {
+    dag_->Splice(gp_, g, &disabled_, rep);
+  }
+}
+
+void IncrementalSolver::FlushPendingDagEdges() {
+  if (pending_dag_edges_.empty()) return;
+  if (dag_ != nullptr) {
+    CondensationRepair edges_only;
+    edges_only.new_edges = std::move(pending_dag_edges_);
+    dag_->Splice(gp_, cond_->graph(), &disabled_, edges_only);
+  }
+  pending_dag_edges_.clear();
+}
+
 void IncrementalSolver::EnsureGraph() {
-  if (graph_ != nullptr && graph_->atom_count() == gp_.atom_count()) return;
-  if (graph_ != nullptr) ++stats_.graph_rebuilds;
-  graph_ = std::make_unique<AtomDependencyGraph>(gp_);
-  dag_.reset();  // component ids changed; the scheduling DAG is stale
+  if (cond_ == nullptr) {
+    cond_ = std::make_unique<DynamicCondensation>(gp_, &disabled_);
+    dag_.reset();
+    return;
+  }
+  if (cond_->graph().atom_count() == gp_.atom_count()) return;
+  // Atoms interned since the last repair become trailing singleton
+  // components — no rebuild, and the scheduling DAG just grows nodes.
+  // They enter the tape undefined, so their components must solve once
+  // (to false, until some delta derives them): mark them dirty.
+  ++stats_.graph_rebuilds;
+  for (AtomId a = static_cast<AtomId>(cond_->graph().atom_count());
+       a < gp_.atom_count(); ++a) {
+    dirty_.push_back(a);
+  }
+  cond_->AddAtoms(gp_.atom_count());
+  if (dag_ != nullptr) {
+    dag_->AppendIsolated(cond_->graph().component_count());
+  }
 }
 
 void IncrementalSolver::EnsureParallelRuntime() {
   if (dag_ == nullptr) {
-    dag_ = std::make_unique<solver::ComponentDag>(gp_, *graph_);
+    dag_ = std::make_unique<solver::ComponentDag>(gp_, cond_->graph(),
+                                                  &disabled_);
+    pending_dag_edges_.clear();  // a fresh build already covers them
+  } else {
+    FlushPendingDagEdges();
   }
   if (pool_ == nullptr) {
     pool_ = std::make_unique<WorkStealingPool>(threads_);
@@ -83,7 +197,7 @@ void IncrementalSolver::EnsureParallelRuntime() {
 }
 
 void IncrementalSolver::SyncMirror(uint32_t comp) {
-  for (AtomId a : graph_->Atoms(comp)) {
+  for (AtomId a : cond_->graph().Atoms(comp)) {
     tape_.CopyAtomTo(a, &model_.model);
     if (opts_.compute_levels) {
       model_.true_stage[a] = stape_.true_stage[a];
@@ -99,11 +213,11 @@ const WfsModel& IncrementalSolver::Model() {
     const uint64_t rounds_before = diag_.alternating_rounds;
     if (threads_ > 1) {
       EnsureParallelRuntime();
-      solver::ParallelSolveAllComponentsInto(gp_, *graph_, *dag_, &disabled_,
-                                             pool_.get(), &tape_, stages,
-                                             &diag_);
+      solver::ParallelSolveAllComponentsInto(gp_, cond_->graph(), *dag_,
+                                             &disabled_, pool_.get(), &tape_,
+                                             stages, &diag_);
     } else {
-      solver::SolveAllComponentsInto(gp_, *graph_, &disabled_, &tape_,
+      solver::SolveAllComponentsInto(gp_, cond_->graph(), &disabled_, &tape_,
                                      stages, &diag_);
     }
     model_.model = tape_.ToInterpretation();
@@ -126,9 +240,9 @@ const WfsModel& IncrementalSolver::Model() {
     // case — therefore always takes the heap; batched multi-component
     // deltas have the width the pool can use.
     bool multi_component = false;
-    uint32_t first = graph_->ComponentOf(dirty_.front());
+    uint32_t first = cond_->graph().ComponentOf(dirty_.front());
     for (AtomId a : dirty_) {
-      if (graph_->ComponentOf(a) != first) {
+      if (cond_->graph().ComponentOf(a) != first) {
         multi_component = true;
         break;
       }
@@ -152,7 +266,10 @@ WfsModel IncrementalSolver::SolveFresh(SolverDiagnostics* diag) const {
   SolverDiagnostics scratch;
   if (diag == nullptr) diag = &scratch;
   *diag = SolverDiagnostics{};
-  AtomDependencyGraph graph(gp_);
+  // Masked construction: the baseline condenses the enabled subprogram,
+  // exactly what a non-incremental caller solving the mutated program
+  // would build (and what the repaired condensation must agree with).
+  AtomDependencyGraph graph(gp_, &disabled_);
   return solver::SolveAllComponents(gp_, graph, &disabled_,
                                     opts_.compute_levels, diag);
 }
@@ -205,11 +322,15 @@ bool ResolveComponentDelta(const GroundProgram& gp,
     }
     if (!moved) continue;
     changed = true;
+    // Retracted rules stay in the occurrence index; their heads do not
+    // depend on this atom anymore, so skip them instead of over-marking.
     for (RuleId r : gp.PositiveOccurrences(atoms[i])) {
+      if (!RuleEnabledIn(disabled, r)) continue;
       uint32_t hc = graph.ComponentOf(gp.rules()[r].head);
       if (hc != c) flag(hc);
     }
     for (RuleId r : gp.NegativeOccurrences(atoms[i])) {
+      if (!RuleEnabledIn(disabled, r)) continue;
       uint32_t hc = graph.ComponentOf(gp.rules()[r].head);
       if (hc != c) flag(hc);
     }
@@ -222,7 +343,8 @@ bool ResolveComponentDelta(const GroundProgram& gp,
 void IncrementalSolver::ResolveUpCone() {
   ++stats_.incremental_solves;
   const uint64_t rounds_before = diag_.alternating_rounds;
-  const uint32_t ncomp = graph_->component_count();
+  const AtomDependencyGraph& graph = cond_->graph();
+  const uint32_t ncomp = graph.component_count();
   // `Assert` of new atoms grew the program (and forced a graph rebuild):
   // the carried-over model keeps its values — atom ids are stable — and
   // the new atoms start undefined.
@@ -238,7 +360,7 @@ void IncrementalSolver::ResolveUpCone() {
   // rebuild changes the component count.
   if (marked_.size() != ncomp) marked_.assign(ncomp, 0);
 
-  for (AtomId a : dirty_) Mark(graph_->ComponentOf(a));
+  for (AtomId a : dirty_) Mark(graph.ComponentOf(a));
   dirty_.clear();
 
   uint64_t resolved = 0;
@@ -254,7 +376,7 @@ void IncrementalSolver::ResolveUpCone() {
     // theirs actually moved. Dependent components always have a larger id
     // (dependency order), so the heap never revisits a popped component.
     bool changed =
-        ResolveComponentDelta(gp_, *graph_, c, &disabled_, &tape_, stages,
+        ResolveComponentDelta(gp_, graph, c, &disabled_, &tape_, stages,
                               &old_vals, &old_stages, &diag_,
                               [&](uint32_t hc) { Mark(hc); });
     SyncMirror(c);
@@ -287,7 +409,8 @@ void IncrementalSolver::ResolveUpConeParallel() {
   ++stats_.incremental_solves;
   const uint64_t rounds_before = diag_.alternating_rounds;
   EnsureParallelRuntime();
-  const uint32_t ncomp = graph_->component_count();
+  const AtomDependencyGraph& graph = cond_->graph();
+  const uint32_t ncomp = graph.component_count();
   model_.model.Resize(gp_.atom_count());
   tape_.Resize(gp_.atom_count());
   solver::StageTape* stages = opts_.compute_levels ? &stape_ : nullptr;
@@ -317,7 +440,7 @@ void IncrementalSolver::ResolveUpConeParallel() {
   std::vector<uint32_t>& cone_pos = cone_pos_;
   cone.clear();
   for (AtomId a : dirty_) {
-    uint32_t c = graph_->ComponentOf(a);
+    uint32_t c = graph.ComponentOf(a);
     is_dirty[c] = 1;
     if (!in_cone[c]) {
       in_cone[c] = 1;
@@ -347,7 +470,9 @@ void IncrementalSolver::ResolveUpConeParallel() {
   }
   for (uint32_t c : cone) {
     for (uint32_t s : dag_->Successors(c)) {
-      if (in_cone[s]) pending[cone_pos[s]].fetch_add(1, std::memory_order_relaxed);
+      if (in_cone[s]) {
+        pending[cone_pos[s]].fetch_add(1, std::memory_order_relaxed);
+      }
     }
   }
   std::vector<uint32_t> seeds;
@@ -371,7 +496,7 @@ void IncrementalSolver::ResolveUpConeParallel() {
         // after this component's acq_rel release edge in the shared
         // scheduler.
         bool changed = ResolveComponentDelta(
-            gp_, *graph_, c, &disabled_, &tape_, stages, &w.old_vals,
+            gp_, graph, c, &disabled_, &tape_, stages, &w.old_vals,
             &w.old_stages, &w.diag,
             [&](uint32_t hc) {
               inputs_changed[cone_pos[hc]].store(1,

@@ -4,10 +4,12 @@
 #include <cstdint>
 #include <memory>
 #include <queue>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "analysis/atom_dependency_graph.h"
+#include "analysis/dynamic_condensation.h"
 #include "ground/ground_program.h"
 #include "solver/parallel.h"
 #include "solver/solver.h"
@@ -21,9 +23,10 @@ namespace gsls {
 /// Counters describing how much work the incremental solver avoided.
 struct IncrementalStats {
   uint64_t deltas = 0;              ///< Assert/Retract calls that changed state
+  uint64_t rule_deltas = 0;         ///< non-unit AssertRule/RetractRule deltas
   uint64_t full_solves = 0;         ///< from-scratch solves (first `Model`)
   uint64_t incremental_solves = 0;  ///< up-cone re-solve passes
-  uint64_t graph_rebuilds = 0;      ///< lazy condensation rebuilds (new atoms)
+  uint64_t graph_rebuilds = 0;      ///< condensation extensions (new atoms)
   uint64_t components_resolved = 0; ///< components re-run across all passes
   uint64_t components_reused = 0;   ///< components kept verbatim across passes
   uint64_t cone_cutoffs = 0;        ///< re-solved components whose values held
@@ -74,17 +77,25 @@ struct IncrementalStats {
 ///
 /// Invalidation strategy: unit rules have no body, so fact deltas never
 /// add or remove *edges* of the dependency graph — only `Assert` of a
-/// never-registered atom adds a (necessarily isolated) node. The
-/// condensation (and, on the parallel path, the scheduling DAG and worker
-/// pool) is therefore rebuilt lazily, exactly when the program has more
-/// atoms than the graph was built over; retained otherwise. Atom ids are
-/// stable across rebuilds, so the previous model carries over and the
-/// re-solve stays incremental even immediately after a rebuild.
+/// never-registered atom adds a (necessarily isolated) node, spliced in as
+/// a trailing singleton. Non-unit rule deltas (`AssertRule`/`RetractRule`)
+/// do change edges; the condensation is then repaired *locally* by the
+/// dynamic-SCC layer (analysis/dynamic_condensation.h): order-respecting
+/// edges cost O(rule), and only a delta that can close or break a cycle
+/// re-runs Tarjan over the affected id window, splicing merged or split
+/// components back in place. The repair names exactly the components
+/// whose compiled state (rule tables, tape values, stage slots) is stale;
+/// they are marked dirty and the next `Model()` re-solves just their
+/// change-pruned up-cone — the same pipeline fact deltas use. The
+/// scheduling DAG of the parallel path is patched by the matching
+/// `ComponentDag::Splice` (or rebuilt lazily after a split). Atom ids are
+/// stable throughout, so the previous model always carries over.
 class IncrementalSolver {
  public:
-  /// Takes ownership of `gp`. The rule set is fixed apart from unit
-  /// (fact) rules: deltas are ground facts over this program, they do not
-  /// re-ground non-unit rules.
+  /// Takes ownership of `gp`. Ground deltas — facts via
+  /// `Assert`/`Retract`, arbitrary ground rules via
+  /// `AssertRule`/`RetractRule` — mutate this program in place; deltas do
+  /// not re-ground nonground clauses.
   explicit IncrementalSolver(GroundProgram gp, SolverOptions opts = {});
 
   const GroundProgram& program() const { return gp_; }
@@ -110,8 +121,35 @@ class IncrementalSolver {
   bool HasFact(AtomId atom) const;
 
   /// True iff rule `r` is enabled (not retracted).
-  bool RuleEnabled(RuleId r) const {
-    return r >= disabled_.size() || disabled_[r] == 0;
+  bool RuleEnabled(RuleId r) const { return RuleEnabledIn(&disabled_, r); }
+
+  /// Asserts an arbitrary ground rule (atom ids of this program; the body
+  /// split by sign). Appends it to the program — or re-enables the
+  /// identical retracted rule, `AddRule` deduplicates — and repairs the
+  /// condensation locally. Returns the rule's id; `*changed` (when
+  /// non-null) reports whether the program actually changed (false: the
+  /// identical rule was already enabled). Unit rules take the fact path.
+  RuleId AssertRule(GroundRule rule, bool* changed = nullptr);
+
+  /// Term-level convenience: interns the (ground) atoms and asserts.
+  RuleId AssertRule(const Term* head, std::span<const Term* const> pos,
+                    std::span<const Term* const> neg,
+                    bool* changed = nullptr);
+
+  /// Retracts rule `r` — any rule, from the base program or a previous
+  /// `AssertRule` — via the disabled mask; indexes never shrink. The
+  /// head's component is re-condensed if the rule carried intra-component
+  /// edges (it may split). Returns true iff the rule was enabled.
+  bool RetractRule(RuleId r);
+
+  /// The live condensation, or null before the first solve/repair forced
+  /// its construction. Test and diagnostics surface.
+  const AtomDependencyGraph* graph() const {
+    return cond_ == nullptr ? nullptr : &cond_->graph();
+  }
+  /// Dynamic-SCC repair counters (null like `graph()`).
+  const DynamicCondensation::Stats* condensation_stats() const {
+    return cond_ == nullptr ? nullptr : &cond_->stats();
   }
 
   /// The well-founded model of the current program. Solves from scratch on
@@ -147,6 +185,11 @@ class IncrementalSolver {
   void EnsureParallelRuntime();  ///< scheduling DAG + worker pool
   void MarkDirty(AtomId atom);
   void Mark(uint32_t comp);
+  /// Sinks a condensation repair into the solver state: dirty components
+  /// (by stable representative atom) and the scheduling-DAG patch.
+  void ApplyRepair(const CondensationRepair& rep);
+  /// Merges the queued edge-only DAG patches in one `Splice` pass.
+  void FlushPendingDagEdges();
   void ResolveUpCone();
   void ResolveUpConeParallel();
   /// Copies the tape values of `comp`'s atoms into the `model_` mirror.
@@ -156,9 +199,14 @@ class IncrementalSolver {
   SolverOptions opts_;
   unsigned threads_;               ///< resolved worker count
   std::vector<uint8_t> disabled_;  ///< per RuleId; 1 = retracted
-  std::unique_ptr<AtomDependencyGraph> graph_;
+  std::unique_ptr<DynamicCondensation> cond_;  ///< live condensation
   std::unique_ptr<solver::ComponentDag> dag_;  ///< parallel path only
   std::unique_ptr<WorkStealingPool> pool_;     ///< parallel path only
+  /// Cross-component edges from edge-only rule deltas, queued while the
+  /// DAG exists but is not being read: the streaming case patches the DAG
+  /// once per parallel use, not once per delta. Component ids in the
+  /// queue are kept current — a recondensing repair flushes it first.
+  std::vector<std::pair<uint32_t, uint32_t>> pending_dag_edges_;
 
   /// Primary truth store, persistent across deltas: the per-SCC pipeline
   /// reads and writes this flat tape; `model_` is the bit-packed mirror

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cassert>
 #include <memory>
 #include <thread>
 
@@ -9,13 +10,38 @@
 
 namespace gsls::solver {
 
+namespace {
+
+/// Packs a deduplicated (from, to) edge list into CSR successor rows plus
+/// indegrees — the shared tail of construction and splicing.
+void BuildFromEdges(std::vector<uint64_t>* edges, uint32_t ncomp,
+                    Csr<uint32_t>* succ, std::vector<uint32_t>* indegree) {
+  std::sort(edges->begin(), edges->end());
+  edges->erase(std::unique(edges->begin(), edges->end()), edges->end());
+  indegree->assign(ncomp, 0);
+  succ->Reset(ncomp);
+  for (uint64_t e : *edges) succ->CountAt(static_cast<uint32_t>(e >> 32));
+  succ->FinishCounting();
+  for (uint64_t e : *edges) {
+    uint32_t to = static_cast<uint32_t>(e);
+    succ->Fill(static_cast<uint32_t>(e >> 32), to);
+    ++(*indegree)[to];
+  }
+  succ->FinishFilling();
+}
+
+}  // namespace
+
 ComponentDag::ComponentDag(const GroundProgram& gp,
-                           const AtomDependencyGraph& graph) {
+                           const AtomDependencyGraph& graph,
+                           const std::vector<uint8_t>* disabled) {
   uint32_t ncomp = graph.component_count();
   // Cross-component edges, deduplicated by one sort over packed
   // (from, to) keys. Condensation order guarantees from < to.
   std::vector<uint64_t> edges;
-  for (const GroundRule& r : gp.rules()) {
+  for (RuleId id = 0; id < gp.rule_count(); ++id) {
+    if (!RuleEnabledIn(disabled, id)) continue;
+    const GroundRule& r = gp.rules()[id];
     uint32_t hc = graph.ComponentOf(r.head);
     for (AtomId b : r.pos) {
       uint32_t bc = graph.ComponentOf(b);
@@ -26,19 +52,63 @@ ComponentDag::ComponentDag(const GroundProgram& gp,
       if (bc != hc) edges.push_back((uint64_t{bc} << 32) | hc);
     }
   }
-  std::sort(edges.begin(), edges.end());
-  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  BuildFromEdges(&edges, ncomp, &succ_, &indegree_);
+}
 
-  indegree_.assign(ncomp, 0);
-  succ_.Reset(ncomp);
-  for (uint64_t e : edges) succ_.CountAt(static_cast<uint32_t>(e >> 32));
-  succ_.FinishCounting();
-  for (uint64_t e : edges) {
-    uint32_t to = static_cast<uint32_t>(e);
-    succ_.Fill(static_cast<uint32_t>(e >> 32), to);
-    ++indegree_[to];
+void ComponentDag::AppendIsolated(uint32_t new_component_count) {
+  if (new_component_count <= component_count()) return;
+  succ_.AppendEmptyRows(new_component_count - component_count());
+  indegree_.resize(new_component_count, 0);
+}
+
+void ComponentDag::Splice(const GroundProgram& gp,
+                          const AtomDependencyGraph& graph,
+                          const std::vector<uint8_t>* disabled,
+                          const CondensationRepair& rep) {
+  assert(!rep.split());
+  const uint32_t old_n = component_count();
+  const uint32_t lo = rep.window_lo;
+  const uint32_t old_hi = lo + rep.old_window_size;  // exclusive
+  const int64_t delta =
+      static_cast<int64_t>(rep.new_window_size) - rep.old_window_size;
+  const uint32_t new_n = static_cast<uint32_t>(old_n + delta);
+  auto remap = [&](uint32_t c) -> uint32_t {
+    if (c < lo) return c;
+    if (c >= old_hi) return static_cast<uint32_t>(c + delta);
+    return rep.old_to_new[c - lo];
+  };
+
+  // Kept rows (outside the window), remapped; merged targets collapse in
+  // the dedup. Window rows are recomputed from the occurrence index — the
+  // repair may have rewired them arbitrarily — and `new_edges` covers
+  // dependencies the rule added from components below the window.
+  std::vector<uint64_t> edges;
+  edges.reserve(succ_.size() + rep.new_edges.size());
+  for (uint32_t c = 0; c < old_n; ++c) {
+    if (c >= lo && c < old_hi) continue;
+    uint32_t from = remap(c);
+    for (uint32_t t : succ_.Row(c)) {
+      edges.push_back((uint64_t{from} << 32) | remap(t));
+    }
   }
-  succ_.FinishFilling();
+  for (uint32_t c = lo; c < lo + rep.new_window_size; ++c) {
+    for (AtomId a : graph.Atoms(c)) {
+      for (RuleId rid : gp.PositiveOccurrences(a)) {
+        if (!RuleEnabledIn(disabled, rid)) continue;
+        uint32_t hc = graph.ComponentOf(gp.rules()[rid].head);
+        if (hc != c) edges.push_back((uint64_t{c} << 32) | hc);
+      }
+      for (RuleId rid : gp.NegativeOccurrences(a)) {
+        if (!RuleEnabledIn(disabled, rid)) continue;
+        uint32_t hc = graph.ComponentOf(gp.rules()[rid].head);
+        if (hc != c) edges.push_back((uint64_t{c} << 32) | hc);
+      }
+    }
+  }
+  for (const auto& [from, to] : rep.new_edges) {
+    edges.push_back((uint64_t{from} << 32) | to);
+  }
+  BuildFromEdges(&edges, new_n, &succ_, &indegree_);
 }
 
 unsigned ResolveThreadCount(unsigned requested) {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "analysis/atom_dependency_graph.h"
+#include "analysis/dynamic_condensation.h"
 #include "ground/ground_program.h"
 #include "solver/solver.h"
 #include "solver/stages.h"
@@ -20,13 +21,20 @@ namespace gsls::solver {
 /// share no edges and may run on different workers; a component is ready
 /// the moment its last predecessor is final.
 ///
-/// Built from *all* rules, ignoring any disabled mask: a disabled rule can
-/// only add scheduling edges, never remove correctness, and ignoring the
-/// mask lets `IncrementalSolver` reuse one DAG across every delta (fact
-/// deltas toggle unit rules, which have no body and hence no edges).
+/// With a `disabled` mask the DAG covers the enabled subprogram — it must,
+/// once rule retraction can leave a disabled rule's edge *ascending* under
+/// a repaired condensation (a cycle in scheduling order would deadlock the
+/// release counters). Fact deltas still reuse one DAG verbatim (unit rules
+/// have no body and hence no edges), and rule deltas patch it in place:
+/// `AppendIsolated` for newly interned atoms, `Splice` for a
+/// `DynamicCondensation` repair. Edges of rules retracted *after*
+/// construction may linger until the next splice touches them — they
+/// descend under every later renumbering, so they only add conservative
+/// ordering, never a cycle.
 class ComponentDag {
  public:
-  ComponentDag(const GroundProgram& gp, const AtomDependencyGraph& graph);
+  ComponentDag(const GroundProgram& gp, const AtomDependencyGraph& graph,
+               const std::vector<uint8_t>* disabled = nullptr);
 
   uint32_t component_count() const {
     return static_cast<uint32_t>(indegree_.size());
@@ -38,6 +46,22 @@ class ComponentDag {
   /// Unique-predecessor counts; the scheduler's release counters start
   /// here.
   const std::vector<uint32_t>& indegrees() const { return indegree_; }
+
+  /// Appends isolated components (no edges, indegree 0) so the DAG covers
+  /// ids up to `new_component_count` — the scheduling mirror of
+  /// `DynamicCondensation::AddAtoms`.
+  void AppendIsolated(uint32_t new_component_count);
+
+  /// Patches the DAG after a condensation repair, without rescanning the
+  /// rule set: rows of components outside the repair window are kept and
+  /// their targets remapped through `rep.old_to_new` (merged targets
+  /// dedup), rows of the window's new components are recomputed from the
+  /// occurrence index, and `rep.new_edges` are folded in. Requires
+  /// `!rep.split()` — a split fans one old id out to several and the
+  /// caller must rebuild instead.
+  void Splice(const GroundProgram& gp, const AtomDependencyGraph& graph,
+              const std::vector<uint8_t>* disabled,
+              const CondensationRepair& rep);
 
  private:
   Csr<uint32_t> succ_;

@@ -41,7 +41,9 @@ class TruthTape {
     return Value(a) == TruthValue::kUndefined;
   }
 
-  void SetTrue(AtomId a) { values_[a] = static_cast<uint8_t>(TruthValue::kTrue); }
+  void SetTrue(AtomId a) {
+    values_[a] = static_cast<uint8_t>(TruthValue::kTrue);
+  }
   void SetFalse(AtomId a) {
     values_[a] = static_cast<uint8_t>(TruthValue::kFalse);
   }

@@ -9,7 +9,8 @@ void* Arena::Allocate(size_t bytes, size_t align) {
   uintptr_t p = reinterpret_cast<uintptr_t>(cursor_);
   uintptr_t aligned = (p + align - 1) & ~(align - 1);
   size_t padding = aligned - p;
-  if (cursor_ == nullptr || aligned + bytes > reinterpret_cast<uintptr_t>(limit_)) {
+  if (cursor_ == nullptr ||
+      aligned + bytes > reinterpret_cast<uintptr_t>(limit_)) {
     cursor_ = AllocateNewBlock(bytes + align);
     p = reinterpret_cast<uintptr_t>(cursor_);
     aligned = (p + align - 1) & ~(align - 1);

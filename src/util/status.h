@@ -21,7 +21,7 @@ enum class StatusCode {
   kInternal,          ///< Invariant violation inside the library.
 };
 
-/// Returns a stable human-readable name for `code` ("OK", "InvalidArgument"...).
+/// Stable human-readable name for `code` ("OK", "InvalidArgument"...).
 const char* StatusCodeName(StatusCode code);
 
 /// A lightweight success-or-error value. All fallible public operations in

@@ -99,7 +99,7 @@ void WorkStealingPool::WorkerLoop(unsigned worker) {
 }
 
 void WorkStealingPool::Run(std::span<const uint32_t> seeds,
-                           const std::function<void(unsigned, uint32_t)>& body) {
+    const std::function<void(unsigned, uint32_t)>& body) {
   if (seeds.empty()) return;
   inflight_.store(seeds.size(), std::memory_order_relaxed);
   body_.store(&body, std::memory_order_release);
