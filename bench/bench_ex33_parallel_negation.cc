@@ -8,6 +8,7 @@
 
 #include "core/engine.h"
 #include "lang/parser.h"
+#include "obs/trace.h"
 #include "workload/generators.h"
 
 using namespace gsls;
@@ -59,6 +60,7 @@ BENCHMARK(BM_Example33)->Arg(1)->Arg(0);
 }  // namespace
 
 int main(int argc, char** argv) {
+  gsls::obs::TraceFlagGuard trace(&argc, argv);
   PrintVerification();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

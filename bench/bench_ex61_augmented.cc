@@ -9,6 +9,7 @@
 #include "core/engine.h"
 #include "lang/parser.h"
 #include "lang/transforms.h"
+#include "obs/trace.h"
 
 using namespace gsls;
 
@@ -84,6 +85,7 @@ BENCHMARK(BM_AugmentedQuery);
 }  // namespace
 
 int main(int argc, char** argv) {
+  gsls::obs::TraceFlagGuard trace(&argc, argv);
   PrintVerification();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

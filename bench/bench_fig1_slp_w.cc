@@ -8,6 +8,7 @@
 
 #include "core/slp_tree.h"
 #include "lang/parser.h"
+#include "obs/trace.h"
 #include "util/strings.h"
 #include "workload/generators.h"
 
@@ -55,6 +56,7 @@ BENCHMARK(BM_BuildSlpTreeW)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
 }  // namespace
 
 int main(int argc, char** argv) {
+  gsls::obs::TraceFlagGuard trace(&argc, argv);
   PrintVerification();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -9,6 +9,7 @@
 
 #include "core/slp_tree.h"
 #include "lang/parser.h"
+#include "obs/trace.h"
 #include "util/strings.h"
 #include "workload/generators.h"
 
@@ -98,6 +99,7 @@ BENCHMARK(BM_BuildSlpTreeU0Truncated)->Arg(8)->Arg(32)->Arg(128);
 }  // namespace
 
 int main(int argc, char** argv) {
+  gsls::obs::TraceFlagGuard trace(&argc, argv);
   PrintVerification();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

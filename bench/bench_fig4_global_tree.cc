@@ -9,6 +9,7 @@
 
 #include "core/global_tree.h"
 #include "lang/parser.h"
+#include "obs/trace.h"
 #include "util/strings.h"
 #include "workload/generators.h"
 
@@ -81,6 +82,7 @@ BENCHMARK(BM_GlobalTreeWn)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(12);
 }  // namespace
 
 int main(int argc, char** argv) {
+  gsls::obs::TraceFlagGuard trace(&argc, argv);
   PrintVerification();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

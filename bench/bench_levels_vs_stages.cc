@@ -25,6 +25,7 @@
 #include "core/engine.h"
 #include "ground/grounder.h"
 #include "lang/parser.h"
+#include "obs/trace.h"
 #include "solver/solver.h"
 #include "util/rng.h"
 #include "util/strings.h"
@@ -282,6 +283,7 @@ BENCHMARK(BM_SolveWfs_NoLevels_RandomGame)->Arg(32)->Arg(64)->Arg(128);
 }  // namespace
 
 int main(int argc, char** argv) {
+  gsls::obs::TraceFlagGuard trace(&argc, argv);
   bool ok = PrintVerification();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

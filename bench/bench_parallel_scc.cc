@@ -18,6 +18,7 @@
 
 #include "ground/grounder.h"
 #include "lang/parser.h"
+#include "obs/trace.h"
 #include "solver/incremental.h"
 #include "solver/solver.h"
 #include "util/rng.h"
@@ -211,6 +212,7 @@ BENCHMARK(BM_SequentialDenseRandom)->Arg(64)->Arg(128)->Arg(256);
 }  // namespace
 
 int main(int argc, char** argv) {
+  gsls::obs::TraceFlagGuard trace(&argc, argv);
   bool ok = PrintVerification();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

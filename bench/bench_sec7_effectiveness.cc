@@ -10,6 +10,7 @@
 #include "core/engine.h"
 #include "core/tabled.h"
 #include "lang/parser.h"
+#include "obs/trace.h"
 #include "sldnf/sldnf.h"
 #include "workload/generators.h"
 
@@ -137,6 +138,7 @@ BENCHMARK(BM_SldnfChainDivergenceCost)->Arg(16)->Arg(64)->Arg(256);
 }  // namespace
 
 int main(int argc, char** argv) {
+  gsls::obs::TraceFlagGuard trace(&argc, argv);
   PrintVerification();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -15,6 +15,7 @@
 
 #include "ground/grounder.h"
 #include "lang/parser.h"
+#include "obs/trace.h"
 #include "solver/solver.h"
 #include "wfs/wfs.h"
 #include "workload/generators.h"
@@ -193,6 +194,7 @@ BENCHMARK(BM_Alternating_Propositional)->Arg(64)->Arg(256)->Arg(1024);
 }  // namespace
 
 int main(int argc, char** argv) {
+  gsls::obs::TraceFlagGuard trace(&argc, argv);
   // The agreement table is a hard gate: CI fails on any disagreement, not
   // just on a crash.
   bool ok = PrintVerification();

@@ -13,6 +13,7 @@
 #include "core/tabled.h"
 #include "ground/grounder.h"
 #include "lang/parser.h"
+#include "obs/trace.h"
 #include "solver/solver.h"
 #include "wfs/wfs.h"
 #include "workload/generators.h"
@@ -131,6 +132,7 @@ BENCHMARK(BM_TabledEngineGame)->Arg(4)->Arg(6)->Arg(8)->Arg(16)->Arg(32);
 }  // namespace
 
 int main(int argc, char** argv) {
+  gsls::obs::TraceFlagGuard trace(&argc, argv);
   // Soundness (mismatch == 0) is a hard gate: CI fails on any mismatch,
   // not just on a crash. Honest kUnknowns are allowed.
   bool ok = PrintVerification();

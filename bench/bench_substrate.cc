@@ -8,6 +8,7 @@
 
 #include "ground/grounder.h"
 #include "lang/parser.h"
+#include "obs/trace.h"
 #include "term/substitution.h"
 #include "util/rng.h"
 #include "util/strings.h"
@@ -131,6 +132,7 @@ BENCHMARK(BM_RelevantGrounding)->Arg(8)->Arg(16)->Arg(24);
 }  // namespace
 
 int main(int argc, char** argv) {
+  gsls::obs::TraceFlagGuard trace(&argc, argv);
   PrintVerification();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

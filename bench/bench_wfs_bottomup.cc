@@ -9,6 +9,7 @@
 
 #include "ground/grounder.h"
 #include "lang/parser.h"
+#include "obs/trace.h"
 #include "wfs/wfs.h"
 #include "workload/generators.h"
 
@@ -131,6 +132,7 @@ BENCHMARK(BM_Grounding_RandomGame)->Arg(16)->Arg(32)->Arg(64);
 }  // namespace
 
 int main(int argc, char** argv) {
+  gsls::obs::TraceFlagGuard trace(&argc, argv);
   PrintVerification();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -11,11 +11,17 @@ Usage:
 Rules of the gate:
   * A BENCH_*.json present in the baseline but missing from the current
     run is an error (a family silently dropped is itself a regression).
-  * Benchmarks present only in the current run pass (new families).
+  * Benchmarks present only in the current run pass (new families), but
+    added and removed rows are reported explicitly — coverage drift
+    should be visible in the log, not silent.
   * Rows are matched by full benchmark name (e.g. "BM_RuleDelta_Chain/2048")
     and compared on real_time, normalized to nanoseconds.
   * CI runners are noisy; 1.5x is deliberately loose — it catches
     order-of-magnitude breakage (a lost fast path), not jitter.
+
+When $GITHUB_STEP_SUMMARY is set, a markdown summary table of every
+compared row (plus added/removed rows) is appended to it, so the verdict
+is readable from the Actions run page without digging through the log.
 """
 
 import argparse
@@ -42,6 +48,40 @@ def load_rows(path):
     return rows
 
 
+def fmt_ns(ns):
+    if ns >= 1e9:
+        return f"{ns / 1e9:.2f}s"
+    if ns >= 1e6:
+        return f"{ns / 1e6:.2f}ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.2f}us"
+    return f"{ns:.0f}ns"
+
+
+def write_step_summary(records, regressions, tolerance, compared):
+    """Appends a markdown table to $GITHUB_STEP_SUMMARY when set."""
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path:
+        return
+    lines = []
+    verdict = "❌ FAIL" if regressions else "✅ PASS"
+    lines.append(f"## Bench compare: {verdict}")
+    lines.append(f"{compared} rows compared, {len(regressions)} "
+                 f"regression(s), tolerance {tolerance}x")
+    lines.append("")
+    lines.append("| benchmark | baseline | current | ratio | status |")
+    lines.append("|---|---:|---:|---:|---|")
+    for rec in records:
+        name, base_ns, cur_ns, ratio, status = rec
+        base_s = fmt_ns(base_ns) if base_ns is not None else "—"
+        cur_s = fmt_ns(cur_ns) if cur_ns is not None else "—"
+        ratio_s = f"{ratio:.2f}x" if ratio is not None else "—"
+        lines.append(f"| `{name}` | {base_s} | {cur_s} | {ratio_s} "
+                     f"| {status} |")
+    with open(path, "a") as f:
+        f.write("\n".join(lines) + "\n")
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--baseline", required=True)
@@ -57,12 +97,16 @@ def main():
         return 0
 
     regressions = []
+    records = []  # (row name, base_ns, cur_ns, ratio, status)
     compared = 0
+    added = 0
+    removed = 0
     for base_path in baseline_files:
         name = os.path.basename(base_path)
         cur_path = os.path.join(args.current, name)
         if not os.path.exists(cur_path):
             regressions.append(f"{name}: missing from current run")
+            records.append((name, None, None, None, "missing file"))
             continue
         base = load_rows(base_path)
         cur = load_rows(cur_path)
@@ -72,20 +116,31 @@ def main():
                 # Renamed/removed rows inside a surviving family are
                 # reported, not failed: the file-level check above already
                 # guards against wholesale loss.
-                print(f"  note: {name}:{row} absent in current run")
+                removed += 1
+                print(f"  removed: {name}:{row} absent in current run")
+                records.append((f"{name}:{row}", base_ns, None, None,
+                                "removed"))
                 continue
             compared += 1
             ratio = cur_ns / base_ns if base_ns > 0 else float("inf")
             marker = "REGRESSION" if ratio > args.tolerance else "ok"
             print(f"  {name}:{row}: {base_ns:.0f}ns -> {cur_ns:.0f}ns "
                   f"({ratio:.2f}x) {marker}")
+            records.append((f"{name}:{row}", base_ns, cur_ns, ratio, marker))
             if ratio > args.tolerance:
                 regressions.append(
                     f"{name}:{row}: {ratio:.2f}x slower "
                     f"({base_ns:.0f}ns -> {cur_ns:.0f}ns)")
+        for row, cur_ns in sorted(cur.items()):
+            if row not in base:
+                added += 1
+                print(f"  added: {name}:{row} new in current run")
+                records.append((f"{name}:{row}", None, cur_ns, None, "added"))
 
-    print(f"bench-compare: {compared} rows compared, "
-          f"{len(regressions)} regression(s), tolerance {args.tolerance}x")
+    print(f"bench-compare: {compared} rows compared, {added} added, "
+          f"{removed} removed, {len(regressions)} regression(s), "
+          f"tolerance {args.tolerance}x")
+    write_step_summary(records, regressions, args.tolerance, compared)
     if regressions:
         print("\nFAIL: perf regressions beyond tolerance:")
         for r in regressions:

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/trace.h"
 #include "util/strings.h"
 
 namespace gsls {
@@ -10,7 +11,8 @@ namespace gsls {
 std::string DynamicCondensation::Stats::ToString() const {
   return StrCat("inserts=", inserts, " removals=", removals,
                 " windows=", windows, " window_atoms=", window_atoms,
-                " merges=", merges, " splits=", splits);
+                " window_us=", window_ns / 1000, " merges=", merges,
+                " splits=", splits);
 }
 
 DynamicCondensation::DynamicCondensation(
@@ -38,6 +40,9 @@ void DynamicCondensation::RecondenseWindow(
   const uint32_t abegin = g.comp_offsets_[lo];
   const uint32_t aend = g.comp_offsets_[hi + 1];
   const uint32_t w = aend - abegin;
+
+  GSLS_TRACE_SPAN("condense.window", w);
+  const uint64_t t0 = obs::NowNs();
 
   out->recondensed = true;
   out->window_lo = lo;
@@ -242,6 +247,7 @@ void DynamicCondensation::RecondenseWindow(
   for (uint32_t nc = 0; nc < new_k; ++nc) {
     if (changed[nc]) out->dirty.push_back(lo + nc);
   }
+  stats_.window_ns += obs::NowNs() - t0;
 }
 
 CondensationRepair DynamicCondensation::InsertRule(

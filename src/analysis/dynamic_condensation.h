@@ -108,6 +108,7 @@ class DynamicCondensation {
     uint64_t removals = 0;       ///< RemoveRule calls
     uint64_t windows = 0;        ///< repairs that re-ran Tarjan
     uint64_t window_atoms = 0;   ///< atoms visited across all windows
+    uint64_t window_ns = 0;      ///< wall time inside re-Tarjan windows
     uint64_t merges = 0;         ///< windows that merged components
     uint64_t splits = 0;         ///< windows that split a component
 

@@ -2,6 +2,7 @@
 #define GSLS_CORE_ENGINE_H_
 
 #include <memory>
+#include <ostream>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -172,6 +173,17 @@ class GlobalSlsEngine {
   /// (null before the first query or when the oracle does not apply).
   const IncrementalSolver* oracle_solver() const {
     return oracle_solver_.get();
+  }
+
+  /// Telemetry dump of the bottom-up oracle's solver (see
+  /// `IncrementalSolver::DumpTelemetry`); notes the absence when no oracle
+  /// has been built yet.
+  void DumpTelemetry(std::ostream& os) const {
+    if (oracle_solver_ == nullptr) {
+      os << "no bottom-up oracle built\n";
+      return;
+    }
+    oracle_solver_->DumpTelemetry(os);
   }
 
   const EngineOptions& options() const { return opts_; }

@@ -110,6 +110,14 @@ class TabledEngine {
   /// diagnostics).
   const IncrementalSolver& solver() const { return *incremental_; }
 
+  /// Telemetry dump of the persistent solver: avoided-work stats, pipeline
+  /// diagnostics, condensation-repair stats, and — when the engine was
+  /// created with `TabledOptions::solver.telemetry` — the metrics registry
+  /// table (per-delta latency/cone histograms with percentiles).
+  void DumpTelemetry(std::ostream& os) const {
+    incremental_->DumpTelemetry(os);
+  }
+
   const GroundProgram& ground() const { return incremental_->program(); }
   const Program& program() const { return *program_; }
 

@@ -1,0 +1,94 @@
+#ifndef GSLS_OBS_HISTOGRAM_H_
+#define GSLS_OBS_HISTOGRAM_H_
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+namespace gsls::obs {
+
+/// Bucketing shared by `LocalHistogram` (plain, mergeable) and the
+/// registry's atomic `Histogram`: fixed power-of-two buckets, so recording
+/// is one `bit_width` plus one increment and two histograms merge by adding
+/// buckets — no per-sample storage, no allocation, bounded error. Bucket
+/// `b` holds the values of bit width `b` (bucket 0 holds exactly 0; bucket
+/// `b >= 1` holds [2^(b-1), 2^b - 1]); values past the last bucket clamp
+/// into it. 40 buckets cover [0, 2^39), enough for microsecond latencies
+/// of ~6 days and any structural count this solver can produce.
+inline constexpr uint32_t kHistogramBuckets = 40;
+
+inline constexpr uint32_t HistogramBucketOf(uint64_t v) {
+  uint32_t b = static_cast<uint32_t>(std::bit_width(v));
+  return b < kHistogramBuckets ? b : kHistogramBuckets - 1;
+}
+
+/// Inclusive upper bound of bucket `b` (0 for bucket 0).
+inline constexpr uint64_t HistogramBucketUpper(uint32_t b) {
+  return b == 0 ? 0 : (uint64_t{1} << b) - 1;
+}
+
+/// A fixed-bucket latency/size histogram without atomics: the per-worker
+/// accumulation type (embedded in `SolverDiagnostics`), merged at the
+/// scheduler's barrier exactly like the plain counters around it, and the
+/// snapshot type percentile extraction runs on. POD-like on purpose —
+/// value-copyable, zero-initialized by `{}`.
+struct LocalHistogram {
+  uint64_t buckets[kHistogramBuckets] = {};
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;  ///< meaningful only when count > 0
+  uint64_t max = 0;
+
+  void Record(uint64_t v) {
+    ++buckets[HistogramBucketOf(v)];
+    ++count;
+    sum += v;
+    min = count == 1 ? v : std::min(min, v);
+    max = std::max(max, v);
+  }
+
+  void MergeFrom(const LocalHistogram& other) {
+    if (other.count == 0) return;
+    for (uint32_t b = 0; b < kHistogramBuckets; ++b) {
+      buckets[b] += other.buckets[b];
+    }
+    min = count == 0 ? other.min : std::min(min, other.min);
+    max = std::max(max, other.max);
+    count += other.count;
+    sum += other.sum;
+  }
+
+  /// The `p`-th percentile (p in [0, 100]): the upper bound of the bucket
+  /// holding the sample of rank ceil(p/100 * count), clamped into
+  /// [min, max] so an empty histogram reports 0, a single sample reports
+  /// itself exactly, and no percentile exceeds an observed value. Within a
+  /// populated bucket the answer is exact up to the bucket's factor-of-two
+  /// width.
+  uint64_t Percentile(double p) const {
+    if (count == 0) return 0;
+    uint64_t rank = static_cast<uint64_t>(
+        std::ceil(p / 100.0 * static_cast<double>(count)));
+    rank = std::max<uint64_t>(1, std::min(rank, count));
+    uint64_t seen = 0;
+    for (uint32_t b = 0; b < kHistogramBuckets; ++b) {
+      seen += buckets[b];
+      if (seen >= rank) {
+        return std::clamp(HistogramBucketUpper(b), min, max);
+      }
+    }
+    return max;
+  }
+
+  uint64_t p50() const { return Percentile(50); }
+  uint64_t p90() const { return Percentile(90); }
+  uint64_t p99() const { return Percentile(99); }
+  double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+};
+
+}  // namespace gsls::obs
+
+#endif  // GSLS_OBS_HISTOGRAM_H_

@@ -1,0 +1,183 @@
+#include "obs/metrics.h"
+
+#include <iomanip>
+
+namespace gsls::obs {
+
+void Histogram::Record(uint64_t v) {
+  buckets_[HistogramBucketOf(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::MergeFrom(const LocalHistogram& other) {
+  if (other.count == 0) return;
+  for (uint32_t b = 0; b < kHistogramBuckets; ++b) {
+    if (other.buckets[b] != 0) {
+      buckets_[b].fetch_add(other.buckets[b], std::memory_order_relaxed);
+    }
+  }
+  count_.fetch_add(other.count, std::memory_order_relaxed);
+  sum_.fetch_add(other.sum, std::memory_order_relaxed);
+  uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (other.min < cur && !min_.compare_exchange_weak(
+                                cur, other.min, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (other.max > cur && !max_.compare_exchange_weak(
+                                cur, other.max, std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+LocalHistogram Histogram::Snapshot() const {
+  LocalHistogram out;
+  for (uint32_t b = 0; b < kHistogramBuckets; ++b) {
+    out.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+  }
+  out.count = count_.load(std::memory_order_relaxed);
+  out.sum = sum_.load(std::memory_order_relaxed);
+  uint64_t mn = min_.load(std::memory_order_relaxed);
+  out.min = mn == UINT64_MAX ? 0 : mn;
+  out.max = max_.load(std::memory_order_relaxed);
+  return out;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = hists_.find(name);
+  if (it == hists_.end()) {
+    it = hists_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+namespace {
+
+/// Minimal JSON string escaping (names are ASCII identifiers in practice,
+/// but the exporter must never emit malformed JSON regardless).
+void WriteJsonString(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u00" << std::hex << std::setw(2) << std::setfill('0')
+             << static_cast<int>(c) << std::dec << std::setfill(' ');
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void MetricsRegistry::WriteJson(std::ostream& os) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) os << ',';
+    first = false;
+    WriteJsonString(os, name);
+    os << ':' << c->value();
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) os << ',';
+    first = false;
+    WriteJsonString(os, name);
+    os << ':' << g->value();
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : hists_) {
+    if (!first) os << ',';
+    first = false;
+    WriteJsonString(os, name);
+    LocalHistogram s = h->Snapshot();
+    os << ":{\"count\":" << s.count << ",\"sum\":" << s.sum
+       << ",\"min\":" << s.min << ",\"max\":" << s.max
+       << ",\"p50\":" << s.p50() << ",\"p90\":" << s.p90()
+       << ",\"p99\":" << s.p99() << '}';
+  }
+  os << "}}";
+}
+
+void MetricsRegistry::WriteTable(std::ostream& os) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& [name, c] : counters_) {
+    os << "  " << std::left << std::setw(44) << name << ' ' << c->value()
+       << '\n';
+  }
+  for (const auto& [name, g] : gauges_) {
+    os << "  " << std::left << std::setw(44) << name << ' ' << g->value()
+       << '\n';
+  }
+  if (!hists_.empty()) {
+    os << "  " << std::left << std::setw(44) << "histogram" << std::right
+       << std::setw(8) << "count" << std::setw(12) << "mean" << std::setw(10)
+       << "p50" << std::setw(10) << "p90" << std::setw(10) << "p99"
+       << std::setw(12) << "max" << '\n';
+    for (const auto& [name, h] : hists_) {
+      LocalHistogram s = h->Snapshot();
+      os << "  " << std::left << std::setw(44) << name << std::right
+         << std::setw(8) << s.count << std::setw(12) << std::fixed
+         << std::setprecision(1) << s.mean() << std::setw(10) << s.p50()
+         << std::setw(10) << s.p90() << std::setw(10) << s.p99()
+         << std::setw(12) << s.max << '\n';
+    }
+    os.unsetf(std::ios::fixed);
+  }
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : hists_) h->Reset();
+}
+
+}  // namespace gsls::obs

@@ -1,0 +1,114 @@
+#ifndef GSLS_OBS_METRICS_H_
+#define GSLS_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "obs/histogram.h"
+
+namespace gsls::obs {
+
+/// Monotone event counter. `Add` is lock-free (one relaxed fetch_add), so
+/// any thread — pool workers included — may bump a shared counter on a
+/// non-hot path without coordination. Totals read while writers are active
+/// are eventually consistent; read at a barrier they are exact.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// Last-write-wins instantaneous value (e.g. "components in the live
+/// condensation"). Signed so deltas can go down.
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { v_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Thread-safe fixed-bucket histogram: the atomic twin of
+/// `LocalHistogram`, sharing its bucketing (obs/histogram.h) so per-worker
+/// local histograms fold into a registry histogram bucket-for-bucket.
+/// `Record` is a handful of relaxed atomic ops — fine per delta, per
+/// flood, or per repair; not meant for per-rule inner loops (accumulate a
+/// `LocalHistogram` there and `MergeFrom` at the barrier, the
+/// `SolverDiagnostics` pattern). Percentiles read via `Snapshot`, exact at
+/// quiescence.
+class Histogram {
+ public:
+  void Record(uint64_t v);
+  void MergeFrom(const LocalHistogram& other);
+  void Reset();
+
+  /// A consistent-enough copy for percentile extraction (exact when no
+  /// writer is active; at worst a sample ahead/behind under concurrency).
+  LocalHistogram Snapshot() const;
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> buckets_[kHistogramBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// Named metrics, registered on first use and stable for the registry's
+/// lifetime: `Get*` interns the name under a mutex and returns a pointer
+/// the caller may cache and bump lock-free forever after (the hot-path
+/// contract — look up once, increment often). Each kind is its own
+/// namespace: `GetCounter("x")` and `GetHistogram("x")` are distinct
+/// metrics (conventionally, don't do that).
+///
+/// Export: `WriteJson` (machine-readable snapshot, one object with
+/// "counters"/"gauges"/"histograms" keys) and `WriteTable` (aligned
+/// human-readable dump, histograms with count/mean/p50/p90/p99).
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  void WriteJson(std::ostream& os) const;
+  void WriteTable(std::ostream& os) const;
+
+  /// Zeroes every registered metric (pointers stay valid).
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> hists_;
+};
+
+/// The telemetry sink a solver run reports into, plumbed down as
+/// `SolverOptions::telemetry`. Null (the default) disables every metrics
+/// cost — instrumentation points guard on the pointer. Scoped tracing is
+/// orthogonal and process-global (obs/trace.h): a `Telemetry` object
+/// selects *what aggregates where*, the trace recorder captures *when* —
+/// so a bench can trace without a registry and a server can meter without
+/// tracing.
+struct Telemetry {
+  MetricsRegistry metrics;
+};
+
+}  // namespace gsls::obs
+
+#endif  // GSLS_OBS_METRICS_H_

@@ -1,0 +1,193 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+
+#include "util/strings.h"
+
+namespace gsls::obs {
+
+namespace {
+
+/// Fixed-point microseconds with 3 decimals ("12.007"), the timestamp
+/// format the trace viewers expect.
+void WriteMicros(std::ostream& os, uint64_t ns) {
+  os << ns / 1000 << '.' << std::setw(3) << std::setfill('0') << ns % 1000
+     << std::setfill(' ');
+}
+
+}  // namespace
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();  // never destroyed
+  return *recorder;
+}
+
+void TraceRecorder::Enable(size_t ring_capacity) {
+  ring_capacity_.store(std::max<size_t>(ring_capacity, 16),
+                       std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void TraceRecorder::Disable() {
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lk(rings_mu_);
+  for (auto& ring : rings_) ring->next = 0;
+}
+
+TraceRecorder::Ring& TraceRecorder::CurrentRing() {
+  // Cached per thread; the recorder is the never-destroyed process
+  // singleton, so the pointer cannot dangle, and a ring outlives its
+  // thread (a dead worker's events stay exportable).
+  static thread_local Ring* tl_ring = nullptr;
+  if (tl_ring == nullptr) {
+    std::lock_guard<std::mutex> lk(rings_mu_);
+    rings_.push_back(std::make_unique<Ring>(
+        ring_capacity_.load(std::memory_order_relaxed),
+        static_cast<uint32_t>(rings_.size())));
+    tl_ring = rings_.back().get();
+  }
+  return *tl_ring;
+}
+
+void TraceRecorder::RecordSpan(const char* name, uint64_t id,
+                               uint64_t start_ns, uint64_t dur_ns) {
+  Ring& ring = CurrentRing();
+  TraceEvent& e = ring.events[ring.next % ring.events.size()];
+  e.name = name;
+  e.id = id;
+  e.start_ns = start_ns;
+  e.dur_ns = dur_ns;
+  e.instant = false;
+  ++ring.next;
+}
+
+void TraceRecorder::RecordInstant(const char* name, uint64_t id) {
+  Ring& ring = CurrentRing();
+  TraceEvent& e = ring.events[ring.next % ring.events.size()];
+  e.name = name;
+  e.id = id;
+  e.start_ns = NowNs();
+  e.dur_ns = 0;
+  e.instant = true;
+  ++ring.next;
+}
+
+void TraceRecorder::SetCurrentThreadName(std::string name) {
+  Ring& ring = CurrentRing();
+  std::lock_guard<std::mutex> lk(rings_mu_);
+  ring.name = std::move(name);
+}
+
+size_t TraceRecorder::event_count() const {
+  std::lock_guard<std::mutex> lk(rings_mu_);
+  size_t n = 0;
+  for (const auto& ring : rings_) {
+    n += std::min(ring->next, ring->events.size());
+  }
+  return n;
+}
+
+uint64_t TraceRecorder::dropped_count() const {
+  std::lock_guard<std::mutex> lk(rings_mu_);
+  uint64_t n = 0;
+  for (const auto& ring : rings_) {
+    if (ring->next > ring->events.size()) {
+      n += ring->next - ring->events.size();
+    }
+  }
+  return n;
+}
+
+void TraceRecorder::WriteChromeTrace(std::ostream& os) const {
+  std::lock_guard<std::mutex> lk(rings_mu_);
+  // Rebase timestamps to the earliest buffered event so the viewer opens
+  // at t=0 instead of hours of steady-clock uptime.
+  uint64_t t0 = UINT64_MAX;
+  for (const auto& ring : rings_) {
+    size_t n = std::min(ring->next, ring->events.size());
+    for (size_t i = 0; i < n; ++i) {
+      t0 = std::min(t0, ring->events[i].start_ns);
+    }
+  }
+  if (t0 == UINT64_MAX) t0 = 0;
+
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  auto comma = [&] {
+    if (!first) os << ',';
+    first = false;
+  };
+  for (const auto& ring : rings_) {
+    std::string name =
+        ring->name.empty() ? StrCat("thread-", ring->tid) : ring->name;
+    comma();
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+       << ring->tid << ",\"args\":{\"name\":\"" << name << "\"}}";
+    size_t n = std::min(ring->next, ring->events.size());
+    // Oldest-first within the ring: after wraparound the oldest surviving
+    // slot is `next % capacity`.
+    size_t begin = ring->next > ring->events.size()
+                       ? ring->next % ring->events.size()
+                       : 0;
+    for (size_t i = 0; i < n; ++i) {
+      const TraceEvent& e = ring->events[(begin + i) % ring->events.size()];
+      comma();
+      // Microsecond fixed-point with 3 decimals, as the viewers expect.
+      os << "{\"name\":\"" << e.name << "\",\"ph\":\""
+         << (e.instant ? 'i' : 'X') << "\",\"pid\":1,\"tid\":" << ring->tid
+         << ",\"ts\":";
+      WriteMicros(os, e.start_ns - t0);
+      if (e.instant) {
+        os << ",\"s\":\"t\"";
+      } else {
+        os << ",\"dur\":";
+        WriteMicros(os, e.dur_ns);
+      }
+      os << ",\"args\":{\"id\":" << e.id << "}}";
+    }
+  }
+  os << "]}";
+}
+
+bool TraceRecorder::WriteChromeTraceFile(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  WriteChromeTrace(f);
+  return static_cast<bool>(f);
+}
+
+TraceFlagGuard::TraceFlagGuard(int* argc, char** argv) {
+  constexpr const char* kFlag = "--trace=";
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
+      path_ = argv[i] + std::strlen(kFlag);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  if (!path_.empty()) TraceRecorder::Global().Enable();
+}
+
+TraceFlagGuard::~TraceFlagGuard() {
+  if (path_.empty()) return;
+  TraceRecorder& rec = TraceRecorder::Global();
+  rec.Disable();
+  if (rec.WriteChromeTraceFile(path_)) {
+    std::fprintf(stderr, "trace: wrote %zu events to %s (%llu dropped)\n",
+                 rec.event_count(), path_.c_str(),
+                 static_cast<unsigned long long>(rec.dropped_count()));
+  } else {
+    std::fprintf(stderr, "trace: FAILED to write %s\n", path_.c_str());
+  }
+}
+
+}  // namespace gsls::obs

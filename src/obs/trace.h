@@ -1,0 +1,173 @@
+#ifndef GSLS_OBS_TRACE_H_
+#define GSLS_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gsls::obs {
+
+/// Monotonic nanoseconds (steady clock) — the trace timebase.
+inline uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// One completed span or instant in a thread's ring. `name` must be a
+/// string with static storage duration (the macro sites pass literals);
+/// the ring stores the pointer, never a copy.
+struct TraceEvent {
+  const char* name = nullptr;
+  uint64_t id = 0;        ///< component id, delta number, ... (args.id)
+  uint64_t start_ns = 0;  ///< NowNs() at open
+  uint64_t dur_ns = 0;    ///< 0 for instant events
+  bool instant = false;
+};
+
+/// Scoped tracing with per-thread ring buffers, exported as Chrome
+/// trace-event JSON (`chrome://tracing` / https://ui.perfetto.dev): each
+/// registered thread renders as its own timeline row, so a parallel solve
+/// shows per-worker component spans, idle gaps, and steal instants.
+///
+/// Process-global by design (`TraceRecorder::Global()`): instrumentation
+/// points sit in hot solver loops that cannot carry a recorder pointer,
+/// and span guards must find their sink in O(1) from any thread. Gated
+/// twice — at compile time (`GSLS_OBS_NO_TRACE` turns every `GSLS_TRACE_*`
+/// macro into a no-op, for builds that want provably zero cost) and at
+/// runtime (`Enable`/`Disable`; disabled, a span guard is one relaxed
+/// atomic load and a predictable branch).
+///
+/// Writes are thread-affine and wait-free: each thread owns a fixed-size
+/// ring (oldest events overwritten once full — recent history wins) and
+/// only registration takes a lock, once per thread. Export is meant for
+/// quiescence (after a solve / pool barrier, which establishes the needed
+/// happens-before); exporting while writers are active yields a torn but
+/// memory-safe trace.
+class TraceRecorder {
+ public:
+  static TraceRecorder& Global();
+
+  /// Enables recording. `ring_capacity` is per thread, in events, applied
+  /// to rings created after the call (existing rings keep their size).
+  void Enable(size_t ring_capacity = kDefaultRingCapacity);
+  void Disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Drops all buffered events (rings stay registered).
+  void Clear();
+
+  void RecordSpan(const char* name, uint64_t id, uint64_t start_ns,
+                  uint64_t dur_ns);
+  void RecordInstant(const char* name, uint64_t id);
+
+  /// Names the calling thread's timeline row ("worker-3"); defaults to
+  /// "thread-<tid>".
+  void SetCurrentThreadName(std::string name);
+
+  /// Buffered events across all rings (dropped-by-wraparound excluded).
+  size_t event_count() const;
+  /// Events lost to ring wraparound across all rings.
+  uint64_t dropped_count() const;
+
+  /// Chrome trace-event JSON: `{"traceEvents":[...]}` with complete ("X")
+  /// spans and instant ("i") events, timestamps in microseconds rebased to
+  /// the earliest buffered event. Call at quiescence.
+  void WriteChromeTrace(std::ostream& os) const;
+  /// As above into `path`; returns false when the file cannot be written.
+  bool WriteChromeTraceFile(const std::string& path) const;
+
+  static constexpr size_t kDefaultRingCapacity = 1 << 15;
+
+ private:
+  struct Ring {
+    explicit Ring(size_t capacity, uint32_t tid)
+        : events(capacity), tid(tid) {}
+    std::vector<TraceEvent> events;
+    size_t next = 0;  ///< monotone; slot = next % capacity
+    uint32_t tid;
+    std::string name;
+  };
+
+  TraceRecorder() = default;
+  Ring& CurrentRing();
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<size_t> ring_capacity_{kDefaultRingCapacity};
+  mutable std::mutex rings_mu_;  ///< registration and export only
+  std::vector<std::unique_ptr<Ring>> rings_;
+};
+
+/// RAII span guard: opens on construction (when tracing is enabled),
+/// records a complete event on destruction. Cheap enough to put around
+/// every component solve; free (one load + branch) when disabled.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, uint64_t id = 0) {
+    if (TraceRecorder::Global().enabled()) {
+      name_ = name;
+      id_ = id;
+      start_ = NowNs();
+    }
+  }
+  ~TraceSpan() {
+    if (name_ != nullptr) {
+      TraceRecorder::Global().RecordSpan(name_, id_, start_,
+                                         NowNs() - start_);
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  uint64_t id_ = 0;
+  uint64_t start_ = 0;
+};
+
+/// Strips `--trace=FILE` from a bench main's argv (before
+/// `benchmark::Initialize` rejects it), enables the global recorder when
+/// present, and writes the Chrome trace to FILE on destruction — every
+/// `bench_*` binary wraps its main in one of these, so any bench run can
+/// emit a trace artifact.
+class TraceFlagGuard {
+ public:
+  TraceFlagGuard(int* argc, char** argv);
+  ~TraceFlagGuard();
+  TraceFlagGuard(const TraceFlagGuard&) = delete;
+  TraceFlagGuard& operator=(const TraceFlagGuard&) = delete;
+
+  bool active() const { return !path_.empty(); }
+
+ private:
+  std::string path_;
+};
+
+// Span macros: compiled out entirely under GSLS_OBS_NO_TRACE, otherwise a
+// runtime-gated RAII guard. The name must be a string literal.
+#ifndef GSLS_OBS_NO_TRACE
+#define GSLS_TRACE_CONCAT_(a, b) a##b
+#define GSLS_TRACE_CONCAT(a, b) GSLS_TRACE_CONCAT_(a, b)
+#define GSLS_TRACE_SPAN(name, id)                 \
+  ::gsls::obs::TraceSpan GSLS_TRACE_CONCAT(       \
+      gsls_trace_span_, __COUNTER__)((name), (id))
+#define GSLS_TRACE_INSTANT(name, id)                                   \
+  do {                                                                 \
+    if (::gsls::obs::TraceRecorder::Global().enabled()) {              \
+      ::gsls::obs::TraceRecorder::Global().RecordInstant((name), (id)); \
+    }                                                                  \
+  } while (false)
+#else
+#define GSLS_TRACE_SPAN(name, id) ((void)0)
+#define GSLS_TRACE_INSTANT(name, id) ((void)0)
+#endif
+
+}  // namespace gsls::obs
+
+#endif  // GSLS_OBS_TRACE_H_

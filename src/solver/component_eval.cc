@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/trace.h"
 #include "solver/rule_table.h"
 #include "solver/unfounded.h"
 
@@ -73,17 +74,25 @@ class ComponentSolver {
 
     // Component-local alternating fixpoint: exhaust truth/false
     // propagation, then fold the next greatest-unfounded layer in, until
-    // both are quiescent.
+    // both are quiescent. The two phases trace as separate spans so a
+    // timeline shows where a slow component spends its time.
     while (true) {
-      Propagate();
+      {
+        GSLS_TRACE_SPAN("component.lfp", table_.rule_count());
+        Propagate();
+      }
       if (!support_.HasPending()) break;
       ++diag_->alternating_rounds;
       unfounded.clear();
-      support_.CollectUnfounded(&unfounded);
+      {
+        GSLS_TRACE_SPAN("component.unfounded", support_.floods());
+        support_.CollectUnfounded(&unfounded);
+      }
       diag_->unfounded_falsified += unfounded.size();
       for (LocalAtom a : unfounded) SetFalse(a);
     }
     diag_->unfounded_floods += support_.floods();
+    diag_->flood_sizes.MergeFrom(support_.flood_sizes());
   }
 
  private:
@@ -168,6 +177,7 @@ void SolveComponent(const GroundProgram& gp, const AtomDependencyGraph& graph,
       case TruthValue::kUndefined: break;
     }
   } else {
+    GSLS_TRACE_SPAN("solve.component", comp);
     ++diag->recursive_components;
     if (graph.HasInternalNegation(comp)) ++diag->negation_components;
     SolveRecursiveComponent(gp, graph, comp, disabled, values, diag);

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <ostream>
 
+#include "obs/trace.h"
 #include "solver/component_eval.h"
 #include "util/strings.h"
 
@@ -22,6 +24,35 @@ IncrementalSolver::IncrementalSolver(GroundProgram gp, SolverOptions opts)
     : gp_(std::move(gp)), opts_(opts),
       threads_(solver::ResolveThreadCount(opts.num_threads)) {
   disabled_.assign(gp_.rule_count(), 0);
+  if (opts_.telemetry != nullptr) {
+    obs::MetricsRegistry& m = opts_.telemetry->metrics;
+    tele_.delta_latency_us = m.GetHistogram("incremental.delta.latency_us");
+    tele_.dirty_components =
+        m.GetHistogram("incremental.delta.dirty_components");
+    tele_.cone_components = m.GetHistogram("incremental.delta.cone_components");
+    tele_.resolved_components =
+        m.GetHistogram("incremental.delta.resolved_components");
+    tele_.resolved_atoms = m.GetHistogram("incremental.delta.resolved_atoms");
+    tele_.window_components = m.GetHistogram("condense.window_components");
+    tele_.full_latency_us = m.GetHistogram("incremental.full.latency_us");
+    tele_.diag = SolverDiagnostics::InternChannels(opts_.telemetry);
+    tele_.program_atoms = m.GetGauge("program.atoms");
+    tele_.program_rules = m.GetGauge("program.rules");
+    tele_.deltas = m.GetGauge("incremental.deltas");
+    tele_.full_solves = m.GetGauge("incremental.full_solves");
+    tele_.incremental_solves = m.GetGauge("incremental.incremental_solves");
+    tele_.components_resolved = m.GetGauge("incremental.components_resolved");
+    tele_.components_reused = m.GetGauge("incremental.components_reused");
+    tele_.cone_cutoffs = m.GetGauge("incremental.cone_cutoffs");
+    tele_.graph_components = m.GetGauge("graph.components");
+    tele_.cond_inserts = m.GetGauge("condense.inserts");
+    tele_.cond_removals = m.GetGauge("condense.removals");
+    tele_.cond_windows = m.GetGauge("condense.windows");
+    tele_.cond_window_atoms = m.GetGauge("condense.window_atoms");
+    tele_.cond_window_us = m.GetGauge("condense.window_us");
+    tele_.cond_merges = m.GetGauge("condense.merges");
+    tele_.cond_splits = m.GetGauge("condense.splits");
+  }
 }
 
 bool IncrementalSolver::Assert(const Term* fact) {
@@ -124,6 +155,9 @@ void IncrementalSolver::MarkDirty(AtomId atom) {
 
 void IncrementalSolver::ApplyRepair(const CondensationRepair& rep) {
   const AtomDependencyGraph& g = cond_->graph();
+  if (rep.recondensed && tele_.window_components != nullptr) {
+    tele_.window_components->Record(rep.new_window_size);
+  }
   // Components are marked through a stable representative atom: later
   // deltas may renumber components again before `Model()` resolves them.
   for (uint32_t c : rep.dirty) {
@@ -209,6 +243,8 @@ void IncrementalSolver::SyncMirror(uint32_t comp) {
 const WfsModel& IncrementalSolver::Model() {
   solver::StageTape* stages = opts_.compute_levels ? &stape_ : nullptr;
   if (!solved_) {
+    GSLS_TRACE_SPAN("solve.full", gp_.atom_count());
+    const uint64_t t0 = opts_.telemetry != nullptr ? obs::NowNs() : 0;
     EnsureGraph();
     const uint64_t rounds_before = diag_.alternating_rounds;
     if (threads_ > 1) {
@@ -231,7 +267,13 @@ const WfsModel& IncrementalSolver::Model() {
     solved_ = true;
     dirty_.clear();
     ++stats_.full_solves;
+    if (opts_.telemetry != nullptr) {
+      tele_.full_latency_us->Record((obs::NowNs() - t0) / 1000);
+      PublishTelemetry();
+    }
   } else if (!dirty_.empty()) {
+    GSLS_TRACE_SPAN("solve.delta", stats_.incremental_solves);
+    const uint64_t t0 = opts_.telemetry != nullptr ? obs::NowNs() : 0;
     EnsureGraph();
     // The parallel cone schedules every component *reachable* from the
     // deltas (pruned re-solves, but still a release per cone member),
@@ -252,8 +294,51 @@ const WfsModel& IncrementalSolver::Model() {
     } else {
       ResolveUpCone();
     }
+    if (opts_.telemetry != nullptr) {
+      tele_.delta_latency_us->Record((obs::NowNs() - t0) / 1000);
+      PublishTelemetry();
+    }
   }
   return model_;
+}
+
+void IncrementalSolver::PublishTelemetry() {
+  if (opts_.telemetry == nullptr) return;
+  // Interned-pointer stores only (see TelemetryChannels): this runs after
+  // every delta, so it must not touch the registry's mutexed name maps.
+  diag_.PublishTo(tele_.diag);
+  tele_.program_atoms->Set(static_cast<int64_t>(gp_.atom_count()));
+  tele_.program_rules->Set(static_cast<int64_t>(gp_.rule_count()));
+  tele_.deltas->Set(static_cast<int64_t>(stats_.deltas));
+  tele_.full_solves->Set(static_cast<int64_t>(stats_.full_solves));
+  tele_.incremental_solves->Set(
+      static_cast<int64_t>(stats_.incremental_solves));
+  tele_.components_resolved->Set(
+      static_cast<int64_t>(stats_.components_resolved));
+  tele_.components_reused->Set(
+      static_cast<int64_t>(stats_.components_reused));
+  tele_.cone_cutoffs->Set(static_cast<int64_t>(stats_.cone_cutoffs));
+  if (cond_ != nullptr) {
+    tele_.graph_components->Set(
+        static_cast<int64_t>(cond_->graph().component_count()));
+    const DynamicCondensation::Stats& cs = cond_->stats();
+    tele_.cond_inserts->Set(static_cast<int64_t>(cs.inserts));
+    tele_.cond_removals->Set(static_cast<int64_t>(cs.removals));
+    tele_.cond_windows->Set(static_cast<int64_t>(cs.windows));
+    tele_.cond_window_atoms->Set(static_cast<int64_t>(cs.window_atoms));
+    tele_.cond_window_us->Set(static_cast<int64_t>(cs.window_ns / 1000));
+    tele_.cond_merges->Set(static_cast<int64_t>(cs.merges));
+    tele_.cond_splits->Set(static_cast<int64_t>(cs.splits));
+  }
+}
+
+void IncrementalSolver::DumpTelemetry(std::ostream& os) const {
+  os << "incremental: " << stats_.ToString() << "\n";
+  os << "diagnostics: " << diag_.ToString() << "\n";
+  if (cond_ != nullptr) {
+    os << "condensation: " << cond_->stats().ToString() << "\n";
+  }
+  if (opts_.telemetry != nullptr) opts_.telemetry->metrics.WriteTable(os);
 }
 
 TruthValue IncrementalSolver::ValueOf(const Term* ground_atom) {
@@ -362,8 +447,10 @@ void IncrementalSolver::ResolveUpCone() {
 
   for (AtomId a : dirty_) Mark(graph.ComponentOf(a));
   dirty_.clear();
+  const uint64_t initial_marks = heap_.size();
 
   uint64_t resolved = 0;
+  uint64_t resolved_atoms = 0;
   std::vector<TruthValue> old_vals;
   std::vector<uint32_t> old_stages;
   while (!heap_.empty()) {
@@ -371,6 +458,7 @@ void IncrementalSolver::ResolveUpCone() {
     heap_.pop();
     marked_[c] = 0;
     ++resolved;
+    resolved_atoms += graph.Atoms(c).size();
 
     // Change-pruned cone: dependents recompute only when some input of
     // theirs actually moved. Dependent components always have a larger id
@@ -388,6 +476,14 @@ void IncrementalSolver::ResolveUpCone() {
   // rounds, not a lifetime total (`diagnostics()` keeps the cumulative).
   model_.iterations =
       static_cast<uint32_t>(diag_.alternating_rounds - rounds_before);
+  if (opts_.telemetry != nullptr) {
+    tele_.dirty_components->Record(initial_marks);
+    // The heap visits exactly the components it re-solves, so the touched
+    // cone and the resolved set coincide on this path.
+    tele_.cone_components->Record(resolved);
+    tele_.resolved_components->Record(resolved);
+    tele_.resolved_atoms->Record(resolved_atoms);
+  }
 }
 
 namespace {
@@ -448,6 +544,7 @@ void IncrementalSolver::ResolveUpConeParallel() {
     }
   }
   dirty_.clear();
+  const uint64_t initial_dirty = cone.size();
   for (size_t i = 0; i < cone.size(); ++i) {
     for (uint32_t s : dag_->Successors(cone[i])) {
       if (!in_cone[s]) {
@@ -511,16 +608,26 @@ void IncrementalSolver::ResolveUpConeParallel() {
       });
 
   uint64_t resolved = 0;
+  uint64_t resolved_atoms = 0;
   for (ConeWorker& w : workers) {
     diag_.MergeFrom(w.diag);
     resolved += w.resolved.size();
     stats_.cone_cutoffs += w.cutoffs;
-    for (uint32_t c : w.resolved) SyncMirror(c);
+    for (uint32_t c : w.resolved) {
+      resolved_atoms += graph.Atoms(c).size();
+      SyncMirror(c);
+    }
   }
   stats_.components_resolved += resolved;
   stats_.components_reused += ncomp - resolved;
   model_.iterations =
       static_cast<uint32_t>(diag_.alternating_rounds - rounds_before);
+  if (opts_.telemetry != nullptr) {
+    tele_.dirty_components->Record(initial_dirty);
+    tele_.cone_components->Record(cone.size());
+    tele_.resolved_components->Record(resolved);
+    tele_.resolved_atoms->Record(resolved_atoms);
+  }
 
   // Clear only what this pass touched, keeping the scratch zeroed for the
   // next delta without a full sweep.

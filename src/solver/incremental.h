@@ -2,6 +2,7 @@
 #define GSLS_SOLVER_INCREMENTAL_H_
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <queue>
 #include <span>
@@ -11,6 +12,7 @@
 #include "analysis/atom_dependency_graph.h"
 #include "analysis/dynamic_condensation.h"
 #include "ground/ground_program.h"
+#include "obs/metrics.h"
 #include "solver/parallel.h"
 #include "solver/solver.h"
 #include "solver/stages.h"
@@ -180,6 +182,13 @@ class IncrementalSolver {
   /// Cumulative per-SCC pipeline diagnostics across all solve passes.
   const SolverDiagnostics& diagnostics() const { return diag_; }
 
+  /// Human-readable telemetry dump: the avoided-work stats, the pipeline
+  /// diagnostics, the condensation-repair stats, and — when this solver
+  /// was constructed with `SolverOptions::telemetry` — the full metrics
+  /// registry table (per-delta latency/cone/resolved histograms with
+  /// p50/p90/p99 included).
+  void DumpTelemetry(std::ostream& os) const;
+
  private:
   void EnsureGraph();
   void EnsureParallelRuntime();  ///< scheduling DAG + worker pool
@@ -194,6 +203,9 @@ class IncrementalSolver {
   void ResolveUpConeParallel();
   /// Copies the tape values of `comp`'s atoms into the `model_` mirror.
   void SyncMirror(uint32_t comp);
+  /// Mirrors the cumulative stats/diagnostics into registry gauges after a
+  /// solve pass. No-op without a telemetry sink.
+  void PublishTelemetry();
 
   GroundProgram gp_;
   SolverOptions opts_;
@@ -237,6 +249,42 @@ class IncrementalSolver {
 
   IncrementalStats stats_;
   SolverDiagnostics diag_;
+
+  /// Registry channels recorded by the solve passes, interned once at
+  /// construction (the registry's look-up-once contract: a per-delta map
+  /// lookup would be measurable at streaming latencies). All null when
+  /// `opts_.telemetry` is null — the hot paths guard on the sink pointer.
+  struct TelemetryChannels {
+    obs::Histogram* delta_latency_us = nullptr;
+    obs::Histogram* dirty_components = nullptr;
+    obs::Histogram* cone_components = nullptr;
+    obs::Histogram* resolved_components = nullptr;
+    obs::Histogram* resolved_atoms = nullptr;
+    obs::Histogram* window_components = nullptr;
+    obs::Histogram* full_latency_us = nullptr;
+    // Gauges set by PublishTelemetry after every pass — interned here for
+    // the same reason as the histograms: a registry map lookup is mutexed
+    // and a streaming delta publishes ~27 values, which would otherwise
+    // cost multiples of the solve itself at sub-microsecond latencies.
+    SolverDiagnostics::Channels diag;
+    obs::Gauge* program_atoms = nullptr;
+    obs::Gauge* program_rules = nullptr;
+    obs::Gauge* deltas = nullptr;
+    obs::Gauge* full_solves = nullptr;
+    obs::Gauge* incremental_solves = nullptr;
+    obs::Gauge* components_resolved = nullptr;
+    obs::Gauge* components_reused = nullptr;
+    obs::Gauge* cone_cutoffs = nullptr;
+    obs::Gauge* graph_components = nullptr;
+    obs::Gauge* cond_inserts = nullptr;
+    obs::Gauge* cond_removals = nullptr;
+    obs::Gauge* cond_windows = nullptr;
+    obs::Gauge* cond_window_atoms = nullptr;
+    obs::Gauge* cond_window_us = nullptr;
+    obs::Gauge* cond_merges = nullptr;
+    obs::Gauge* cond_splits = nullptr;
+  };
+  TelemetryChannels tele_;
 };
 
 }  // namespace gsls

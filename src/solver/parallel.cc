@@ -6,6 +6,7 @@
 #include <memory>
 #include <thread>
 
+#include "obs/trace.h"
 #include "solver/component_eval.h"
 
 namespace gsls::solver {
@@ -134,6 +135,7 @@ void ParallelSolveAllComponentsInto(const GroundProgram& gp,
                                     WorkStealingPool* pool, TruthTape* values,
                                     StageTape* stages,
                                     SolverDiagnostics* diag) {
+  GSLS_TRACE_SPAN("solve.parallel", dag.component_count());
   // The lazy occurrence index must exist before workers read it
   // concurrently.
   gp.EnsureOccurrenceIndex();

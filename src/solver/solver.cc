@@ -5,6 +5,8 @@
 #include <unordered_map>
 
 #include "analysis/atom_dependency_graph.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "solver/component_eval.h"
 #include "solver/parallel.h"
 #include "util/strings.h"
@@ -30,6 +32,17 @@ WorkStealingPool& CachedPool(unsigned threads) {
 
 }  // namespace
 
+// Field-drift guard: a counter added to SolverDiagnostics but not to
+// MergeFrom is silently dropped at the parallel barrier, and one missing
+// from ToString never surfaces — both have happened to structs like this.
+// Any layout change trips this assert; update the expected size together
+// with MergeFrom, ToString, and PublishTo below.
+static_assert(sizeof(SolverDiagnostics) ==
+                  4 * sizeof(uint32_t) + 4 * sizeof(uint64_t) +
+                      sizeof(obs::LocalHistogram),
+              "SolverDiagnostics changed: update MergeFrom, ToString, "
+              "PublishTo, and this assert together");
+
 void SolverDiagnostics::MergeFrom(const SolverDiagnostics& other) {
   component_count += other.component_count;
   max_component_size = std::max(max_component_size, other.max_component_size);
@@ -39,6 +52,44 @@ void SolverDiagnostics::MergeFrom(const SolverDiagnostics& other) {
   unfounded_floods += other.unfounded_floods;
   unfounded_falsified += other.unfounded_falsified;
   alternating_rounds += other.alternating_rounds;
+  flood_sizes.MergeFrom(other.flood_sizes);
+}
+
+SolverDiagnostics::Channels SolverDiagnostics::InternChannels(
+    obs::Telemetry* telemetry) {
+  Channels ch;
+  if (telemetry == nullptr) return ch;
+  obs::MetricsRegistry& m = telemetry->metrics;
+  ch.components = m.GetGauge("solver.diag.components");
+  ch.max_component_size = m.GetGauge("solver.diag.max_component_size");
+  ch.recursive_components = m.GetGauge("solver.diag.recursive_components");
+  ch.negation_components = m.GetGauge("solver.diag.negation_components");
+  ch.rules_visited = m.GetGauge("solver.diag.rules_visited");
+  ch.unfounded_floods = m.GetGauge("solver.diag.unfounded_floods");
+  ch.unfounded_falsified = m.GetGauge("solver.diag.unfounded_falsified");
+  ch.alternating_rounds = m.GetGauge("solver.diag.alternating_rounds");
+  ch.flood_size_p50 = m.GetGauge("solver.diag.flood_size_p50");
+  ch.flood_size_p99 = m.GetGauge("solver.diag.flood_size_p99");
+  return ch;
+}
+
+void SolverDiagnostics::PublishTo(const Channels& ch) const {
+  if (ch.components == nullptr) return;
+  ch.components->Set(component_count);
+  ch.max_component_size->Set(max_component_size);
+  ch.recursive_components->Set(recursive_components);
+  ch.negation_components->Set(negation_components);
+  ch.rules_visited->Set(static_cast<int64_t>(rules_visited));
+  ch.unfounded_floods->Set(static_cast<int64_t>(unfounded_floods));
+  ch.unfounded_falsified->Set(static_cast<int64_t>(unfounded_falsified));
+  ch.alternating_rounds->Set(static_cast<int64_t>(alternating_rounds));
+  ch.flood_size_p50->Set(static_cast<int64_t>(flood_sizes.p50()));
+  ch.flood_size_p99->Set(static_cast<int64_t>(flood_sizes.p99()));
+}
+
+void SolverDiagnostics::PublishTo(obs::Telemetry* telemetry) const {
+  if (telemetry == nullptr) return;
+  PublishTo(InternChannels(telemetry));
 }
 
 std::string SolverDiagnostics::ToString() const {
@@ -49,7 +100,9 @@ std::string SolverDiagnostics::ToString() const {
                 " rules_visited=", rules_visited,
                 " floods=", unfounded_floods,
                 " falsified=", unfounded_falsified,
-                " rounds=", alternating_rounds);
+                " rounds=", alternating_rounds,
+                " flood_size_p50=", flood_sizes.p50(),
+                " flood_size_p99=", flood_sizes.p99());
 }
 
 WfsModel SolveWfs(const GroundProgram& gp, SolverDiagnostics* diag) {
@@ -58,29 +111,32 @@ WfsModel SolveWfs(const GroundProgram& gp, SolverDiagnostics* diag) {
 
 WfsModel SolveWfs(const GroundProgram& gp, const SolverOptions& opts,
                   SolverDiagnostics* diag) {
+  GSLS_TRACE_SPAN("solve.wfs", gp.atom_count());
   SolverDiagnostics scratch;
   if (diag == nullptr) diag = &scratch;
   *diag = SolverDiagnostics{};
   AtomDependencyGraph graph(gp);
   unsigned threads = solver::ResolveThreadCount(opts.num_threads);
-  if (threads <= 1) {
-    return solver::SolveAllComponents(gp, graph, /*disabled=*/nullptr,
-                                      opts.compute_levels, diag);
-  }
-  solver::ComponentDag dag(gp, graph);
-  solver::TruthTape values;
-  solver::StageTape stages;
-  solver::ParallelSolveAllComponentsInto(
-      gp, graph, dag, /*disabled=*/nullptr, &CachedPool(threads), &values,
-      opts.compute_levels ? &stages : nullptr, diag);
   WfsModel out;
-  out.model = values.ToInterpretation();
-  out.iterations = static_cast<uint32_t>(diag->alternating_rounds);
-  if (opts.compute_levels) {
-    out.true_stage = std::move(stages.true_stage);
-    out.false_stage = std::move(stages.false_stage);
-    out.has_levels = true;
+  if (threads <= 1) {
+    out = solver::SolveAllComponents(gp, graph, /*disabled=*/nullptr,
+                                     opts.compute_levels, diag);
+  } else {
+    solver::ComponentDag dag(gp, graph);
+    solver::TruthTape values;
+    solver::StageTape stages;
+    solver::ParallelSolveAllComponentsInto(
+        gp, graph, dag, /*disabled=*/nullptr, &CachedPool(threads), &values,
+        opts.compute_levels ? &stages : nullptr, diag);
+    out.model = values.ToInterpretation();
+    out.iterations = static_cast<uint32_t>(diag->alternating_rounds);
+    if (opts.compute_levels) {
+      out.true_stage = std::move(stages.true_stage);
+      out.false_stage = std::move(stages.false_stage);
+      out.has_levels = true;
+    }
   }
+  diag->PublishTo(opts.telemetry);
   return out;
 }
 

@@ -5,11 +5,22 @@
 #include <string>
 
 #include "ground/ground_program.h"
+#include "obs/histogram.h"
 #include "wfs/wfs.h"
 
 namespace gsls {
 
+namespace obs {
+class Gauge;
+struct Telemetry;
+}  // namespace obs
+
 /// Per-run diagnostics of `SolveWfs`.
+///
+/// Adding a field? Update `MergeFrom` and `ToString`, then the
+/// sizeof static_assert next to them in solver.cc — it exists so a new
+/// counter that the parallel barrier would silently drop fails to
+/// compile instead.
 struct SolverDiagnostics {
   uint32_t component_count = 0;      ///< SCCs of the atom dependency graph
   uint32_t max_component_size = 0;   ///< atoms in the largest SCC
@@ -19,6 +30,11 @@ struct SolverDiagnostics {
   uint64_t unfounded_floods = 0;     ///< source-loss floods run
   uint64_t unfounded_falsified = 0;  ///< atoms falsified wholesale by floods
   uint64_t alternating_rounds = 0;   ///< component-local truth/unfounded rounds
+  /// Atoms flooded per source-loss flood (candidate-set sizes): the
+  /// distribution behind `unfounded_floods`, accumulated without atomics
+  /// like every other field and merged bucket-wise at the barrier. The
+  /// p99 here is what the dense-SCC interior work must shrink.
+  obs::LocalHistogram flood_sizes;
 
   /// Folds another accumulator into this one (sums, except
   /// `max_component_size`). The parallel scheduler gives every worker a
@@ -27,6 +43,34 @@ struct SolverDiagnostics {
   /// component work is schedule-independent, so the merged totals equal a
   /// sequential run's.
   void MergeFrom(const SolverDiagnostics& other);
+
+  /// The "solver.diag.*" gauges, interned once so a per-delta publish
+  /// costs relaxed stores instead of registry map lookups (the lookup
+  /// path is mutexed and would dominate sub-microsecond delta solves).
+  struct Channels {
+    obs::Gauge* components = nullptr;
+    obs::Gauge* max_component_size = nullptr;
+    obs::Gauge* recursive_components = nullptr;
+    obs::Gauge* negation_components = nullptr;
+    obs::Gauge* rules_visited = nullptr;
+    obs::Gauge* unfounded_floods = nullptr;
+    obs::Gauge* unfounded_falsified = nullptr;
+    obs::Gauge* alternating_rounds = nullptr;
+    obs::Gauge* flood_size_p50 = nullptr;
+    obs::Gauge* flood_size_p99 = nullptr;
+  };
+  /// Interns the channels in `telemetry`'s registry (null-safe: returns
+  /// all-null channels that `PublishTo` treats as a no-op).
+  static Channels InternChannels(obs::Telemetry* telemetry);
+
+  /// Mirrors every counter (and the flood-size percentiles) into the
+  /// interned gauges — idempotent (gauges are set, not added), so it can
+  /// run after every pass with cumulative values.
+  void PublishTo(const Channels& ch) const;
+
+  /// One-shot convenience for non-streaming callers (`SolveWfs`): interns
+  /// and publishes. Null-safe.
+  void PublishTo(obs::Telemetry* telemetry) const;
 
   std::string ToString() const;
 };
@@ -50,6 +94,15 @@ struct SolverOptions {
   /// default) costs nothing: no tape is allocated and no per-component
   /// pass runs.
   bool compute_levels = false;
+  /// Telemetry sink (obs/metrics.h): when non-null, solve passes publish
+  /// their diagnostics into its registry and the delta paths of
+  /// `IncrementalSolver` record per-delta latency/cone/repair histograms
+  /// there. Null (the default) skips every metrics cost — the
+  /// instrumentation points guard on this pointer. Scoped tracing
+  /// (obs/trace.h) is gated separately and process-globally; both engines
+  /// plumb this field through untouched (`EngineOptions::solver`,
+  /// `TabledOptions::solver`). Not owned; must outlive the solver.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 /// Computes the well-founded model by SCC-stratified evaluation (the

@@ -90,6 +90,8 @@ void SourceTracker::CollectUnfounded(std::vector<LocalAtom>* unfounded) {
     }
   }
 
+  flood_sizes_.Record(cand_.size());
+
   // Phase 2: resupport by a counting closure restricted to the candidates.
   // Counts are computed against the frozen candidate set first (no
   // candidate is resupported until every count exists), so the later

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/histogram.h"
 #include "solver/rule_table.h"
 
 namespace gsls::solver {
@@ -47,6 +48,12 @@ class SourceTracker {
   /// Number of floods run (diagnostics).
   uint64_t floods() const { return floods_; }
 
+  /// Candidate-set size of every flood run so far: the distribution behind
+  /// `floods()`. Non-atomic by design — a tracker is thread-confined to
+  /// its component's worker, and the caller merges this into the worker's
+  /// `SolverDiagnostics::flood_sizes` at end of component.
+  const obs::LocalHistogram& flood_sizes() const { return flood_sizes_; }
+
  private:
   enum class State : uint8_t {
     kSourced,    ///< has a valid source rule
@@ -62,6 +69,7 @@ class SourceTracker {
   std::vector<State> state_;       ///< per atom
   std::vector<LocalAtom> pending_;
   uint64_t floods_ = 0;
+  obs::LocalHistogram flood_sizes_;
 
   // Flood scratch, reused across calls.
   std::vector<LocalAtom> cand_;

@@ -2,6 +2,9 @@
 
 #include <chrono>
 
+#include "obs/trace.h"
+#include "util/strings.h"
+
 namespace gsls {
 
 WorkStealingPool::WorkStealingPool(unsigned num_threads)
@@ -50,6 +53,7 @@ bool WorkStealingPool::TryPop(unsigned worker, uint32_t* task) {
     if (!victim.tasks.empty()) {
       *task = victim.tasks.front();  // FIFO: steal the oldest, widest work
       victim.tasks.pop_front();
+      GSLS_TRACE_INSTANT("pool.steal", (worker + i) % num_workers_);
       return true;
     }
   }
@@ -58,9 +62,25 @@ bool WorkStealingPool::TryPop(unsigned worker, uint32_t* task) {
 
 void WorkStealingPool::DrainJob(unsigned worker) {
   unsigned idle_spins = 0;
+  // DAG release stalls surface as "pool.idle" spans: opened on the first
+  // failed pop, closed when work arrives or the job drains. Manual (not
+  // RAII) because the gap spans loop iterations.
+  [[maybe_unused]] uint64_t idle_start = 0;
+#ifndef GSLS_OBS_NO_TRACE
+  auto close_idle = [&] {
+    if (idle_start != 0) {
+      obs::TraceRecorder::Global().RecordSpan(
+          "pool.idle", worker, idle_start, obs::NowNs() - idle_start);
+      idle_start = 0;
+    }
+  };
+#else
+  auto close_idle = [] {};
+#endif
   while (true) {
     uint32_t task;
     if (TryPop(worker, &task)) {
+      close_idle();
       idle_spins = 0;
       (*body_.load(std::memory_order_acquire))(worker, task);
       if (inflight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
@@ -73,7 +93,15 @@ void WorkStealingPool::DrainJob(unsigned worker) {
       }
       continue;
     }
-    if (inflight_.load(std::memory_order_acquire) == 0) return;
+    if (inflight_.load(std::memory_order_acquire) == 0) {
+      close_idle();
+      return;
+    }
+#ifndef GSLS_OBS_NO_TRACE
+    if (idle_start == 0 && obs::TraceRecorder::Global().enabled()) {
+      idle_start = obs::NowNs();
+    }
+#endif
     // Empty queues but unfinished tasks: another worker will release
     // successors shortly. Yield first; back off to a micro-sleep if the
     // running task is long (e.g. one dominant SCC).
@@ -87,6 +115,7 @@ void WorkStealingPool::DrainJob(unsigned worker) {
 
 void WorkStealingPool::WorkerLoop(unsigned worker) {
   uint64_t seen_epoch = 0;
+  [[maybe_unused]] bool named = false;
   while (true) {
     {
       std::unique_lock<std::mutex> lk(job_mu_);
@@ -94,6 +123,16 @@ void WorkStealingPool::WorkerLoop(unsigned worker) {
       if (stopping_) return;
       seen_epoch = job_epoch_;
     }
+#ifndef GSLS_OBS_NO_TRACE
+    // Name this worker's timeline row on its first traced job. Deferred
+    // until tracing is on so an untraced run never registers (and never
+    // allocates) a ring.
+    if (!named && obs::TraceRecorder::Global().enabled()) {
+      obs::TraceRecorder::Global().SetCurrentThreadName(
+          StrCat("worker-", worker));
+      named = true;
+    }
+#endif
     DrainJob(worker);
   }
 }
