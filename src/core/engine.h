@@ -137,6 +137,19 @@ class GlobalSlsEngine {
   /// Status of the ground goal `<- atom` (memoized across calls).
   GoalStatus StatusOf(const Term* ground_atom);
 
+  /// Goal-directed variant of `StatusOf`: when the bottom-up oracle
+  /// applies (see `EngineOptions::bottom_up_oracle`), answers from the
+  /// oracle's *down-cone* query mode (`IncrementalSolver::QueryAtom`) —
+  /// only the components the atom's truth depends on are solved, and the
+  /// full memo seed of `MaybeSeedOracle` (one entry per registered atom)
+  /// is skipped entirely. The status is exactly what `StatusOf` reports
+  /// (Thm. 4.7 on the relevant subprogram); the cost is proportional to
+  /// the relevant subprogram, and repeated queries hit the oracle's
+  /// per-component memo. Falls back to the plain memoized search when
+  /// the oracle does not apply (counterexample rules, function symbols,
+  /// over-budget grounding).
+  GoalStatus StatusOfRelevant(const Term* ground_atom);
+
   /// Clears the ground-subgoal memo table (the bottom-up oracle reseeds it
   /// on the next query when enabled). The oracle's `IncrementalSolver` and
   /// its solved model are retained, so reseeding costs one memo fill, not

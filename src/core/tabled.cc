@@ -82,6 +82,36 @@ GoalStatus TabledEngine::StatusOf(const Term* ground_atom) const {
   return GoalStatus::kUnknown;
 }
 
+TabledEngine::RelevantAnswer TabledEngine::SolveRelevant(
+    const Term* ground_atom) const {
+  RelevantAnswer out;
+  std::optional<AtomId> id = ground().FindAtom(ground_atom);
+  if (!id.has_value()) {
+    // Outside the relevant instantiation: failed at stage 1, like
+    // `ValueOf`/`LevelOf` — no cone, no solving.
+    out.status = GoalStatus::kFailed;
+    out.level = Ordinal::Finite(1);
+    out.query.value = TruthValue::kFalse;
+    out.query.false_stage = 1;
+    return out;
+  }
+  out.query = incremental_->QueryAtom(*id);
+  switch (out.query.value) {
+    case TruthValue::kTrue:
+      out.status = GoalStatus::kSuccessful;
+      if (has_stages()) out.level = Ordinal::Finite(out.query.true_stage);
+      break;
+    case TruthValue::kFalse:
+      out.status = GoalStatus::kFailed;
+      if (has_stages()) out.level = Ordinal::Finite(out.query.false_stage);
+      break;
+    case TruthValue::kUndefined:
+      out.status = GoalStatus::kIndeterminate;
+      break;
+  }
+  return out;
+}
+
 std::optional<Ordinal> TabledEngine::LevelOf(const Term* ground_atom) const {
   std::optional<AtomId> id = ground().FindAtom(ground_atom);
   if (!id.has_value()) return Ordinal::Finite(1);  // fails at stage 1

@@ -78,6 +78,31 @@ class TabledEngine {
   /// registered atoms when the engine was created without stages.
   std::optional<Ordinal> LevelOf(const Term* ground_atom) const;
 
+  /// Outcome of a goal-directed (`SolveRelevant`) atom query.
+  struct RelevantAnswer {
+    GoalStatus status = GoalStatus::kUnknown;
+    /// Level of the determined goal (Cor. 4.6); empty for indeterminate
+    /// atoms and on engines created without `compute_stages`.
+    std::optional<Ordinal> level;
+    /// The underlying solver pass, including its cost counters
+    /// (cone size, components re-solved, memo hits).
+    IncrementalSolver::QueryAnswer query;
+  };
+
+  /// Goal-directed status of the ground goal `<- atom`: instead of
+  /// refreshing the whole model (`StatusOf`/`ValueOf` via `Model()`),
+  /// solves only the query atom's *down-cone* — the components its truth
+  /// can depend on — serving every still-valid component from the
+  /// solver's per-component memo (`IncrementalSolver::QueryAtom`). The
+  /// status and level are exactly what `StatusOf`/`LevelOf` would
+  /// report; the cost is proportional to the relevant subprogram, not
+  /// the program. Fact/rule deltas between calls invalidate exactly the
+  /// components they touch, so interleaving deltas, `SolveRelevant`, and
+  /// full `Solve`/`StatusOf` reads is always exact — see docs/serving.md
+  /// for the staleness contract. Atoms outside the relevant
+  /// instantiation are failed at level 1, with no solving.
+  RelevantAnswer SolveRelevant(const Term* ground_atom) const;
+
   /// Evaluates a (possibly nonground) goal: enumerates every answer
   /// substitution grounding the goal into well-founded truth, with levels
   /// when stages were computed.

@@ -105,6 +105,16 @@ class MetricsRegistry {
 /// selects *what aggregates where*, the trace recorder captures *when* —
 /// so a bench can trace without a registry and a server can meter without
 /// tracing.
+///
+/// Channel families published by `IncrementalSolver` (interned once at
+/// solver construction; pointers stay valid for the registry's lifetime):
+///   - `incremental.delta.*` — per-delta latency and dirty/cone/resolved
+///     component histograms, plus `incremental.*` avoided-work gauges;
+///   - `query.*` — per-`QueryAtom` latency/cone/resolved/memo-hit
+///     histograms and memo hit/miss/invalidation gauges (docs/serving.md
+///     documents the serving-side meaning of each);
+///   - `solver.diag.*` — per-pass pipeline diagnostics
+///     (`SolverDiagnostics`).
 struct Telemetry {
   MetricsRegistry metrics;
 };

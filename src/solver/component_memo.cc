@@ -1,0 +1,51 @@
+#include "solver/component_memo.h"
+
+#include "util/strings.h"
+
+namespace gsls::solver {
+
+std::string ComponentMemo::Stats::ToString() const {
+  return StrCat("hits=", hits, " misses=", misses,
+                " invalidations=", invalidations);
+}
+
+void ComponentMemo::ApplyRepair(const CondensationRepair& rep,
+                                uint32_t new_component_count) {
+  if (!rep.recondensed) {
+    for (uint32_t c : rep.dirty) Invalidate(c);
+    return;
+  }
+  // The repair renumbered ids: below the window verbatim, the window
+  // re-condensed (conservatively dropped — `rep.dirty` lists the members
+  // whose values may move, but even an unchanged-membership member may
+  // have a new id inside the window, and windows are rare), above the
+  // window shifted by the size delta.
+  std::vector<uint8_t> valid(new_component_count, 0);
+  std::vector<uint64_t> stamp(new_component_count, 0);
+  const uint32_t lo = rep.window_lo;
+  for (uint32_t c = 0; c < lo && c < valid_.size(); ++c) {
+    valid[c] = valid_[c];
+    stamp[c] = stamp_[c];
+  }
+  const int64_t shift = rep.id_shift();
+  for (uint32_t c = lo + rep.old_window_size; c < valid_.size(); ++c) {
+    const int64_t nc = static_cast<int64_t>(c) + shift;
+    valid[nc] = valid_[c];
+    stamp[nc] = stamp_[c];
+  }
+  uint32_t invalid = 0;
+  for (uint32_t c = 0; c < new_component_count; ++c) {
+    if (valid[c] == 0) ++invalid;
+  }
+  stats_.invalidations +=
+      (size() - invalid_count_) > (new_component_count - invalid)
+          ? (size() - invalid_count_) - (new_component_count - invalid)
+          : 0;
+  valid_ = std::move(valid);
+  stamp_ = std::move(stamp);
+  invalid_count_ = invalid;
+  ++epoch_;
+  for (uint32_t c : rep.dirty) Invalidate(c);
+}
+
+}  // namespace gsls::solver

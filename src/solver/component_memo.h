@@ -1,0 +1,162 @@
+#ifndef GSLS_SOLVER_COMPONENT_MEMO_H_
+#define GSLS_SOLVER_COMPONENT_MEMO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/dynamic_condensation.h"
+
+namespace gsls::solver {
+
+/// Per-component memo of solved results, keyed by component id and a solve
+/// epoch: entry `c` is *valid* when the persistent tapes
+/// (`TruthTape`/`StageTape` of `IncrementalSolver`) hold the final values
+/// of component `c` for the current program — i.e. the component was
+/// solved in some epoch and no later delta could have moved it.
+///
+/// This is what makes goal-directed queries (`IncrementalSolver::
+/// QueryAtom`) cheap on repeat: a query solves the down-cone of its atom
+/// once, marks those components valid, and a second query over an
+/// overlapping cone serves every still-valid component straight from the
+/// tape — zero evaluation, one byte test per cone member (and when *every*
+/// component is valid, the query skips even the cone walk).
+///
+/// Invalidation is the mirror image of the delta path's dirtying and is
+/// deliberately *lazy and change-pruned*, never a transitive sweep:
+///
+///  - A fact or rule delta invalidates exactly the components whose rule
+///    set changed (the same dirty sets `CondensationRepair` and the
+///    up-cone path already compute) — O(delta), not O(up-cone).
+///  - When a later solve re-runs an invalid component and its values (or
+///    stages) actually move, the re-solve invalidates the component's
+///    direct dependents in turn (the same occurrence scan the up-cone
+///    change pruning uses). Staleness therefore propagates exactly as far
+///    as real value changes do, one solved component at a time, and a
+///    delta whose effects die out locally never touches the memo beyond
+///    its own cone.
+///
+/// The closure invariant that makes the laziness sound: a valid entry's
+/// tape values are correct *provided every invalid component below it is
+/// re-solved first (in dependency order) and dependents are invalidated
+/// whenever a re-solve changes values*. Both query and up-cone passes
+/// maintain exactly this discipline.
+///
+/// Component ids are renumbered by recondensation windows
+/// (`DynamicCondensation`); `ApplyRepair` translates the validity map
+/// through a repair — ids below the window keep their entries, ids above
+/// shift by the window's size delta, and the window itself is invalidated
+/// (its compiled state is stale regardless).
+///
+/// Thread-safety: none. The parallel query/up-cone passes read validity
+/// before the barrier and write it after — see the call sites in
+/// incremental.cc.
+class ComponentMemo {
+ public:
+  /// Lifetime counters for diagnostics and the serving-layer telemetry.
+  struct Stats {
+    uint64_t hits = 0;           ///< cone members served from the memo
+    uint64_t misses = 0;         ///< cone members that had to re-solve
+    uint64_t invalidations = 0;  ///< valid entries dropped by deltas/changes
+    std::string ToString() const;
+  };
+
+  /// Number of components currently tracked.
+  uint32_t size() const { return static_cast<uint32_t>(valid_.size()); }
+
+  /// Monotone solve epoch: bumped on every invalidation event, recorded
+  /// per entry by `MarkValid`. `EpochOf` is a diagnostics surface (tests
+  /// assert that memo-hit queries do not advance entries' epochs).
+  uint64_t epoch() const { return epoch_; }
+  uint64_t EpochOf(uint32_t c) const {
+    return c < stamp_.size() ? stamp_[c] : 0;
+  }
+
+  /// True iff component `c`'s tape values are served as final.
+  bool Valid(uint32_t c) const { return c < valid_.size() && valid_[c] != 0; }
+
+  /// True iff every tracked component is valid — the all-memo-hit fast
+  /// path: a query can answer from the tape without walking its cone.
+  bool AllValid() const { return invalid_count_ == 0; }
+
+  /// Grows to `component_count` entries; new trailing components (spliced
+  /// singletons for freshly interned atoms) start invalid.
+  void Grow(uint32_t component_count) {
+    if (component_count <= valid_.size()) return;
+    invalid_count_ += component_count - static_cast<uint32_t>(valid_.size());
+    valid_.resize(component_count, 0);
+    stamp_.resize(component_count, 0);
+  }
+
+  /// Records that `c` was solved against the current program in the
+  /// current epoch.
+  void MarkValid(uint32_t c) {
+    if (valid_[c] == 0) {
+      valid_[c] = 1;
+      --invalid_count_;
+    }
+    stamp_[c] = epoch_;
+  }
+
+  /// Marks every entry valid — a full solve just finalized every
+  /// component.
+  void MarkAllValid() {
+    ++epoch_;
+    for (uint32_t c = 0; c < valid_.size(); ++c) {
+      valid_[c] = 1;
+      stamp_[c] = epoch_;
+    }
+    invalid_count_ = 0;
+  }
+
+  /// Drops entry `c`. Returns true iff it was valid (the caller queues a
+  /// re-solve marker only for newly invalidated components, keeping the
+  /// pending set duplicate-free).
+  bool Invalidate(uint32_t c) {
+    if (c >= valid_.size() || valid_[c] == 0) return false;
+    valid_[c] = 0;
+    ++invalid_count_;
+    ++stats_.invalidations;
+    ++epoch_;
+    return true;
+  }
+
+  /// Drops every entry (`InvalidateMemo` on the solver: the next query
+  /// pays a cold cone, the next `Model()` a full solve). Keeps sizes.
+  void InvalidateAll() {
+    ++epoch_;
+    for (uint32_t c = 0; c < valid_.size(); ++c) {
+      if (valid_[c] != 0) ++stats_.invalidations;
+      valid_[c] = 0;
+    }
+    invalid_count_ = static_cast<uint32_t>(valid_.size());
+  }
+
+  /// Translates the validity map through a condensation repair: ids below
+  /// `rep.window_lo` are untouched, ids above the old window shift by
+  /// `rep.id_shift()`, and the re-condensed window itself is dropped
+  /// (membership or numbering inside it changed; its compiled state must
+  /// re-solve). `new_component_count` is the post-repair count. On a
+  /// non-recondensing repair only `rep.dirty` is dropped.
+  void ApplyRepair(const CondensationRepair& rep,
+                   uint32_t new_component_count);
+
+  void CountHit() { ++stats_.hits; }
+  void CountMiss() { ++stats_.misses; }
+  /// Bulk forms for the parallel query pass, which tallies hits/misses
+  /// once after the barrier instead of per component.
+  void CountHits(uint64_t n) { stats_.hits += n; }
+  void CountMisses(uint64_t n) { stats_.misses += n; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  std::vector<uint8_t> valid_;   ///< per component; 1 = served from memo
+  std::vector<uint64_t> stamp_;  ///< per component: epoch of last solve
+  uint32_t invalid_count_ = 0;
+  uint64_t epoch_ = 0;
+  Stats stats_;
+};
+
+}  // namespace gsls::solver
+
+#endif  // GSLS_SOLVER_COMPONENT_MEMO_H_

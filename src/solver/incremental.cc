@@ -17,7 +17,8 @@ std::string IncrementalStats::ToString() const {
                 " incremental=", incremental_solves,
                 " rebuilds=", graph_rebuilds,
                 " resolved=", components_resolved,
-                " reused=", components_reused, " cutoffs=", cone_cutoffs);
+                " reused=", components_reused, " cutoffs=", cone_cutoffs,
+                " queries=", queries, " fastpaths=", query_fastpaths);
 }
 
 IncrementalSolver::IncrementalSolver(GroundProgram gp, SolverOptions opts)
@@ -52,6 +53,17 @@ IncrementalSolver::IncrementalSolver(GroundProgram gp, SolverOptions opts)
     tele_.cond_window_us = m.GetGauge("condense.window_us");
     tele_.cond_merges = m.GetGauge("condense.merges");
     tele_.cond_splits = m.GetGauge("condense.splits");
+    tele_.query_latency_us = m.GetHistogram("query.latency_us");
+    tele_.query_cone_components = m.GetHistogram("query.cone_components");
+    tele_.query_cone_atoms = m.GetHistogram("query.cone_atoms");
+    tele_.query_resolved_components =
+        m.GetHistogram("query.resolved_components");
+    tele_.query_memo_hits = m.GetHistogram("query.memo_hits");
+    tele_.queries = m.GetGauge("query.count");
+    tele_.query_fastpaths = m.GetGauge("query.fastpaths");
+    tele_.memo_hits = m.GetGauge("query.memo.hits");
+    tele_.memo_misses = m.GetGauge("query.memo.misses");
+    tele_.memo_invalidations = m.GetGauge("query.memo.invalidations");
   }
 }
 
@@ -155,6 +167,9 @@ void IncrementalSolver::MarkDirty(AtomId atom) {
 
 void IncrementalSolver::ApplyRepair(const CondensationRepair& rep) {
   const AtomDependencyGraph& g = cond_->graph();
+  // Translate the query memo through the repair (id shifts, window drop,
+  // dirty invalidations) — but only once queries made it track anything.
+  if (memo_.size() != 0) memo_.ApplyRepair(rep, g.component_count());
   if (rep.recondensed && tele_.window_components != nullptr) {
     tele_.window_components->Record(rep.new_window_size);
   }
@@ -266,15 +281,25 @@ const WfsModel& IncrementalSolver::Model() {
         static_cast<uint32_t>(diag_.alternating_rounds - rounds_before);
     solved_ = true;
     dirty_.clear();
+    // Everything just finalized: the query memo serves every component.
+    memo_.Grow(cond_->graph().component_count());
+    memo_.MarkAllValid();
+    stale_reps_.clear();
     ++stats_.full_solves;
     if (opts_.telemetry != nullptr) {
       tele_.full_latency_us->Record((obs::NowNs() - t0) / 1000);
       PublishTelemetry();
     }
-  } else if (!dirty_.empty()) {
+  } else if (!dirty_.empty() || !stale_reps_.empty()) {
     GSLS_TRACE_SPAN("solve.delta", stats_.incremental_solves);
     const uint64_t t0 = opts_.telemetry != nullptr ? obs::NowNs() : 0;
     EnsureGraph();
+    // Components left stale by query passes (invalidated out-of-cone
+    // dependents of re-solved changes) join the delta-dirty atoms: both
+    // are "re-solve me, my tape values may be wrong" markers, and the
+    // up-cone passes treat them identically.
+    dirty_.insert(dirty_.end(), stale_reps_.begin(), stale_reps_.end());
+    stale_reps_.clear();
     // The parallel cone schedules every component *reachable* from the
     // deltas (pruned re-solves, but still a release per cone member),
     // while the heap touches only components whose inputs actually
@@ -294,6 +319,10 @@ const WfsModel& IncrementalSolver::Model() {
     } else {
       ResolveUpCone();
     }
+    // The pass re-solved every pending component and chased every actual
+    // change; the tape is the full model again, so the memo is too.
+    memo_.Grow(cond_->graph().component_count());
+    memo_.MarkAllValid();
     if (opts_.telemetry != nullptr) {
       tele_.delta_latency_us->Record((obs::NowNs() - t0) / 1000);
       PublishTelemetry();
@@ -318,6 +347,12 @@ void IncrementalSolver::PublishTelemetry() {
   tele_.components_reused->Set(
       static_cast<int64_t>(stats_.components_reused));
   tele_.cone_cutoffs->Set(static_cast<int64_t>(stats_.cone_cutoffs));
+  tele_.queries->Set(static_cast<int64_t>(stats_.queries));
+  tele_.query_fastpaths->Set(static_cast<int64_t>(stats_.query_fastpaths));
+  const solver::ComponentMemo::Stats& ms = memo_.stats();
+  tele_.memo_hits->Set(static_cast<int64_t>(ms.hits));
+  tele_.memo_misses->Set(static_cast<int64_t>(ms.misses));
+  tele_.memo_invalidations->Set(static_cast<int64_t>(ms.invalidations));
   if (cond_ != nullptr) {
     tele_.graph_components->Set(
         static_cast<int64_t>(cond_->graph().component_count()));
@@ -335,6 +370,7 @@ void IncrementalSolver::PublishTelemetry() {
 void IncrementalSolver::DumpTelemetry(std::ostream& os) const {
   os << "incremental: " << stats_.ToString() << "\n";
   os << "diagnostics: " << diag_.ToString() << "\n";
+  os << "query memo: " << memo_.stats().ToString() << "\n";
   if (cond_ != nullptr) {
     os << "condensation: " << cond_->stats().ToString() << "\n";
   }
@@ -497,6 +533,10 @@ struct alignas(64) ConeWorker {
   uint64_t cutoffs = 0;
   std::vector<TruthValue> old_vals;
   std::vector<uint32_t> old_stages;
+  /// Query passes only: out-of-cone components this worker's re-solves
+  /// flagged as changed-input dependents; the memo writes are deferred to
+  /// the barrier (the memo is not thread-safe).
+  std::vector<uint32_t> flagged;
 };
 
 }  // namespace
@@ -635,6 +675,276 @@ void IncrementalSolver::ResolveUpConeParallel() {
     in_cone[c] = 0;
     is_dirty[c] = 0;
   }
+}
+
+void IncrementalSolver::FoldDirtyIntoPending() {
+  if (dirty_.empty()) return;
+  const AtomDependencyGraph& graph = cond_->graph();
+  // Unconditional pushes: a component can be invalid without being
+  // pending (never solved, or conservatively dropped by a recondensation
+  // window), and `Invalidate`'s return value cannot tell those apart.
+  // Duplicates are harmless — consumers dedupe by component.
+  for (AtomId a : dirty_) {
+    memo_.Invalidate(graph.ComponentOf(a));
+    stale_reps_.push_back(a);
+  }
+  dirty_.clear();
+}
+
+void IncrementalSolver::SolveDownCone(AtomId atom, QueryAnswer* out) {
+  const AtomDependencyGraph& graph = cond_->graph();
+  const uint32_t ncomp = graph.component_count();
+  solver::StageTape* stages = opts_.compute_levels ? &stape_ : nullptr;
+  if (in_down_cone_.size() != ncomp) in_down_cone_.assign(ncomp, 0);
+  std::vector<uint32_t>& cone = down_cone_;
+  cone.clear();
+
+  // The down-cone: every component the query's truth can depend on,
+  // gathered by walking body atoms of enabled rules for each member atom
+  // (the reverse of the scheduling DAG's edges). The walk cannot prune at
+  // valid components: validity is conditional on everything below being
+  // re-solved first (see solver/component_memo.h), so a stale component
+  // deep under a valid one must still be found and re-run.
+  const uint32_t qc = graph.ComponentOf(atom);
+  cone.push_back(qc);
+  in_down_cone_[qc] = 1;
+  uint32_t stale = 0;
+  for (size_t i = 0; i < cone.size(); ++i) {
+    if (!memo_.Valid(cone[i])) ++stale;
+    for (AtomId a : graph.Atoms(cone[i])) {
+      for (RuleId r : gp_.RulesFor(a)) {
+        if (!RuleEnabled(r)) continue;
+        const GroundRule& rule = gp_.rules()[r];
+        auto visit = [&](AtomId b) {
+          uint32_t bc = graph.ComponentOf(b);
+          if (in_down_cone_[bc] == 0) {
+            in_down_cone_[bc] = 1;
+            cone.push_back(bc);
+          }
+        };
+        for (AtomId b : rule.pos) visit(b);
+        for (AtomId b : rule.neg) visit(b);
+      }
+    }
+  }
+  // Dependency (ascending-id) order; ranks double as schedule slots.
+  std::sort(cone.begin(), cone.end());
+  for (uint32_t i = 0; i < cone.size(); ++i) in_down_cone_[cone[i]] = i + 1;
+
+  out->cone_components = static_cast<uint32_t>(cone.size());
+  uint64_t cone_atoms = 0;
+  for (uint32_t c : cone) cone_atoms += graph.Atoms(c).size();
+  out->cone_atoms = cone_atoms;
+
+  if (stale == 0) {
+    // Cone-local fast path: every relevant component is memoized, the
+    // answer is already on the tape (stale components elsewhere in the
+    // program cannot affect it).
+    memo_.CountHits(cone.size());
+    out->memo_hits = static_cast<uint32_t>(cone.size());
+    stats_.components_reused += cone.size();
+    for (uint32_t c : cone) in_down_cone_[c] = 0;
+    return;
+  }
+
+  uint64_t resolved = 0;
+  uint64_t resolved_atoms = 0;
+  uint64_t cutoffs = 0;
+  std::vector<uint32_t> flagged;  ///< out-of-cone comps, deduped per pass
+  auto flag_outside = [&](uint32_t hc) {
+    if (std::find(flagged.begin(), flagged.end(), hc) != flagged.end()) {
+      return;
+    }
+    flagged.push_back(hc);
+    memo_.Invalidate(hc);
+    // Pending marker by stable representative atom, like ApplyRepair:
+    // component ids may shift again before anything consumes this.
+    stale_reps_.push_back(graph.Atoms(hc)[0]);
+  };
+
+  if (threads_ > 1 && stale > 1) {
+    // Cone-restricted parallel pass: the shared ready-release schedule
+    // over the in-cone components, same discipline as the full parallel
+    // solve and the up-cone delta pass. Memo reads happen before the
+    // barrier (against the pre-pass state), memo writes after it — the
+    // in-pass staleness signal is the `inputs_changed` atomics, exactly
+    // like the up-cone's change pruning.
+    EnsureParallelRuntime();
+    gp_.EnsureOccurrenceIndex();  // workers must not race the lazy rebuild
+    std::unique_ptr<std::atomic<uint32_t>[]> pending(
+        new std::atomic<uint32_t>[cone.size()]);
+    std::unique_ptr<std::atomic<uint8_t>[]> inputs_changed(
+        new std::atomic<uint8_t>[cone.size()]);
+    for (size_t i = 0; i < cone.size(); ++i) {
+      pending[i].store(0, std::memory_order_relaxed);
+      inputs_changed[i].store(0, std::memory_order_relaxed);
+    }
+    for (uint32_t c : cone) {
+      for (uint32_t s : dag_->Successors(c)) {
+        if (in_down_cone_[s] != 0) {
+          pending[in_down_cone_[s] - 1].fetch_add(1,
+                                                  std::memory_order_relaxed);
+        }
+      }
+    }
+    std::vector<uint32_t> seeds;
+    for (uint32_t i = 0; i < cone.size(); ++i) {
+      if (pending[i].load(std::memory_order_relaxed) == 0) {
+        seeds.push_back(cone[i]);
+      }
+    }
+    std::vector<ConeWorker> workers(pool_->size());
+    solver::RunReadyReleaseSchedule(
+        pool_.get(), seeds, pending.get(),
+        [&](unsigned worker, uint32_t c) {
+          ConeWorker& w = workers[worker];
+          bool needs = !memo_.Valid(c) ||
+                       inputs_changed[in_down_cone_[c] - 1].load(
+                           std::memory_order_relaxed) != 0;
+          if (!needs) return;  // memo hit: just release successors
+          bool changed = ResolveComponentDelta(
+              gp_, graph, c, &disabled_, &tape_, stages, &w.old_vals,
+              &w.old_stages, &w.diag, [&](uint32_t hc) {
+                uint32_t pos = in_down_cone_[hc];
+                if (pos != 0) {
+                  inputs_changed[pos - 1].store(1, std::memory_order_relaxed);
+                } else {
+                  w.flagged.push_back(hc);  // memo write deferred to barrier
+                }
+              });
+          w.resolved.push_back(c);
+          if (!changed) ++w.cutoffs;
+        },
+        [&](uint32_t c) { return dag_->Successors(c); },
+        [&](uint32_t s) {
+          return in_down_cone_[s] != 0 ? in_down_cone_[s] - 1
+                                       : solver::kNoScheduleSlot;
+        });
+    for (ConeWorker& w : workers) {
+      diag_.MergeFrom(w.diag);
+      cutoffs += w.cutoffs;
+      resolved += w.resolved.size();
+      for (uint32_t c : w.resolved) {
+        resolved_atoms += graph.Atoms(c).size();
+        memo_.MarkValid(c);
+        SyncMirror(c);
+      }
+      for (uint32_t hc : w.flagged) flag_outside(hc);
+    }
+    memo_.CountMisses(resolved);
+    memo_.CountHits(cone.size() - resolved);
+  } else {
+    // Sequential pass: ascending component ids are dependency order, so
+    // each re-solve reads final lower values — including the ones this
+    // pass just produced.
+    std::vector<uint8_t> inputs_changed(cone.size(), 0);
+    std::vector<TruthValue> old_vals;
+    std::vector<uint32_t> old_stages;
+    for (uint32_t i = 0; i < cone.size(); ++i) {
+      uint32_t c = cone[i];
+      if (memo_.Valid(c) && inputs_changed[i] == 0) {
+        memo_.CountHit();
+        continue;
+      }
+      memo_.CountMiss();
+      ++resolved;
+      resolved_atoms += graph.Atoms(c).size();
+      bool changed = ResolveComponentDelta(
+          gp_, graph, c, &disabled_, &tape_, stages, &old_vals, &old_stages,
+          &diag_, [&](uint32_t hc) {
+            uint32_t pos = in_down_cone_[hc];
+            if (pos != 0) {
+              inputs_changed[pos - 1] = 1;
+            } else {
+              flag_outside(hc);
+            }
+          });
+      memo_.MarkValid(c);
+      SyncMirror(c);
+      if (!changed) ++cutoffs;
+    }
+  }
+
+  const uint64_t hits = cone.size() - resolved;
+  stats_.components_resolved += resolved;
+  stats_.components_reused += hits;
+  stats_.cone_cutoffs += cutoffs;
+  out->resolved_components = static_cast<uint32_t>(resolved);
+  out->memo_hits = static_cast<uint32_t>(hits);
+
+  for (uint32_t c : cone) in_down_cone_[c] = 0;
+  // Everything this pass re-validated leaves the pending set; entries for
+  // still-stale components (outside the cone) stay for the next query or
+  // `Model()` to consume.
+  std::erase_if(stale_reps_, [this, &graph](AtomId a) {
+    return memo_.Valid(graph.ComponentOf(a));
+  });
+}
+
+IncrementalSolver::QueryAnswer IncrementalSolver::QueryAtom(AtomId atom) {
+  assert(atom < gp_.atom_count());
+  GSLS_TRACE_SPAN("solve.query", stats_.queries);
+  const uint64_t t0 = opts_.telemetry != nullptr ? obs::NowNs() : 0;
+  ++stats_.queries;
+  EnsureGraph();
+  // Same carry-over resizing as the up-cone passes: new atoms (interned
+  // by rule deltas since the last pass) enter undefined.
+  model_.model.Resize(gp_.atom_count());
+  tape_.Resize(gp_.atom_count());
+  if (opts_.compute_levels) {
+    stape_.Resize(gp_.atom_count());
+    model_.true_stage.resize(gp_.atom_count(), 0);
+    model_.false_stage.resize(gp_.atom_count(), 0);
+  }
+  memo_.Grow(cond_->graph().component_count());
+  FoldDirtyIntoPending();
+
+  QueryAnswer out;
+  if (memo_.AllValid()) {
+    // Global fast path: no component anywhere is stale, the tape holds
+    // the full final model — answer without even walking the cone.
+    ++stats_.query_fastpaths;
+  } else {
+    SolveDownCone(atom, &out);
+  }
+  out.value = tape_.Value(atom);
+  if (opts_.compute_levels) {
+    out.true_stage = stape_.true_stage[atom];
+    out.false_stage = stape_.false_stage[atom];
+  }
+  if (opts_.telemetry != nullptr) {
+    tele_.query_latency_us->Record((obs::NowNs() - t0) / 1000);
+    tele_.query_cone_components->Record(out.cone_components);
+    tele_.query_cone_atoms->Record(out.cone_atoms);
+    tele_.query_resolved_components->Record(out.resolved_components);
+    tele_.query_memo_hits->Record(out.memo_hits);
+    PublishTelemetry();
+  }
+  return out;
+}
+
+IncrementalSolver::QueryAnswer IncrementalSolver::QueryAtom(
+    const Term* ground_atom) {
+  std::optional<AtomId> id = gp_.FindAtom(ground_atom);
+  if (!id.has_value()) {
+    ++stats_.queries;
+    ++stats_.query_fastpaths;
+    QueryAnswer out;
+    out.value = TruthValue::kFalse;
+    if (opts_.compute_levels) out.false_stage = 1;
+    return out;
+  }
+  return QueryAtom(*id);
+}
+
+void IncrementalSolver::InvalidateMemo() {
+  memo_.InvalidateAll();
+  // Everything is stale now; the finer-grained pending markers are
+  // subsumed (the next `Model()` is a from-scratch solve, the next query
+  // a cold cone), so drop them rather than re-solving piecemeal.
+  stale_reps_.clear();
+  dirty_.clear();
+  solved_ = false;
 }
 
 }  // namespace gsls

@@ -13,6 +13,7 @@
 #include "analysis/dynamic_condensation.h"
 #include "ground/ground_program.h"
 #include "obs/metrics.h"
+#include "solver/component_memo.h"
 #include "solver/parallel.h"
 #include "solver/solver.h"
 #include "solver/stages.h"
@@ -32,6 +33,8 @@ struct IncrementalStats {
   uint64_t components_resolved = 0; ///< components re-run across all passes
   uint64_t components_reused = 0;   ///< components kept verbatim across passes
   uint64_t cone_cutoffs = 0;        ///< re-solved components whose values held
+  uint64_t queries = 0;             ///< goal-directed `QueryAtom` passes
+  uint64_t query_fastpaths = 0;     ///< queries answered with no cone walk
 
   std::string ToString() const;
 };
@@ -92,6 +95,20 @@ struct IncrementalStats {
 /// scheduling DAG of the parallel path is patched by the matching
 /// `ComponentDag::Splice` (or rebuilt lazily after a split). Atom ids are
 /// stable throughout, so the previous model always carries over.
+///
+/// Goal-directed queries: `QueryAtom` is the relevance dual of the delta
+/// path. Where a delta re-solves the *up*-cone of the changed components
+/// (everything that can depend on them), a query solves only the
+/// *down*-cone of the query atom's component (everything its truth can
+/// depend on) — the well-founded value of an atom is fully determined by
+/// its relevant subprogram, so nothing outside the cone is ever touched
+/// and query latency is proportional to the relevant-subprogram size,
+/// not the program size. Solved components are memoized per component
+/// (`solver::ComponentMemo`) and the two modes compose: a delta
+/// invalidates exactly its dirty components, and the next query re-solves
+/// only `down-cone(query) ∩ stale` — see the class comment in
+/// solver/component_memo.h for the (lazy, change-pruned) invalidation
+/// discipline, and docs/serving.md for the staleness contract.
 class IncrementalSolver {
  public:
   /// Takes ownership of `gp`. Ground deltas — facts via
@@ -171,6 +188,64 @@ class IncrementalSolver {
   /// are false — they have no derivation).
   TruthValue ValueOf(const Term* ground_atom);
 
+  /// What one goal-directed query answered and what it cost.
+  struct QueryAnswer {
+    TruthValue value = TruthValue::kUndefined;
+    /// V_P stage of the answering literal (Def. 2.4), 0 when the atom is
+    /// undefined or the solver runs without `compute_levels`.
+    uint32_t true_stage = 0;
+    uint32_t false_stage = 0;
+    /// Components in the query atom's down-cone (0 on the all-valid fast
+    /// path, which answers without walking the cone).
+    uint32_t cone_components = 0;
+    /// Atoms across the cone's components.
+    uint64_t cone_atoms = 0;
+    /// Cone members that had to (re-)solve — stale or never solved.
+    uint32_t resolved_components = 0;
+    /// Cone members served verbatim from the component memo.
+    uint32_t memo_hits = 0;
+  };
+
+  /// Goal-directed (down-cone) well-founded value of `atom`: walks the
+  /// atoms/components the query's truth can depend on — the mirror image
+  /// of the delta path's up-cone — and solves, in dependency order, only
+  /// the cone members that are stale or were never solved; everything
+  /// else is served from the per-component memo. Values (and stages,
+  /// under `compute_levels`) are bit-identical to a full `Model()` solve
+  /// restricted to the cone, at any thread count: with
+  /// `SolverOptions::num_threads != 1` a multi-component cone runs on
+  /// the work-stealing scheduler restricted to the cone, under the same
+  /// ready-release discipline as the full parallel solve.
+  ///
+  /// Composition with deltas: `Assert`/`Retract`/`AssertRule`/
+  /// `RetractRule` invalidate exactly the components whose rule set
+  /// changed; a query then re-solves `down-cone(atom) ∩ stale`, and a
+  /// re-solve whose values move invalidates its direct dependents in
+  /// turn (change-pruned staleness propagation — see
+  /// solver/component_memo.h). When every component is valid (steady
+  /// query traffic, no deltas), the query is a pure tape lookup.
+  ///
+  /// Does not compute the full model and leaves components outside the
+  /// cone untouched; a later `Model()` call settles everything still
+  /// stale. Both orders are exact — queries and full solves can
+  /// interleave freely with deltas.
+  QueryAnswer QueryAtom(AtomId atom);
+
+  /// Term-level convenience; unregistered atoms are false at stage 1
+  /// (they have no derivation — no solving needed).
+  QueryAnswer QueryAtom(const Term* ground_atom);
+
+  /// Drops every memoized component result (and the cached full-model
+  /// flag): the next `QueryAtom` pays a cold cone solve, the next
+  /// `Model()` a full solve, both against the *retained* program and
+  /// condensation. The serving layer's cache-drop lever; also what the
+  /// query benches use to measure cold-cone latency.
+  void InvalidateMemo();
+
+  /// The per-component query memo (validity, epoch, hit/miss counters).
+  /// Diagnostics and test surface.
+  const solver::ComponentMemo& memo() const { return memo_; }
+
   /// From-scratch masked solve of the current program, including
   /// condensation construction — the exact work a non-incremental caller
   /// would pay per delta. Always sequential: the agreement oracle and
@@ -201,6 +276,15 @@ class IncrementalSolver {
   void FlushPendingDagEdges();
   void ResolveUpCone();
   void ResolveUpConeParallel();
+  /// Moves `dirty_` (fact-delta atoms) into memo invalidations + the
+  /// pending stale set, so query and model passes see one uniform
+  /// "stale components" representation. Requires the graph.
+  void FoldDirtyIntoPending();
+  /// Solves the stale part of `atom`'s down-cone (sequential or
+  /// cone-restricted parallel), marking re-solved components valid and
+  /// invalidating dependents of actual changes. Fills `out`'s cost
+  /// fields.
+  void SolveDownCone(AtomId atom, QueryAnswer* out);
   /// Copies the tape values of `comp`'s atoms into the `model_` mirror.
   void SyncMirror(uint32_t comp);
   /// Mirrors the cumulative stats/diagnostics into registry gauges after a
@@ -231,6 +315,22 @@ class IncrementalSolver {
   WfsModel model_;
   bool solved_ = false;
   std::vector<AtomId> dirty_;  ///< atoms whose fact set changed
+
+  /// Per-component query memo: which components' tape values are final
+  /// for the current program. Sized/repaired alongside the condensation.
+  solver::ComponentMemo memo_;
+  /// Stale components awaiting re-solve, as stable representative atoms
+  /// (`Atoms(c)[0]` — component ids shift under recondensation windows,
+  /// atom ids never do). Fed by deltas (via FoldDirtyIntoPending) and by
+  /// query passes that changed values out-of-cone dependents must see;
+  /// consumed by both `Model()` (whole set) and `QueryAtom` (cone ∩ set).
+  std::vector<AtomId> stale_reps_;
+  /// Scratch for SolveDownCone, persistent across queries like the
+  /// up-cone scratch: per-component membership cleared per pass.
+  std::vector<uint32_t> down_cone_;    ///< BFS order, then sorted ascending
+  /// Per component: 0 = outside the cone, else rank-in-`down_cone_` + 1
+  /// (one array doubles as membership flag and schedule-slot map).
+  std::vector<uint32_t> in_down_cone_;
 
   // Up-cone worklist: marked components, popped in dependency order
   // (sequential path).
@@ -283,6 +383,17 @@ class IncrementalSolver {
     obs::Gauge* cond_window_us = nullptr;
     obs::Gauge* cond_merges = nullptr;
     obs::Gauge* cond_splits = nullptr;
+    // Query-mode channels (the goal-directed serving surface).
+    obs::Histogram* query_latency_us = nullptr;
+    obs::Histogram* query_cone_components = nullptr;
+    obs::Histogram* query_cone_atoms = nullptr;
+    obs::Histogram* query_resolved_components = nullptr;
+    obs::Histogram* query_memo_hits = nullptr;
+    obs::Gauge* queries = nullptr;
+    obs::Gauge* query_fastpaths = nullptr;
+    obs::Gauge* memo_hits = nullptr;
+    obs::Gauge* memo_misses = nullptr;
+    obs::Gauge* memo_invalidations = nullptr;
   };
   TelemetryChannels tele_;
 };
