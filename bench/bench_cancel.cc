@@ -1,0 +1,220 @@
+// Cancellation + deadline benchmarks and the deadline-latency hard gate.
+//
+// Verification gates two properties of the cooperative-cancellation
+// layer on a deep single-SCC chain game whose cancellable solve time
+// dwarfs every interval between checkpoints:
+//
+//   1. A pre-expired deadline aborts at the very first checkpoint: the
+//      solve returns kDeadlineExceeded with every atom still undefined,
+//      having spent only the structural condensation build (which, like
+//      recondensation windows, always runs to completion — there is no
+//      consistent half-built graph to abort into). Its elapsed time is
+//      the measured estimate of that uncancellable prefix.
+//   2. A deadline expiring inside the cancellable solve phase is honored
+//      within one checkpoint interval plus the crash-consistent abort's
+//      own O(component) rollback: the overshoot past the deadline must
+//      stay under a generous multiple of the *measured* mean interval
+//      (cancellable time divided by the checkpoint count a fault
+//      injector learns in count-only mode), plus an eighth of the
+//      cancellable phase for rolling back the in-flight component and
+//      materializing the partial model, plus a 2 ms floor for scheduler
+//      jitter. The bound must itself sit well below the solve time
+//      remaining past the deadline, so a solver that only notices
+//      deadlines between passes fails loudly.
+//
+// The benchmark rows feed BENCH_cancel.json: an inactive-context solve
+// (no token, no deadline — checkpoints must collapse to a latch load)
+// against an armed one, so bench_compare's 1.5x tolerance gates
+// checkpoint overhead run-over-run.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_main.h"
+
+#include <cstdio>
+#include <vector>
+
+#include "ground/ground_program.h"
+#include "term/term_store.h"
+#include "obs/trace.h"
+#include "solver/solver.h"
+#include "util/cancel.h"
+#include "util/strings.h"
+#include "wfs/wfs.h"
+
+using namespace gsls;
+
+namespace {
+
+// Win game engineered so the solve has substantial cancellable work: a
+// K-chain `win_i :- not win_{i+1}` (the determined won/lost frontier
+// walks back from the terminal) welded into a *single* SCC by a dead
+// back-edge rule whose body holds an atom with no rules. The weld never
+// fires, so the model is the chain's alternating won/lost; but
+// condensation-wise all K win atoms share one component, keeping the
+// alternation inside one component evaluation. Built directly as a
+// GroundProgram — this bench measures the solver's checkpoints, not the
+// parser or grounder, and direct construction is what lets the chain be
+// long enough for wall-clock deadline gates to clear scheduler jitter.
+GroundProgram DeepChainProgram(TermStore& store) {
+  constexpr int kChain = 1'500'000;
+  GroundProgram gp(&store);
+  std::vector<AtomId> win(kChain + 1);
+  for (int i = 0; i <= kChain; ++i) {
+    win[i] = gp.InternAtom(store.MakeConstant(StrCat("win_n", i)));
+  }
+  const AtomId unreachable =
+      gp.InternAtom(store.MakeConstant("unreachable"));
+  for (int i = 0; i < kChain; ++i) {
+    gp.AddRule({win[i], {}, {win[i + 1]}});
+  }
+  gp.AddRule({win[kChain], {win[0], unreachable}, {}});
+  return gp;
+}
+
+uint64_t MedianSolveNs(const GroundProgram& gp, const SolverOptions& opts) {
+  uint64_t best = ~0ull;
+  for (int i = 0; i < 3; ++i) {
+    const uint64_t start = SteadyNowNs();
+    benchmark::DoNotOptimize(SolveWfs(gp, opts).model.atom_count());
+    const uint64_t ns = SteadyNowNs() - start;
+    if (ns < best) best = ns;  // min of 3: least-noise estimate
+  }
+  return best;
+}
+
+bool PrintVerification() {
+  TermStore store;
+  GroundProgram gp = DeepChainProgram(store);
+  bool ok = true;
+
+  // Learn the checkpoint count of a completed solve (count-only fault
+  // injector) and the full solve time; their ratio is the mean interval
+  // the deadline gate is expressed in.
+  FaultInjector counter;
+  counter.Arm(0);
+  SolverOptions counted;
+  counted.fault = &counter;
+  SolveWfs(gp, counted);
+  const uint64_t checkpoints = counter.checkpoints();
+  const uint64_t full_ns = MedianSolveNs(gp, SolverOptions{});
+
+  std::printf("=== cancellation/deadline gate ===\n");
+  if (checkpoints == 0) {
+    std::printf("FAIL: solve reported no cancellation checkpoints\n");
+    return false;
+  }
+
+  // -- gate 1: pre-expired deadline aborts at the first checkpoint ------
+  // The elapsed time doubles as the measured estimate of the structural
+  // (uncancellable) condensation-build prefix.
+  uint64_t build_ns = 0;
+  {
+    SolverOptions opts;
+    opts.deadline_ns = 1;  // long past on the steady clock
+    const uint64_t start = SteadyNowNs();
+    WfsModel aborted = SolveWfs(gp, opts);
+    build_ns = SteadyNowNs() - start;
+    bool untouched = true;
+    for (AtomId a = 0; a < aborted.model.atom_count(); ++a) {
+      if (aborted.model.Value(a) != TruthValue::kUndefined) untouched = false;
+    }
+    std::printf("pre-expired deadline  : %8.3f ms, outcome=%s, untouched=%d\n",
+                build_ns / 1e6, SolveOutcomeName(aborted.outcome), untouched);
+    if (aborted.outcome != SolveOutcome::kDeadlineExceeded || !untouched) {
+      std::printf("FAIL: expected an untouched deadline-exceeded model\n");
+      ok = false;
+    }
+    if (build_ns >= full_ns) {
+      std::printf("FAIL: immediate abort took longer than a full solve\n");
+      ok = false;
+    }
+  }
+
+  const uint64_t cancellable_ns = full_ns - build_ns;
+  const uint64_t interval_ns = cancellable_ns / checkpoints;
+  std::printf("full solve            : %8.3f ms (%.3f ms build + %.3f ms "
+              "cancellable over %llu checkpoints, mean interval %.2f us)\n",
+              full_ns / 1e6, build_ns / 1e6, cancellable_ns / 1e6,
+              static_cast<unsigned long long>(checkpoints),
+              interval_ns / 1e3);
+
+  // -- gate 2: mid-solve deadline honored within one interval -----------
+  // Deadline one third into the cancellable phase. The overshoot bound
+  // has three parts: 25 mean checkpoint intervals (the latency until a
+  // checkpoint observes the expiry), one eighth of the cancellable phase
+  // (the abort is crash-consistent, so the in-flight component — here one
+  // giant SCC — is rolled back to undefined and the partial model still
+  // materializes, both O(component)), and a 2 ms scheduler-jitter floor.
+  // A pass-granular (or coarser) solver overshoots by a large fraction of
+  // the remaining two thirds and fails; the separation sanity check keeps
+  // the gate meaningful if the workload shrinks. Scheduler noise can
+  // double the rollback cost on a loaded CI host, so the timing check
+  // gets four attempts — a structurally late solver fails all four
+  // deterministically, a noise spike does not repeat.
+  {
+    const uint64_t budget_ns = build_ns + cancellable_ns / 3;
+    const uint64_t slack_ns =
+        25 * interval_ns + cancellable_ns / 8 + 2'000'000;
+    if (slack_ns * 2 >= full_ns - budget_ns) {
+      std::printf("FAIL: slack bound is not separated from the remaining "
+                  "solve time; grow the workload\n");
+      ok = false;
+    }
+    bool within_bound = false;
+    for (int attempt = 1; attempt <= 4 && ok && !within_bound; ++attempt) {
+      SolverOptions opts;
+      opts.deadline_ns = DeadlineAfterNs(budget_ns);
+      const uint64_t start = SteadyNowNs();
+      WfsModel aborted = SolveWfs(gp, opts);
+      const uint64_t ns = SteadyNowNs() - start;
+      const uint64_t overshoot = ns > budget_ns ? ns - budget_ns : 0;
+      std::printf("mid-solve deadline %d/4: %8.3f ms for a %.3f ms budget "
+                  "(overshoot %.3f ms, bound %.3f ms)\n",
+                  attempt, ns / 1e6, budget_ns / 1e6, overshoot / 1e6,
+                  slack_ns / 1e6);
+      if (aborted.outcome != SolveOutcome::kDeadlineExceeded) {
+        std::printf("FAIL: expected deadline-exceeded, got %s\n",
+                    SolveOutcomeName(aborted.outcome));
+        ok = false;
+      }
+      within_bound = overshoot <= slack_ns;
+    }
+    if (ok && !within_bound) {
+      std::printf("FAIL: deadline overshoot above the checkpoint-interval "
+                  "bound on all four attempts\n");
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+// -- benchmark rows: checkpoint overhead, inactive vs armed --------------
+
+void BM_FreshSolveNoToken(benchmark::State& state) {
+  TermStore store;
+  GroundProgram gp = DeepChainProgram(store);
+  SolverOptions opts;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveWfs(gp, opts).model.atom_count());
+  }
+}
+BENCHMARK(BM_FreshSolveNoToken)->Unit(benchmark::kMillisecond);
+
+void BM_FreshSolveArmedToken(benchmark::State& state) {
+  TermStore store;
+  GroundProgram gp = DeepChainProgram(store);
+  CancelToken token;
+  SolverOptions opts;
+  opts.cancel = &token;
+  opts.deadline_ns = DeadlineAfterNs(3'600'000'000'000ull);  // far future
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveWfs(gp, opts).model.atom_count());
+  }
+}
+BENCHMARK(BM_FreshSolveArmedToken)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+GSLS_BENCH_MAIN_GATED(PrintVerification(),
+                      "cancellation deadline-latency gate failed")

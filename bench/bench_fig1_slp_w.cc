@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include <cstdio>
 
 #include "core/slp_tree.h"
@@ -55,10 +57,4 @@ BENCHMARK(BM_BuildSlpTreeW)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  gsls::obs::TraceFlagGuard trace(&argc, argv);
-  PrintVerification();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+GSLS_BENCH_MAIN(PrintVerification())

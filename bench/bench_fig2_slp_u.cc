@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include <cstdio>
 
 #include "core/slp_tree.h"
@@ -98,10 +100,4 @@ BENCHMARK(BM_BuildSlpTreeU0Truncated)->Arg(8)->Arg(32)->Arg(128);
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  gsls::obs::TraceFlagGuard trace(&argc, argv);
-  PrintVerification();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+GSLS_BENCH_MAIN(PrintVerification())

@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include <cstdio>
 
 #include "core/global_tree.h"
@@ -81,10 +83,4 @@ BENCHMARK(BM_GlobalTreeWn)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(12);
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  gsls::obs::TraceFlagGuard trace(&argc, argv);
-  PrintVerification();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+GSLS_BENCH_MAIN(PrintVerification())

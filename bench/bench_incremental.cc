@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include <chrono>
 #include <cstdio>
 #include <iostream>
@@ -229,15 +231,12 @@ BENCHMARK(BM_IncrementalDelta_RandomGame)->Arg(16)->Arg(32)->Arg(64);
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  gsls::obs::TraceFlagGuard trace(&argc, argv);
+// Verification gates the delta/fresh agreement; the telemetry table is
+// informational and printed alongside it.
+bool VerifyAndReport() {
   bool ok = PrintVerification();
   PrintTelemetry();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  if (!ok) {
-    std::fprintf(stderr, "incremental/fresh model disagreement\n");
-    return 1;
-  }
-  return 0;
+  return ok;
 }
+
+GSLS_BENCH_MAIN_GATED(VerifyAndReport(), "incremental/fresh model disagreement")

@@ -18,6 +18,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -282,14 +284,4 @@ BENCHMARK(BM_SolveWfs_NoLevels_RandomGame)->Arg(32)->Arg(64)->Arg(128);
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  gsls::obs::TraceFlagGuard trace(&argc, argv);
-  bool ok = PrintVerification();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  if (!ok) {
-    std::fprintf(stderr, "level/stage disagreement\n");
-    return 1;
-  }
-  return 0;
-}
+GSLS_BENCH_MAIN_GATED(PrintVerification(), "level/stage disagreement")

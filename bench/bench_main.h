@@ -1,0 +1,64 @@
+#ifndef GSLS_BENCH_BENCH_MAIN_H_
+#define GSLS_BENCH_BENCH_MAIN_H_
+
+// Shared `main()` for the bench binaries. Every bench follows the same
+// shape: install the `--gsls_trace` flag guard, run a file-local
+// `PrintVerification()` (either `void`, or `bool` when its result is a
+// hard CI gate), then hand the remaining flags to Google Benchmark.
+// These macros hoist that boilerplate; a bench file keeps only its
+// workloads, its verification table, and one macro line.
+//
+//   GSLS_BENCH_MAIN(PrintVerification());
+//       verification prints a table but gates nothing (void or ignored).
+//
+//   GSLS_BENCH_MAIN_GATED(PrintVerification(), "model disagreement");
+//       the expression yields bool; `false` exits 1 with the message
+//       *after* the benchmarks ran, so the JSON is still written and the
+//       failure is visible in CI both as the message and the exit code.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <type_traits>
+#include <utility>
+
+#include "obs/trace.h"
+
+namespace gsls::bench {
+
+// Runs a verification callable and normalizes its result to the gate
+// convention: `void` verifications always pass, `bool` ones gate.
+template <typename F>
+bool RunVerification(F&& verify) {
+  if constexpr (std::is_void_v<decltype(std::forward<F>(verify)())>) {
+    std::forward<F>(verify)();
+    return true;
+  } else {
+    return std::forward<F>(verify)();
+  }
+}
+
+inline int GateExit(bool ok, const char* failure_message) {
+  if (!ok) {
+    std::fprintf(stderr, "%s\n", failure_message);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace gsls::bench
+
+#define GSLS_BENCH_MAIN_GATED(verify_expr, failure_message)                \
+  int main(int argc, char** argv) {                                        \
+    gsls::obs::TraceFlagGuard gsls_bench_trace(&argc, argv);               \
+    const bool gsls_bench_ok =                                             \
+        ::gsls::bench::RunVerification([&] { return (verify_expr); });     \
+    benchmark::Initialize(&argc, argv);                                    \
+    benchmark::RunSpecifiedBenchmarks();                                   \
+    return ::gsls::bench::GateExit(gsls_bench_ok, failure_message);        \
+  }
+
+#define GSLS_BENCH_MAIN(verify_expr) \
+  GSLS_BENCH_MAIN_GATED(verify_expr, "bench verification failed")
+
+#endif  // GSLS_BENCH_BENCH_MAIN_H_

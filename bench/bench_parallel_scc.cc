@@ -10,6 +10,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -211,14 +213,4 @@ BENCHMARK(BM_SequentialDenseRandom)->Arg(64)->Arg(128)->Arg(256);
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  gsls::obs::TraceFlagGuard trace(&argc, argv);
-  bool ok = PrintVerification();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  if (!ok) {
-    std::fprintf(stderr, "parallel/sequential model disagreement\n");
-    return 1;
-  }
-  return 0;
-}
+GSLS_BENCH_MAIN_GATED(PrintVerification(), "parallel/sequential model disagreement")

@@ -12,6 +12,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -453,15 +455,4 @@ BENCHMARK(BM_QueryCold_Forest)->Arg(4)->Arg(16);
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  gsls::obs::TraceFlagGuard trace(&argc, argv);
-  bool ok = PrintVerification();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  if (!ok) {
-    std::fprintf(stderr,
-                 "query-cone agreement or speedup gate failed\n");
-    return 1;
-  }
-  return 0;
-}
+GSLS_BENCH_MAIN_GATED(PrintVerification(), "query-cone agreement or speedup gate failed")

@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include <cstdio>
 
 #include "core/engine.h"
@@ -137,10 +139,4 @@ BENCHMARK(BM_SldnfChainDivergenceCost)->Arg(16)->Arg(64)->Arg(256);
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  gsls::obs::TraceFlagGuard trace(&argc, argv);
-  PrintVerification();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+GSLS_BENCH_MAIN(PrintVerification())

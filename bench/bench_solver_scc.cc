@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -193,16 +195,6 @@ BENCHMARK(BM_Alternating_Propositional)->Arg(64)->Arg(256)->Arg(1024);
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  gsls::obs::TraceFlagGuard trace(&argc, argv);
-  // The agreement table is a hard gate: CI fails on any disagreement, not
-  // just on a crash.
-  bool ok = PrintVerification();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  if (!ok) {
-    std::fprintf(stderr, "solver/reference model disagreement\n");
-    return 1;
-  }
-  return 0;
-}
+// The agreement table is a hard gate: CI fails on any disagreement, not
+// just on a crash.
+GSLS_BENCH_MAIN_GATED(PrintVerification(), "solver/reference model disagreement")

@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include <cstdio>
 
 #include "core/engine.h"
@@ -131,16 +133,6 @@ BENCHMARK(BM_TabledEngineGame)->Arg(4)->Arg(6)->Arg(8)->Arg(16)->Arg(32);
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  gsls::obs::TraceFlagGuard trace(&argc, argv);
-  // Soundness (mismatch == 0) is a hard gate: CI fails on any mismatch,
-  // not just on a crash. Honest kUnknowns are allowed.
-  bool ok = PrintVerification();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  if (!ok) {
-    std::fprintf(stderr, "status/truth mismatch (soundness violation)\n");
-    return 1;
-  }
-  return 0;
-}
+// Soundness (mismatch == 0) is a hard gate: CI fails on any mismatch,
+// not just on a crash. Honest kUnknowns are allowed.
+GSLS_BENCH_MAIN_GATED(PrintVerification(), "status/truth mismatch (soundness violation)")

@@ -16,6 +16,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -159,14 +161,4 @@ BENCHMARK(BM_DeltaChurn_Registry);
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  gsls::obs::TraceFlagGuard trace(&argc, argv);
-  bool ok = PrintVerification();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  if (!ok) {
-    std::fprintf(stderr, "telemetry overhead above gate\n");
-    return 1;
-  }
-  return 0;
-}
+GSLS_BENCH_MAIN_GATED(PrintVerification(), "telemetry overhead above gate")

@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include <cstdio>
 
 #include "ground/grounder.h"
@@ -131,10 +133,4 @@ BENCHMARK(BM_Grounding_RandomGame)->Arg(16)->Arg(32)->Arg(64);
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  gsls::obs::TraceFlagGuard trace(&argc, argv);
-  PrintVerification();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+GSLS_BENCH_MAIN(PrintVerification())

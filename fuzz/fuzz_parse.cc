@@ -1,0 +1,60 @@
+// libFuzzer target over the textual front half of the pipeline:
+//
+//   bytes -> ParseProgram -> GroundRelevant -> SolveWfs
+//
+// Every stage runs with hard budgets so a pathological input costs bounded
+// work instead of an OOM or a multi-second timeout the fuzzer would
+// misreport as a hang:
+//
+//   * the grounder gets a small universe (few hundred terms, depth 2) and
+//     tight rule/atom caps — exceeding any of them is a clean
+//     ResourceExhausted status, which is a *pass* for the fuzzer;
+//   * the solver gets a step budget, so an adversarially dense grounding
+//     still returns (outcome kDeadlineExceeded) after a bounded number of
+//     checkpoints.
+//
+// Only the Status-returning entry points are exercised: the `Must*` /
+// `DieOnParse` helpers in lang/parser.h are test-and-example conveniences
+// that abort() on bad input by design, which a fuzzer would report as a
+// crash on every malformed program. Anything that aborts, throws, or trips
+// a sanitizer here is a real bug.
+//
+// Build (gated in CMakeLists.txt on Clang + GSLS_SANITIZE, which provides
+// the instrumentation libFuzzer needs):
+//
+//   cmake -B build-fuzz -DGSLS_SANITIZE=ON -DGSLS_BUILD_FUZZERS=ON \
+//         -DCMAKE_CXX_COMPILER=clang++
+//   cmake --build build-fuzz --target fuzz_parse
+//   ./build-fuzz/fuzz_parse -max_len=4096 -max_total_time=60
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "ground/grounder.h"
+#include "lang/parser.h"
+#include "solver/solver.h"
+#include "term/term_store.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view src(reinterpret_cast<const char*>(data), size);
+
+  gsls::TermStore store;
+  gsls::Result<gsls::Program> parsed = gsls::ParseProgram(store, src);
+  if (!parsed.ok()) return 0;  // rejected inputs are the common, boring case
+
+  gsls::GroundingOptions gopts;
+  gopts.universe.max_term_depth = 2;  // exercise the function-symbol paths
+  gopts.universe.max_terms = 512;
+  gopts.max_rules = 20'000;
+  gopts.max_atoms = 10'000;
+  gsls::Result<gsls::GroundProgram> grounded =
+      gsls::GroundRelevant(parsed.value(), gopts);
+  if (!grounded.ok()) return 0;  // budget exhaustion is a clean rejection
+
+  gsls::SolverOptions sopts;
+  sopts.step_budget = 200'000;  // bounded checkpoints, never a hang
+  sopts.compute_levels = true;  // stage reconstruction sees the input too
+  gsls::SolveWfs(grounded.value(), sopts);
+  return 0;
+}

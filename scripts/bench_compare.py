@@ -33,18 +33,53 @@ import sys
 UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 
+class MalformedBenchJson(Exception):
+    """A BENCH_*.json that cannot be parsed into benchmark rows."""
+
+
 def load_rows(path):
-    """benchmark name -> real_time in ns (aggregates skipped)."""
-    with open(path) as f:
-        data = json.load(f)
+    """benchmark name -> real_time in ns (aggregates skipped).
+
+    Raises MalformedBenchJson — with a one-line human reason, never a
+    traceback — for anything a truncated upload or a crashed benchmark
+    binary can leave behind: unreadable file, invalid/truncated JSON, or
+    JSON whose shape is not Google Benchmark's (top-level dict with a
+    `benchmarks` list of dicts, numeric `real_time`).
+    """
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except OSError as e:
+        raise MalformedBenchJson(f"unreadable: {e.strerror or e}") from e
+    except json.JSONDecodeError as e:
+        raise MalformedBenchJson(
+            f"invalid JSON (truncated upload?): {e.msg} at line {e.lineno} "
+            f"column {e.colno}") from e
+    if not isinstance(data, dict):
+        raise MalformedBenchJson(
+            f"top level is {type(data).__name__}, expected a Google "
+            "Benchmark object")
+    benchmarks = data.get("benchmarks", [])
+    if not isinstance(benchmarks, list):
+        raise MalformedBenchJson("'benchmarks' is not a list")
     rows = {}
-    for b in data.get("benchmarks", []):
+    for i, b in enumerate(benchmarks):
+        if not isinstance(b, dict):
+            raise MalformedBenchJson(f"benchmarks[{i}] is not an object")
         if b.get("run_type") == "aggregate":
             continue
         unit = UNIT_NS.get(b.get("time_unit", "ns"))
         if unit is None or "real_time" not in b:
             continue
-        rows[b["name"]] = b["real_time"] * unit
+        name = b.get("name")
+        real_time = b["real_time"]
+        if not isinstance(name, str):
+            raise MalformedBenchJson(f"benchmarks[{i}] has no string 'name'")
+        if not isinstance(real_time, (int, float)) or isinstance(
+                real_time, bool):
+            raise MalformedBenchJson(
+                f"benchmarks[{i}] ({name!r}) has non-numeric real_time")
+        rows[name] = real_time * unit
     return rows
 
 
@@ -108,8 +143,23 @@ def main():
             regressions.append(f"{name}: missing from current run")
             records.append((name, None, None, None, "missing file"))
             continue
-        base = load_rows(base_path)
-        cur = load_rows(cur_path)
+        try:
+            base = load_rows(base_path)
+        except MalformedBenchJson as e:
+            # A corrupt *baseline* (e.g. a truncated artifact download) is
+            # outside this run's control: warn and skip the family rather
+            # than wedging the gate. The next green main run rewrites it.
+            print(f"  WARNING: skipping baseline {name}: {e}")
+            records.append((name, None, None, None, "malformed baseline"))
+            continue
+        try:
+            cur = load_rows(cur_path)
+        except MalformedBenchJson as e:
+            # A corrupt *current* file was produced by this very run — the
+            # bench binary crashed mid-write or emitted garbage. Fail.
+            regressions.append(f"{name}: malformed current-run JSON: {e}")
+            records.append((name, None, None, None, "malformed current"))
+            continue
         for row, base_ns in sorted(base.items()):
             cur_ns = cur.get(row)
             if cur_ns is None:

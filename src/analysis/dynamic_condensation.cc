@@ -34,7 +34,13 @@ void DynamicCondensation::AddAtoms(size_t new_atom_count) {
 
 void DynamicCondensation::RecondenseWindow(
     const GroundProgram& gp, const std::vector<uint8_t>* disabled,
-    uint32_t lo, uint32_t hi, CondensationRepair* out) {
+    uint32_t lo, uint32_t hi, CondensationRepair* out, CancelCtx* cancel) {
+  // Latch-only cancellation: the ticks below poll the ctx (latching the
+  // outcome and counting toward fault/step budgets) but their return value
+  // is deliberately ignored — a window must always complete structurally,
+  // since a half-spliced condensation has no consistent rollback state.
+  // The latched abort takes effect at the caller's next solve checkpoint.
+  StridedCheckpoint tick(cancel);
   AtomDependencyGraph& g = graph_;
   const uint32_t old_k = hi - lo + 1;
   const uint32_t abegin = g.comp_offsets_[lo];
@@ -73,6 +79,7 @@ void DynamicCondensation::RecondenseWindow(
   // define the window.
   std::vector<uint32_t> adj_off(w + 1, 0);
   for (uint32_t i = 0; i < w; ++i) {
+    (void)tick.Tick();
     for (RuleId rid : gp.RulesFor(old_window_atoms_[i])) {
       if (!RuleEnabledIn(disabled, rid)) continue;
       const GroundRule& r = gp.rules()[rid];
@@ -88,6 +95,7 @@ void DynamicCondensation::RecondenseWindow(
   std::vector<uint32_t> adj_tgt(adj_off[w]);
   std::vector<uint32_t> cursor(adj_off.begin(), adj_off.end() - 1);
   for (uint32_t i = 0; i < w; ++i) {
+    (void)tick.Tick();
     for (RuleId rid : gp.RulesFor(old_window_atoms_[i])) {
       if (!RuleEnabledIn(disabled, rid)) continue;
       const GroundRule& r = gp.rules()[rid];
@@ -130,6 +138,7 @@ void DynamicCondensation::RecondenseWindow(
     on_stack[root] = true;
     frames.push_back(Frame{root, adj_off[root]});
     while (!frames.empty()) {
+      (void)tick.Tick();
       Frame& f = frames.back();
       if (f.edge < adj_off[f.node + 1]) {
         uint32_t next = adj_tgt[f.edge++];
@@ -251,7 +260,8 @@ void DynamicCondensation::RecondenseWindow(
 }
 
 CondensationRepair DynamicCondensation::InsertRule(
-    const GroundProgram& gp, const std::vector<uint8_t>* disabled, RuleId r) {
+    const GroundProgram& gp, const std::vector<uint8_t>* disabled, RuleId r,
+    CancelCtx* cancel) {
   ++stats_.inserts;
   CondensationRepair out;
   const GroundRule& rule = gp.rules()[r];
@@ -266,7 +276,7 @@ CondensationRepair DynamicCondensation::InsertRule(
     // one way a rule insertion can close a cycle or break the id order.
     // Any closing path descends through ids in [ch, cmax], so that window
     // is the whole affected region.
-    RecondenseWindow(gp, disabled, ch, cmax, &out);
+    RecondenseWindow(gp, disabled, ch, cmax, &out, cancel);
   } else {
     // Order-respecting edges: membership and ids hold everywhere; only the
     // head component's recursion flags can tighten.
@@ -298,7 +308,8 @@ CondensationRepair DynamicCondensation::InsertRule(
 }
 
 CondensationRepair DynamicCondensation::RemoveRule(
-    const GroundProgram& gp, const std::vector<uint8_t>* disabled, RuleId r) {
+    const GroundProgram& gp, const std::vector<uint8_t>* disabled, RuleId r,
+    CancelCtx* cancel) {
   ++stats_.removals;
   CondensationRepair out;
   const GroundRule& rule = gp.rules()[r];
@@ -313,7 +324,7 @@ CondensationRepair DynamicCondensation::RemoveRule(
     // component may no longer be strongly connected. Removing
     // cross-component edges, by contrast, never changes membership and
     // only relaxes order constraints, which stay satisfied.
-    RecondenseWindow(gp, disabled, ch, ch, &out);
+    RecondenseWindow(gp, disabled, ch, ch, &out, cancel);
   }
   out.dirty.push_back(g.comp_of_[rule.head]);
   return out;

@@ -8,6 +8,7 @@
 
 #include "analysis/atom_dependency_graph.h"
 #include "ground/ground_program.h"
+#include "util/cancel.h"
 
 namespace gsls {
 
@@ -105,15 +106,25 @@ class DynamicCondensation {
   /// Repairs the condensation after rule `r` of `gp` was enabled (newly
   /// added, or its disabled-mask byte cleared). Every atom of the rule
   /// must already be covered (`AddAtoms`).
+  ///
+  /// Cancellation (`cancel` non-null): a recondensation window polls the
+  /// ctx every `kCancelStride` steps, but — unlike the solve loops — it
+  /// always *completes structurally*: a half-spliced condensation has no
+  /// consistent state to roll back to, so the checkpoints latch the
+  /// outcome (and count toward fault/step budgets) while the window runs
+  /// to the end. The abort then lands at the next solve-side checkpoint;
+  /// windows are O(affected slice), so the added latency is bounded by
+  /// the repair the caller already asked for.
   CondensationRepair InsertRule(const GroundProgram& gp,
                                 const std::vector<uint8_t>* disabled,
-                                RuleId r);
+                                RuleId r, CancelCtx* cancel = nullptr);
 
   /// Repairs the condensation after rule `r` of `gp` was disabled. Only
-  /// the head's component can change (it may split).
+  /// the head's component can change (it may split). Cancellation as in
+  /// `InsertRule`: latch-only, the window always completes.
   CondensationRepair RemoveRule(const GroundProgram& gp,
                                 const std::vector<uint8_t>* disabled,
-                                RuleId r);
+                                RuleId r, CancelCtx* cancel = nullptr);
 
   /// Counters describing how local the repairs stayed.
   struct Stats {
@@ -136,7 +147,8 @@ class DynamicCondensation {
   /// delta, and recomputes the window's recursion/negation flags.
   void RecondenseWindow(const GroundProgram& gp,
                         const std::vector<uint8_t>* disabled, uint32_t lo,
-                        uint32_t hi, CondensationRepair* out);
+                        uint32_t hi, CondensationRepair* out,
+                        CancelCtx* cancel);
 
   AtomDependencyGraph graph_;
 

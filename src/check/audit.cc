@@ -1,0 +1,279 @@
+#include "check/audit.h"
+
+#include <cstddef>
+
+#include "analysis/atom_dependency_graph.h"
+#include "solver/component_eval.h"
+#include "solver/stages.h"
+#include "solver/truth_tape.h"
+#include "util/strings.h"
+
+namespace gsls::check {
+
+namespace {
+
+/// Failure lines beyond this are one corrupted structure reported many
+/// times over; the cap keeps a broken-invariant test log readable.
+constexpr size_t kMaxFailures = 32;
+
+void Fail(AuditReport* report, std::string message) {
+  if (report->failures.size() < kMaxFailures) {
+    report->failures.push_back(std::move(message));
+  }
+}
+
+int ValueInt(TruthValue v) { return static_cast<int>(v); }
+
+}  // namespace
+
+std::string AuditReport::ToString() const {
+  if (ok()) return "ok";
+  std::string out;
+  for (const std::string& f : failures) {
+    out += f;
+    out += '\n';
+  }
+  return out;
+}
+
+AuditReport SolverAuditor::Audit(const IncrementalSolver& s) {
+  AuditReport report;
+  if (s.cond_ == nullptr) return report;  // nothing built, nothing to break
+  const AtomDependencyGraph& g = s.cond_->graph();
+  const GroundProgram& gp = s.gp_;
+  const uint32_t ncomp = g.component_count();
+  const size_t covered = g.atom_count();
+
+  // -- 2. CSR well-formedness of the maintained condensation ------------
+  if (covered > gp.atom_count()) {
+    Fail(&report, StrCat("graph covers ", covered, " atoms but the program "
+                         "registers only ", gp.atom_count()));
+  }
+  size_t member_total = 0;
+  for (uint32_t c = 0; c < ncomp; ++c) member_total += g.Atoms(c).size();
+  if (member_total != covered) {
+    Fail(&report, StrCat("component slices hold ", member_total,
+                         " atoms, graph covers ", covered));
+  }
+  for (AtomId a = 0; a < covered; ++a) {
+    const uint32_t c = g.ComponentOf(a);
+    if (c >= ncomp) {
+      Fail(&report, StrCat("atom ", a, ": component ", c, " out of range"));
+      continue;
+    }
+    const std::span<const AtomId> atoms = g.Atoms(c);
+    const uint32_t rank = g.LocalIndexOf(a);
+    if (rank >= atoms.size() || atoms[rank] != a) {
+      Fail(&report, StrCat("atom ", a, ": CSR slice of component ", c,
+                           " does not list it at rank ", rank));
+    }
+  }
+
+  // -- 1. Condensation vs fresh Tarjan ----------------------------------
+  // Only when the maintained graph covers every registered atom (between
+  // an atom-interning delta and the next solve it legitimately lags; the
+  // next pass grows it before any component runs).
+  if (covered == gp.atom_count()) {
+    report.graph_audited = true;
+    AtomDependencyGraph fresh(gp, &s.disabled_);
+    if (fresh.component_count() != ncomp) {
+      Fail(&report, StrCat("maintained condensation has ", ncomp,
+                           " components, fresh Tarjan finds ",
+                           fresh.component_count()));
+    } else {
+      for (uint32_t c = 0; c < ncomp; ++c) {
+        const std::span<const AtomId> atoms = g.Atoms(c);
+        if (atoms.empty()) {
+          Fail(&report, StrCat("component ", c, " is empty"));
+          continue;
+        }
+        const uint32_t fc = fresh.ComponentOf(atoms[0]);
+        if (fresh.Atoms(fc).size() != atoms.size()) {
+          Fail(&report, StrCat("component ", c, " has ", atoms.size(),
+                               " atoms, its fresh counterpart ", fc, " has ",
+                               fresh.Atoms(fc).size()));
+        }
+        for (AtomId a : atoms) {
+          if (fresh.ComponentOf(a) != fc) {
+            Fail(&report, StrCat("atoms ", atoms[0], " and ", a,
+                                 " share maintained component ", c,
+                                 " but not a fresh component"));
+            break;
+          }
+        }
+        if (g.IsRecursive(c) != fresh.IsRecursive(fc) ||
+            g.HasInternalNegation(c) != fresh.HasInternalNegation(fc)) {
+          Fail(&report, StrCat("component ", c, ": flags recursive=",
+                               g.IsRecursive(c), " neg=",
+                               g.HasInternalNegation(c),
+                               " disagree with fresh build (recursive=",
+                               fresh.IsRecursive(fc), " neg=",
+                               fresh.HasInternalNegation(fc), ")"));
+        }
+      }
+    }
+    // Maintained ids must be *a* dependency order (not necessarily the
+    // fresh one): every enabled rule's body sits at or below its head.
+    const std::vector<GroundRule>& rules = gp.rules();
+    for (RuleId r = 0; r < rules.size(); ++r) {
+      if (!RuleEnabledIn(&s.disabled_, r)) continue;
+      const uint32_t hc = g.ComponentOf(rules[r].head);
+      for (AtomId b : rules[r].pos) {
+        if (g.ComponentOf(b) > hc) {
+          Fail(&report, StrCat("rule ", r, ": positive body atom ", b,
+                               " in component ", g.ComponentOf(b),
+                               " above head component ", hc));
+        }
+      }
+      for (AtomId b : rules[r].neg) {
+        if (g.ComponentOf(b) > hc) {
+          Fail(&report, StrCat("rule ", r, ": negative body atom ", b,
+                               " in component ", g.ComponentOf(b),
+                               " above head component ", hc));
+        }
+      }
+    }
+  }
+
+  // -- 4. Memo / stale-set consistency ----------------------------------
+  if (s.memo_.size() > ncomp) {
+    Fail(&report, StrCat("memo tracks ", s.memo_.size(), " components, "
+                         "condensation has ", ncomp));
+  }
+  for (AtomId rep : s.stale_reps_) {
+    if (rep >= covered) {
+      Fail(&report, StrCat("stale representative ", rep,
+                           " outside the condensation"));
+      continue;
+    }
+    const uint32_t c = g.ComponentOf(rep);
+    if (s.memo_.Valid(c)) {
+      Fail(&report, StrCat("component ", c, " (rep ", rep,
+                           ") is queued stale yet memo-valid"));
+    }
+  }
+
+  if (!s.solved_) return report;
+
+  // Fact deltas fold into the memo lazily (`FoldDirtyIntoPending` at the
+  // next solve entry), so between a delta and its solve a component
+  // holding a `dirty_` atom is memo-valid yet already has a changed rule
+  // set — legitimately so, because every read path folds first. The
+  // audit's fixpoint check must treat those components (and components
+  // fed by them) as pending, not corrupted.
+  std::vector<uint8_t> pending(ncomp, 0);
+  for (AtomId a : s.dirty_) {
+    if (a < covered) pending[g.ComponentOf(a)] = 1;
+  }
+  auto effectively_valid = [&](uint32_t c) {
+    return s.memo_.Valid(c) && pending[c] == 0;
+  };
+
+  // -- 3 + 5. Fixpoint, mirror, and stage checks on clean components ----
+  const bool levels = s.opts_.compute_levels;
+  solver::TruthTape scratch_tape = s.tape_;
+  solver::StageTape scratch_stages = s.stape_;
+  SolverDiagnostics scratch_diag;
+  for (uint32_t c = 0; c < ncomp; ++c) {
+    if (!effectively_valid(c)) continue;
+    const std::span<const AtomId> atoms = g.Atoms(c);
+    bool in_bounds = true;
+    for (AtomId a : atoms) {
+      if (a >= s.tape_.size()) {
+        Fail(&report, StrCat("valid component ", c, " atom ", a,
+                             " beyond the tape (", s.tape_.size(), ")"));
+        in_bounds = false;
+      }
+    }
+    if (!in_bounds) continue;
+
+    // -- 5. mirror + stage-sign consistency (cheap, every valid comp) --
+    for (AtomId a : atoms) {
+      const TruthValue v = s.tape_.Value(a);
+      if (a < s.model_.model.atom_count() && s.model_.model.Value(a) != v) {
+        Fail(&report, StrCat("atom ", a, ": mirror value ",
+                             ValueInt(s.model_.model.Value(a)),
+                             " != tape value ", ValueInt(v)));
+      }
+      if (!levels || a >= s.stape_.size()) continue;
+      const uint32_t ts = s.stape_.true_stage[a];
+      const uint32_t fs = s.stape_.false_stage[a];
+      const bool sign_ok = (v == TruthValue::kTrue && ts >= 1 && fs == 0) ||
+                           (v == TruthValue::kFalse && fs >= 1 && ts == 0) ||
+                           (v == TruthValue::kUndefined && ts == 0 && fs == 0);
+      if (!sign_ok) {
+        Fail(&report, StrCat("atom ", a, ": stages (", ts, ",", fs,
+                             ") inconsistent with value ", ValueInt(v)));
+      }
+      if (s.model_.has_levels && a < s.model_.true_stage.size() &&
+          (s.model_.true_stage[a] != ts || s.model_.false_stage[a] != fs)) {
+        Fail(&report, StrCat("atom ", a, ": mirror stages (",
+                             s.model_.true_stage[a], ",",
+                             s.model_.false_stage[a], ") != tape stages (",
+                             ts, ",", fs, ")"));
+      }
+    }
+
+    // -- 3. fixpoint re-check, inputs permitting ----------------------
+    // The memo's closure invariant only promises c's values once every
+    // stale component below it re-solved, so a valid component with a
+    // stale input is skipped, not failed.
+    bool inputs_clean = true;
+    for (AtomId a : atoms) {
+      for (RuleId r : gp.RulesFor(a)) {
+        if (!RuleEnabledIn(&s.disabled_, r)) continue;
+        const GroundRule& rule = gp.rules()[r];
+        for (AtomId b : rule.pos) {
+          const uint32_t bc = g.ComponentOf(b);
+          if (bc != c && !effectively_valid(bc)) inputs_clean = false;
+        }
+        for (AtomId b : rule.neg) {
+          const uint32_t bc = g.ComponentOf(b);
+          if (bc != c && !effectively_valid(bc)) inputs_clean = false;
+        }
+        if (!inputs_clean) break;
+      }
+      if (!inputs_clean) break;
+    }
+    if (!inputs_clean) {
+      ++report.components_skipped;
+      continue;
+    }
+
+    for (AtomId a : atoms) scratch_tape.SetUndefined(a);
+    solver::SolveComponent(gp, g, c, &s.disabled_, &scratch_tape,
+                           levels ? &scratch_stages : nullptr, &scratch_diag);
+    for (AtomId a : atoms) {
+      if (scratch_tape.Value(a) != s.tape_.Value(a)) {
+        Fail(&report, StrCat("component ", c, " is not a fixpoint: atom ", a,
+                             " re-solves to ",
+                             ValueInt(scratch_tape.Value(a)), ", tape holds ",
+                             ValueInt(s.tape_.Value(a))));
+      }
+      if (levels && (scratch_stages.true_stage[a] != s.stape_.true_stage[a] ||
+                     scratch_stages.false_stage[a] !=
+                         s.stape_.false_stage[a])) {
+        Fail(&report, StrCat("component ", c, ": atom ", a,
+                             " stages re-solve to (",
+                             scratch_stages.true_stage[a], ",",
+                             scratch_stages.false_stage[a],
+                             "), tape holds (", s.stape_.true_stage[a], ",",
+                             s.stape_.false_stage[a], ")"));
+      }
+    }
+    // Restore the scratch slots so each component is checked against the
+    // maintained state independently — a (legitimate or buggy) deviation
+    // in one component must not cascade into its dependents' checks.
+    for (AtomId a : atoms) {
+      scratch_tape.SetValue(a, s.tape_.Value(a));
+      if (levels) {
+        scratch_stages.true_stage[a] = s.stape_.true_stage[a];
+        scratch_stages.false_stage[a] = s.stape_.false_stage[a];
+      }
+    }
+    ++report.components_checked;
+  }
+  return report;
+}
+
+}  // namespace gsls::check

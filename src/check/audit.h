@@ -1,0 +1,79 @@
+#ifndef GSLS_CHECK_AUDIT_H_
+#define GSLS_CHECK_AUDIT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "solver/incremental.h"
+
+namespace gsls::check {
+
+/// Outcome of one `AuditSolver` pass: every violated invariant as a
+/// human-readable failure line, plus coverage counters so a test can
+/// assert the audit actually exercised something.
+struct AuditReport {
+  std::vector<std::string> failures;
+
+  /// Memo-valid components whose fixpoint was re-verified by an
+  /// independent re-solve.
+  uint32_t components_checked = 0;
+  /// Memo-valid components skipped because some input component is stale
+  /// (their values are only promised *after* the stale inputs re-solve,
+  /// in dependency order — the memo's closure invariant).
+  uint32_t components_skipped = 0;
+  /// The condensation was compared against a from-scratch Tarjan build.
+  bool graph_audited = false;
+
+  bool ok() const { return failures.empty(); }
+  /// "ok" or the failure lines, newline-joined — test assertion messages.
+  std::string ToString() const;
+};
+
+/// Re-derives every structure the incremental solver maintains and
+/// compares it against the maintained state — the crash-consistency half
+/// of the abort protocol's test story (ISSUE: audit after an abort, then
+/// after the resumed solve). All checks are read-only; the solver is not
+/// advanced, no memo entry or tape byte moves.
+///
+/// Invariants verified:
+///  1. Condensation vs fresh Tarjan over the same enabled subprogram:
+///     identical atom partition and per-component flags, and the
+///     maintained ids form a valid dependency order (every enabled rule's
+///     body component <= its head component). Numbering itself may differ
+///     — both are topological orders of the same DAG.
+///  2. CSR well-formedness of the maintained condensation: `ComponentOf`,
+///     `LocalIndexOf`, and the component slices form a bijection over the
+///     covered atoms.
+///  3. Fixpoint on clean components: every memo-valid component whose
+///     inputs are all valid is independently re-solved on a scratch tape;
+///     values (and V_P stages, under `compute_levels`) must come back
+///     bit-identical. An aborted pass that left a half-written component
+///     marked valid fails here.
+///  4. Memo/stale-set consistency: every queued stale representative
+///     names an *invalid* component (nothing is both served-as-final and
+///     pending re-solve).
+///  5. Mirror and stage consistency: for valid components, the bit-packed
+///     public model (and its stage vectors) agree with the primary tapes,
+///     and stage slots are sign-consistent with the truth values
+///     (true => true_stage >= 1, false_stage == 0; symmetrically for
+///     false; undefined => 0/0).
+///
+/// Cost: one fresh Tarjan plus one re-solve per clean component — meant
+/// for tests and fault drills, not production serving paths.
+AuditReport AuditSolver(const IncrementalSolver& solver);
+
+/// Implementation vehicle for `AuditSolver` — the class the solver
+/// befriends. Use the free function.
+class SolverAuditor {
+ public:
+  static AuditReport Audit(const IncrementalSolver& solver);
+};
+
+inline AuditReport AuditSolver(const IncrementalSolver& solver) {
+  return SolverAuditor::Audit(solver);
+}
+
+}  // namespace gsls::check
+
+#endif  // GSLS_CHECK_AUDIT_H_

@@ -156,6 +156,9 @@ void GlobalSlsEngine::EnsureOracleBuilt() {
   // future deltas — the V_P stage iteration is a test oracle only.
   SolverOptions sopts = opts_.solver;
   sopts.compute_levels = opts_.compute_levels;
+  // Attach a token before the first pass so `Cancel()` always has a
+  // channel the solver polls (the caller's token when supplied).
+  if (sopts.cancel == nullptr) sopts.cancel = &cancel_token_;
   oracle_solver_ = std::make_unique<IncrementalSolver>(
       std::move(ground.value()), sopts);
   oracle_clause_count_ = program_.clauses().size();
@@ -174,6 +177,15 @@ void GlobalSlsEngine::MaybeSeedOracle() {
   // reseeding is one O(atoms) memo fill, not a re-ground and re-solve.
   const GroundProgram& gp = oracle_solver_->program();
   const WfsModel& wfs = oracle_solver_->Model();
+  if (wfs.outcome != SolveOutcome::kCompleted) {
+    // The seed pass was cancelled or hit its deadline: the model is the
+    // anytime partial state, not Thm. 4.7's — seeding from it would
+    // memoize wrong determinations. Leave the memo empty (plain search is
+    // sound without it) and let a later query retry the seed, resuming
+    // exactly the solver's remaining work.
+    oracle_attempted_ = false;
+    return;
+  }
   const bool levels = wfs.has_levels;
   for (AtomId a = 0; a < gp.atom_count(); ++a) {
     MemoEntry& entry = memo_[gp.AtomTerm(a)];
@@ -728,6 +740,11 @@ GoalStatus GlobalSlsEngine::StatusOfRelevant(const Term* ground_atom) {
     if (oracle_solver_ != nullptr) {
       IncrementalSolver::QueryAnswer ans =
           oracle_solver_->QueryAtom(ground_atom);
+      // An aborted down-cone pass reports the pre-abort tape value, which
+      // may not be the atom's well-founded value — `kUnknown` is the
+      // budget-exhausted status (never a wrong determination); the next
+      // query resumes the cone's remaining components.
+      if (ans.outcome != SolveOutcome::kCompleted) return GoalStatus::kUnknown;
       switch (ans.value) {
         case TruthValue::kTrue: return GoalStatus::kSuccessful;
         case TruthValue::kFalse: return GoalStatus::kFailed;

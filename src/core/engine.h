@@ -12,6 +12,7 @@
 #include "lang/program.h"
 #include "solver/incremental.h"
 #include "term/substitution.h"
+#include "util/cancel.h"
 #include "util/status.h"
 
 namespace gsls {
@@ -182,6 +183,32 @@ class GlobalSlsEngine {
   /// on change.
   bool RetractRule(const Clause& rule);
 
+  /// Requests cooperative cancellation of the bottom-up oracle's in-flight
+  /// (or next) solve pass — the `TabledEngine::Cancel` counterpart.
+  /// Thread-safe; latches until `ResetCancel`. The top-down search itself
+  /// is bounded by `max_work` and is not interrupted mid-tree; the oracle
+  /// solve (where unbounded cost lives) stops at its next checkpoint with
+  /// the fully-old-or-fully-new abort invariant, and the next query
+  /// resumes the remainder. Cancels the caller's
+  /// `EngineOptions::solver.cancel` token when one was supplied, otherwise
+  /// an engine-owned token attached at oracle build time.
+  void Cancel() { ActiveCancelToken()->Cancel(); }
+
+  /// Clears a previous `Cancel` so the next oracle pass runs to completion.
+  void ResetCancel() { ActiveCancelToken()->Reset(); }
+
+  /// Deadline / step-budget for subsequent oracle solve passes (0 = none);
+  /// see `SolverOptions::deadline_ns` / `step_budget`. Effective for an
+  /// already-built oracle as well as a future one.
+  void SetDeadlineNs(uint64_t deadline_ns) {
+    opts_.solver.deadline_ns = deadline_ns;
+    if (oracle_solver_ != nullptr) oracle_solver_->SetDeadlineNs(deadline_ns);
+  }
+  void SetStepBudget(uint64_t step_budget) {
+    opts_.solver.step_budget = step_budget;
+    if (oracle_solver_ != nullptr) oracle_solver_->SetStepBudget(step_budget);
+  }
+
   /// The persistent bottom-up oracle instance, if one has been built
   /// (null before the first query or when the oracle does not apply).
   const IncrementalSolver* oracle_solver() const {
@@ -333,6 +360,14 @@ class GlobalSlsEngine {
   /// replay semantics).
   std::unordered_map<std::vector<const Term*>, size_t, OracleDeltaKeyHash>
       oracle_rule_index_;
+  /// The token `Cancel` trips: the caller's when supplied, else the
+  /// engine-owned one (which `EnsureOracleBuilt` attaches to the oracle).
+  CancelToken* ActiveCancelToken() {
+    return opts_.solver.cancel != nullptr ? opts_.solver.cancel
+                                          : &cancel_token_;
+  }
+  CancelToken cancel_token_;
+
   /// `OracleApplies` clause-scan cache (keyed by clause count).
   size_t applies_checked_count_ = static_cast<size_t>(-1);
   bool applies_cache_ = false;

@@ -15,9 +15,19 @@ Result<TabledEngine> TabledEngine::FinishCreate(const Program& program,
                                                 TabledOptions opts) {
   SolverOptions sopts = opts.solver;
   sopts.compute_levels = opts.compute_stages;
+  // `Cancel()` must observe a token the solver already polls, so one is
+  // attached before the first pass: the caller's if supplied, otherwise an
+  // engine-owned one.
+  std::unique_ptr<CancelToken> owned;
+  if (sopts.cancel == nullptr) {
+    owned = std::make_unique<CancelToken>();
+    sopts.cancel = owned.get();
+  }
   TabledEngine engine(program, std::make_unique<IncrementalSolver>(
                                    std::move(gp), sopts));
   engine.opts_ = opts;
+  engine.token_ = sopts.cancel;
+  engine.owned_token_ = std::move(owned);
   return engine;
 }
 

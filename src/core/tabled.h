@@ -7,6 +7,7 @@
 #include "core/engine.h"
 #include "ground/grounder.h"
 #include "solver/incremental.h"
+#include "util/cancel.h"
 #include "util/status.h"
 #include "wfs/wfs.h"
 
@@ -131,6 +132,43 @@ class TabledEngine {
   /// together (it may split). Returns true iff the rule was enabled.
   bool RetractRule(RuleId r);
 
+  /// Refreshes the model — the lazy full-or-incremental solve every read
+  /// (`ValueOf`/`StatusOf`/`Solve`) performs implicitly — and reports the
+  /// pass outcome. `kCompleted` means the model is exact. `kCancelled` /
+  /// `kDeadlineExceeded` mean the pass aborted at a checkpoint: the model
+  /// is the *anytime* partial state (every component either fully solved
+  /// or untouched; see docs/serving.md) and the unfinished remainder stays
+  /// queued. Clear the stop condition (`ResetCancel`, or a fresh deadline)
+  /// and call `Refresh` again to resume exactly the remaining work.
+  SolveOutcome Refresh() { return incremental_->Model().outcome; }
+
+  /// Requests cooperative cancellation of the in-flight (or next) solve
+  /// pass. Thread-safe; callable from any thread while another thread is
+  /// inside `Solve`/`StatusOf`/`Refresh`. The pass stops at its next
+  /// checkpoint with the abort invariant above. The request *latches*:
+  /// every later pass also aborts immediately until `ResetCancel`.
+  void Cancel() { token_->Cancel(); }
+
+  /// Clears a previous `Cancel` so the next read resumes solving.
+  void ResetCancel() { token_->Reset(); }
+
+  /// The cancellation token the engine's solver polls — the one `Cancel`
+  /// trips. `TabledOptions::solver.cancel` when the caller supplied one,
+  /// otherwise a token the engine owns (attached at creation, so `Cancel`
+  /// works out of the box).
+  CancelToken* cancel_token() const { return token_; }
+
+  /// Deadline / step-budget for every subsequent solve pass (0 = none);
+  /// see `SolverOptions::deadline_ns` / `step_budget`. Passes re-read
+  /// these at entry, so setting a fresh deadline after a
+  /// `kDeadlineExceeded` pass resumes the remaining work under it.
+  void SetDeadlineNs(uint64_t deadline_ns) {
+    incremental_->SetDeadlineNs(deadline_ns);
+  }
+  void SetStepBudget(uint64_t step_budget) {
+    incremental_->SetStepBudget(step_budget);
+  }
+
   /// The persistent solver behind this engine (delta mask, stats,
   /// diagnostics).
   const IncrementalSolver& solver() const { return *incremental_; }
@@ -172,6 +210,10 @@ class TabledEngine {
   const Program* program_;
   std::unique_ptr<IncrementalSolver> incremental_;
   TabledOptions opts_;
+  /// Engine-owned token attached when the caller supplied none (behind a
+  /// pointer: `TabledEngine` moves through `Result`, atomics do not).
+  std::unique_ptr<CancelToken> owned_token_;
+  CancelToken* token_ = nullptr;  ///< the attached token (owned or caller's)
 };
 
 }  // namespace gsls

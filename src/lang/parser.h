@@ -30,8 +30,11 @@ Result<Goal> ParseQuery(TermStore& store, std::string_view src);
 /// allocated per call.
 Result<const Term*> ParseTerm(TermStore& store, std::string_view src);
 
-/// Convenience for tests and examples: parses or aborts with the parse
-/// error message.
+/// Convenience for tests and examples ONLY: parses or abort()s with the
+/// parse error message (via the internal `DieOnParse`). Production and
+/// fuzzing callers must use the `Result`-returning entry points above —
+/// `Must*` turns every malformed input into process death, which is a
+/// crash report under a fuzzer and an outage behind a serving endpoint.
 Program MustParseProgram(TermStore& store, std::string_view src);
 Goal MustParseQuery(TermStore& store, std::string_view src);
 const Term* MustParseTerm(TermStore& store, std::string_view src);

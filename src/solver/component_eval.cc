@@ -51,17 +51,24 @@ class ComponentSolver {
  public:
   ComponentSolver(const GroundProgram& gp, const AtomDependencyGraph& graph,
                   uint32_t comp, const std::vector<uint8_t>* disabled,
-                  TruthTape* values, SolverDiagnostics* diag)
-      : table_(gp, graph, comp, *values, disabled), support_(&table_),
-        values_(values), diag_(diag) {}
+                  TruthTape* values, SolverDiagnostics* diag,
+                  CancelCtx* cancel)
+      : table_(gp, graph, comp, *values, disabled, cancel), support_(&table_),
+        values_(values), diag_(diag), cancel_(cancel) {}
 
-  void Run() {
+  /// False iff a cancellation checkpoint aborted the pass mid-component;
+  /// the tape then holds partial writes for this component (the caller
+  /// restores them — see `SolveComponent`).
+  bool Run() {
+    // A trip during rule compilation left an empty table and an untouched
+    // tape: abort exactly as at the component's entry checkpoint.
+    if (table_.aborted()) return false;
     diag_->rules_visited += table_.rule_count();
 
     // Initial support closure on the pristine component; atoms with no
     // possible support (e.g. pure positive loops) fall out immediately.
     std::vector<LocalAtom> unfounded;
-    support_.InitSources(&unfounded);
+    if (!support_.InitSources(&unfounded, cancel_)) return false;
     diag_->unfounded_falsified += unfounded.size();
     for (LocalAtom a : unfounded) SetFalse(a);
 
@@ -79,20 +86,21 @@ class ComponentSolver {
     while (true) {
       {
         GSLS_TRACE_SPAN("component.lfp", table_.rule_count());
-        Propagate();
+        if (!Propagate()) return false;
       }
       if (!support_.HasPending()) break;
       ++diag_->alternating_rounds;
       unfounded.clear();
       {
         GSLS_TRACE_SPAN("component.unfounded", support_.floods());
-        support_.CollectUnfounded(&unfounded);
+        if (!support_.CollectUnfounded(&unfounded, cancel_)) return false;
       }
       diag_->unfounded_falsified += unfounded.size();
       for (LocalAtom a : unfounded) SetFalse(a);
     }
     diag_->unfounded_floods += support_.floods();
     diag_->flood_sizes.MergeFrom(support_.flood_sizes());
+    return true;
   }
 
  private:
@@ -122,8 +130,12 @@ class ComponentSolver {
     support_.OnRuleDead(r);
   }
 
-  void Propagate() {
+  bool Propagate() {
+    // The lfp loop is the worst-case-quadratic interior of a dense SCC:
+    // strided polling bounds abort latency to `kCancelStride` pops.
+    StridedCheckpoint tick(cancel_);
     while (!true_queue_.empty() || !false_queue_.empty()) {
+      if (tick.Tick()) return false;
       if (!true_queue_.empty()) {
         LocalAtom a = true_queue_.back();
         true_queue_.pop_back();
@@ -144,29 +156,38 @@ class ComponentSolver {
         }
       }
     }
+    return true;
   }
 
   RuleTable table_;
   SourceTracker support_;
   TruthTape* values_;
   SolverDiagnostics* diag_;
+  CancelCtx* cancel_;
   std::vector<LocalAtom> true_queue_;
   std::vector<LocalAtom> false_queue_;
 };
 
 }  // namespace
 
-void SolveRecursiveComponent(const GroundProgram& gp,
+bool SolveRecursiveComponent(const GroundProgram& gp,
                              const AtomDependencyGraph& graph, uint32_t comp,
                              const std::vector<uint8_t>* disabled,
-                             TruthTape* values, SolverDiagnostics* diag) {
-  ComponentSolver(gp, graph, comp, disabled, values, diag).Run();
+                             TruthTape* values, SolverDiagnostics* diag,
+                             CancelCtx* cancel) {
+  return ComponentSolver(gp, graph, comp, disabled, values, diag, cancel)
+      .Run();
 }
 
-void SolveComponent(const GroundProgram& gp, const AtomDependencyGraph& graph,
+bool SolveComponent(const GroundProgram& gp, const AtomDependencyGraph& graph,
                     uint32_t comp, const std::vector<uint8_t>* disabled,
                     TruthTape* values, StageTape* stages,
-                    SolverDiagnostics* diag) {
+                    SolverDiagnostics* diag, CancelCtx* cancel) {
+  // The uniform component-boundary checkpoint: every schedule (sequential,
+  // parallel, up-cone, down-cone) funnels through here, so "one checkpoint
+  // per component processed" holds at any thread count — which is also
+  // what makes the fault injector's checkpoint numbering deterministic.
+  if (cancel != nullptr && cancel->Checkpoint()) return false;
   if (!graph.IsRecursive(comp)) {
     // Singleton without a self-loop: one 3-valued pass over its rules.
     AtomId a = graph.Atoms(comp)[0];
@@ -180,18 +201,27 @@ void SolveComponent(const GroundProgram& gp, const AtomDependencyGraph& graph,
     GSLS_TRACE_SPAN("solve.component", comp);
     ++diag->recursive_components;
     if (graph.HasInternalNegation(comp)) ++diag->negation_components;
-    SolveRecursiveComponent(gp, graph, comp, disabled, values, diag);
+    if (!SolveRecursiveComponent(gp, graph, comp, disabled, values, diag,
+                                 cancel)) {
+      // Abort invariant ("fully old or fully new"): erase the partial
+      // writes so the component reads exactly as on entry — all
+      // undefined. Stages were not touched (reconstruction runs only
+      // after values finalize).
+      for (AtomId a : graph.Atoms(comp)) values->SetUndefined(a);
+      return false;
+    }
   }
   if (stages != nullptr) {
     ReconstructComponentStages(gp, graph, comp, disabled, *values, stages);
   }
+  return true;
 }
 
-void SolveAllComponentsInto(const GroundProgram& gp,
-                            const AtomDependencyGraph& graph,
-                            const std::vector<uint8_t>* disabled,
-                            TruthTape* values, StageTape* stages,
-                            SolverDiagnostics* diag) {
+uint32_t SolveAllComponentsInto(const GroundProgram& gp,
+                                const AtomDependencyGraph& graph,
+                                const std::vector<uint8_t>* disabled,
+                                TruthTape* values, StageTape* stages,
+                                SolverDiagnostics* diag, CancelCtx* cancel) {
   values->Assign(gp.atom_count());
   if (stages != nullptr) stages->Assign(gp.atom_count());
   diag->component_count = graph.component_count();
@@ -199,21 +229,27 @@ void SolveAllComponentsInto(const GroundProgram& gp,
     diag->max_component_size =
         std::max(diag->max_component_size,
                  static_cast<uint32_t>(graph.Atoms(c).size()));
-    SolveComponent(gp, graph, c, disabled, values, stages, diag);
+    if (!SolveComponent(gp, graph, c, disabled, values, stages, diag,
+                        cancel)) {
+      return c;
+    }
   }
+  return graph.component_count();
 }
 
 WfsModel SolveAllComponents(const GroundProgram& gp,
                             const AtomDependencyGraph& graph,
                             const std::vector<uint8_t>* disabled,
-                            bool compute_levels, SolverDiagnostics* diag) {
+                            bool compute_levels, SolverDiagnostics* diag,
+                            CancelCtx* cancel) {
   TruthTape values;
   StageTape stages;
   SolveAllComponentsInto(gp, graph, disabled, &values,
-                         compute_levels ? &stages : nullptr, diag);
+                         compute_levels ? &stages : nullptr, diag, cancel);
   WfsModel out;
   out.model = values.ToInterpretation();
   out.iterations = static_cast<uint32_t>(diag->alternating_rounds);
+  if (cancel != nullptr) out.outcome = cancel->outcome();
   if (compute_levels) {
     out.true_stage = std::move(stages.true_stage);
     out.false_stage = std::move(stages.false_stage);

@@ -9,6 +9,7 @@
 #include "solver/solver.h"
 #include "solver/stages.h"
 #include "solver/truth_tape.h"
+#include "util/cancel.h"
 
 namespace gsls::solver {
 
@@ -39,10 +40,16 @@ TruthValue EvalNonRecursiveAtom(const GroundProgram& gp, AtomId atom,
 /// Undecided atoms at quiescence are undefined. Every atom of the
 /// component must be undefined in `*values` on entry; lower components
 /// must be final.
-void SolveRecursiveComponent(const GroundProgram& gp,
+///
+/// With a non-null `cancel`, the propagation and flood loops poll it every
+/// `kCancelStride` steps; false means the solve aborted mid-component and
+/// the tape may hold partial writes for this component's atoms — the
+/// caller must restore them (which `SolveComponent` does).
+bool SolveRecursiveComponent(const GroundProgram& gp,
                              const AtomDependencyGraph& graph, uint32_t comp,
                              const std::vector<uint8_t>* disabled,
-                             TruthTape* values, SolverDiagnostics* diag);
+                             TruthTape* values, SolverDiagnostics* diag,
+                             CancelCtx* cancel = nullptr);
 
 /// Solves component `comp` into `*values` (dispatching on
 /// `graph.IsRecursive`), assuming its atoms are undefined and all lower
@@ -57,29 +64,45 @@ void SolveRecursiveComponent(const GroundProgram& gp,
 /// stages of every lower component to be final in `*stages`, the exact
 /// invariant the dependency-order (and DAG-release) schedules already
 /// guarantee for the values. Null skips every levels cost.
-void SolveComponent(const GroundProgram& gp, const AtomDependencyGraph& graph,
+///
+/// A non-null `cancel` is polled once at entry (this is the uniform
+/// component-boundary checkpoint of every schedule) and strided inside the
+/// recursive loops. Returns false iff the pass aborted before this
+/// component finalized; the component's tape (and stage) entries are then
+/// exactly as on entry — all-undefined — so the abort invariant "fully old
+/// or fully new" reduces to the caller restoring its own snapshot (the
+/// delta path) or nothing at all (the from-scratch path).
+bool SolveComponent(const GroundProgram& gp, const AtomDependencyGraph& graph,
                     uint32_t comp, const std::vector<uint8_t>* disabled,
                     TruthTape* values, StageTape* stages,
-                    SolverDiagnostics* diag);
+                    SolverDiagnostics* diag, CancelCtx* cancel = nullptr);
 
 /// Sequential SCC-stratified solve over an already-built condensation:
 /// every component in dependency order, into `*values` (which is re-sized
 /// and reset to all-undefined), with V_P stages into `*stages` when
 /// non-null (re-sized and reset likewise). The deterministic single-thread
 /// schedule.
-void SolveAllComponentsInto(const GroundProgram& gp,
-                            const AtomDependencyGraph& graph,
-                            const std::vector<uint8_t>* disabled,
-                            TruthTape* values, StageTape* stages,
-                            SolverDiagnostics* diag);
+///
+/// Returns the first component left unsolved — `graph.component_count()`
+/// on a completed pass. A non-null `cancel` can abort between (and inside)
+/// components; components at or above the returned index keep their
+/// all-undefined reset state.
+uint32_t SolveAllComponentsInto(const GroundProgram& gp,
+                                const AtomDependencyGraph& graph,
+                                const std::vector<uint8_t>* disabled,
+                                TruthTape* values, StageTape* stages,
+                                SolverDiagnostics* diag,
+                                CancelCtx* cancel = nullptr);
 
 /// `SolveAllComponentsInto` plus conversion of the tape into the public
-/// `WfsModel`. `SolveWfs` is this plus graph construction;
-/// `IncrementalSolver` calls it for `SolveFresh` baselines.
+/// `WfsModel` (including `WfsModel::outcome` when `cancel` is attached).
+/// `SolveWfs` is this plus graph construction; `IncrementalSolver` calls
+/// it for `SolveFresh` baselines.
 WfsModel SolveAllComponents(const GroundProgram& gp,
                             const AtomDependencyGraph& graph,
                             const std::vector<uint8_t>* disabled,
-                            bool compute_levels, SolverDiagnostics* diag);
+                            bool compute_levels, SolverDiagnostics* diag,
+                            CancelCtx* cancel = nullptr);
 
 }  // namespace gsls::solver
 

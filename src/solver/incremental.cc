@@ -18,7 +18,8 @@ std::string IncrementalStats::ToString() const {
                 " rebuilds=", graph_rebuilds,
                 " resolved=", components_resolved,
                 " reused=", components_reused, " cutoffs=", cone_cutoffs,
-                " queries=", queries, " fastpaths=", query_fastpaths);
+                " queries=", queries, " fastpaths=", query_fastpaths,
+                " aborted=", aborted_passes, " resumed=", resumed_passes);
 }
 
 IncrementalSolver::IncrementalSolver(GroundProgram gp, SolverOptions opts)
@@ -64,6 +65,53 @@ IncrementalSolver::IncrementalSolver(GroundProgram gp, SolverOptions opts)
     tele_.memo_hits = m.GetGauge("query.memo.hits");
     tele_.memo_misses = m.GetGauge("query.memo.misses");
     tele_.memo_invalidations = m.GetGauge("query.memo.invalidations");
+    tele_.cancel_aborts = m.GetCounter("cancel.aborts");
+    tele_.cancel_deadline_exceeded = m.GetCounter("cancel.deadline_exceeded");
+    tele_.cancel_resumes = m.GetCounter("cancel.resumes");
+    tele_.cancel_checkpoints = m.GetCounter("cancel.checkpoints");
+    tele_.cancel_resume_components =
+        m.GetHistogram("cancel.resume_components");
+  }
+}
+
+CancelCtx* IncrementalSolver::ConfigureCancel() {
+  // Re-read the options every time: the Set* mutators (and the engines'
+  // per-request deadlines) change them between passes.
+  CancelToken* token = opts_.cancel;
+  if (token == nullptr && opts_.fault != nullptr) token = &owned_token_;
+  cancel_ctx_.set_token(token);
+  cancel_ctx_.set_deadline_ns(opts_.deadline_ns);
+  cancel_ctx_.set_step_budget(opts_.step_budget);
+  cancel_ctx_.set_fault(opts_.fault);
+  return cancel_ctx_.active() ? &cancel_ctx_ : nullptr;
+}
+
+CancelCtx* IncrementalSolver::BeginCancelPass() {
+  CancelCtx* ctx = ConfigureCancel();
+  if (ctx != nullptr) ctx->BeginPass();
+  return ctx;
+}
+
+void IncrementalSolver::NoteOutcome(CancelCtx* cancel, uint64_t resolved) {
+  const bool aborted = cancel != nullptr && cancel->aborted();
+  if (opts_.telemetry != nullptr && tele_.cancel_checkpoints != nullptr) {
+    if (cancel != nullptr) tele_.cancel_checkpoints->Add(cancel->steps());
+    if (aborted) {
+      tele_.cancel_aborts->Add(1);
+      if (cancel->outcome() == SolveOutcome::kDeadlineExceeded) {
+        tele_.cancel_deadline_exceeded->Add(1);
+      }
+    } else if (last_pass_aborted_) {
+      tele_.cancel_resumes->Add(1);
+      tele_.cancel_resume_components->Record(resolved);
+    }
+  }
+  if (aborted) {
+    ++stats_.aborted_passes;
+    last_pass_aborted_ = true;
+  } else if (last_pass_aborted_) {
+    ++stats_.resumed_passes;
+    last_pass_aborted_ = false;
   }
 }
 
@@ -126,7 +174,7 @@ RuleId IncrementalSolver::AssertRule(GroundRule rule, bool* changed) {
   MarkDirty(gp_.rules()[id].head);
   if (cond_ != nullptr) {
     EnsureGraph();  // cover atoms interned since the last repair
-    ApplyRepair(cond_->InsertRule(gp_, &disabled_, id));
+    ApplyRepair(cond_->InsertRule(gp_, &disabled_, id, ConfigureCancel()));
   }
   if (changed != nullptr) *changed = true;
   return id;
@@ -155,7 +203,7 @@ bool IncrementalSolver::RetractRule(RuleId r) {
   MarkDirty(rule.head);
   if (cond_ != nullptr) {
     EnsureGraph();
-    ApplyRepair(cond_->RemoveRule(gp_, &disabled_, r));
+    ApplyRepair(cond_->RemoveRule(gp_, &disabled_, r, ConfigureCancel()));
   }
   return true;
 }
@@ -261,15 +309,49 @@ const WfsModel& IncrementalSolver::Model() {
     GSLS_TRACE_SPAN("solve.full", gp_.atom_count());
     const uint64_t t0 = opts_.telemetry != nullptr ? obs::NowNs() : 0;
     EnsureGraph();
+    CancelCtx* cancel = BeginCancelPass();
     const uint64_t rounds_before = diag_.alternating_rounds;
+    const uint32_t ncomp = cond_->graph().component_count();
+    // Grown before the pass so per-component validity marks are in range
+    // even when the pass aborts partway.
+    memo_.Grow(ncomp);
+    bool aborted = false;
     if (threads_ > 1) {
       EnsureParallelRuntime();
-      solver::ParallelSolveAllComponentsInto(gp_, cond_->graph(), *dag_,
-                                             &disabled_, pool_.get(), &tape_,
-                                             stages, &diag_);
+      std::vector<uint8_t> solved_comps;
+      solver::ParallelSolveAllComponentsInto(
+          gp_, cond_->graph(), *dag_, &disabled_, pool_.get(), &tape_, stages,
+          &diag_, cancel, cancel != nullptr ? &solved_comps : nullptr);
+      aborted = cancel != nullptr && cancel->aborted();
+      if (aborted) {
+        // Abort bookkeeping: finalized components are exact (memo-valid);
+        // the rest kept their all-undefined reset state and queue — by
+        // stable representative atom — for the next pass to resume.
+        for (uint32_t c = 0; c < ncomp; ++c) {
+          if (solved_comps[c] != 0) {
+            memo_.MarkValid(c);
+          } else {
+            memo_.Invalidate(c);
+            stale_reps_.push_back(cond_->graph().Atoms(c)[0]);
+          }
+        }
+      }
     } else {
-      solver::SolveAllComponentsInto(gp_, cond_->graph(), &disabled_, &tape_,
-                                     stages, &diag_);
+      uint32_t first_unsolved = solver::SolveAllComponentsInto(
+          gp_, cond_->graph(), &disabled_, &tape_, stages, &diag_, cancel);
+      aborted = first_unsolved != ncomp;
+      if (aborted) {
+        // Sequential order makes the split a prefix: [0, first_unsolved)
+        // finalized, everything at or above stayed all-undefined.
+        for (uint32_t c = 0; c < ncomp; ++c) {
+          if (c < first_unsolved) {
+            memo_.MarkValid(c);
+          } else {
+            memo_.Invalidate(c);
+            stale_reps_.push_back(cond_->graph().Atoms(c)[0]);
+          }
+        }
+      }
     }
     model_.model = tape_.ToInterpretation();
     if (opts_.compute_levels) {
@@ -279,13 +361,21 @@ const WfsModel& IncrementalSolver::Model() {
     }
     model_.iterations =
         static_cast<uint32_t>(diag_.alternating_rounds - rounds_before);
+    model_.outcome =
+        cancel != nullptr ? cancel->outcome() : SolveOutcome::kCompleted;
+    // `solved_` even on an abort: the finalized components carry exact
+    // values (anytime semantics), and the next `Model()` resumes through
+    // the incremental branch — exactly the queued remainder, never a
+    // second from-scratch pass.
     solved_ = true;
     dirty_.clear();
-    // Everything just finalized: the query memo serves every component.
-    memo_.Grow(cond_->graph().component_count());
-    memo_.MarkAllValid();
-    stale_reps_.clear();
+    if (!aborted) {
+      // Everything just finalized: the query memo serves every component.
+      memo_.MarkAllValid();
+      stale_reps_.clear();
+    }
     ++stats_.full_solves;
+    NoteOutcome(cancel, ncomp - (aborted ? stale_reps_.size() : 0));
     if (opts_.telemetry != nullptr) {
       tele_.full_latency_us->Record((obs::NowNs() - t0) / 1000);
       PublishTelemetry();
@@ -294,12 +384,15 @@ const WfsModel& IncrementalSolver::Model() {
     GSLS_TRACE_SPAN("solve.delta", stats_.incremental_solves);
     const uint64_t t0 = opts_.telemetry != nullptr ? obs::NowNs() : 0;
     EnsureGraph();
+    CancelCtx* cancel = BeginCancelPass();
     // Components left stale by query passes (invalidated out-of-cone
     // dependents of re-solved changes) join the delta-dirty atoms: both
     // are "re-solve me, my tape values may be wrong" markers, and the
     // up-cone passes treat them identically.
     dirty_.insert(dirty_.end(), stale_reps_.begin(), stale_reps_.end());
     stale_reps_.clear();
+    memo_.Grow(cond_->graph().component_count());
+    const uint64_t resolved_before = stats_.components_resolved;
     // The parallel cone schedules every component *reachable* from the
     // deltas (pruned re-solves, but still a release per cone member),
     // while the heap touches only components whose inputs actually
@@ -315,14 +408,21 @@ const WfsModel& IncrementalSolver::Model() {
       }
     }
     if (threads_ > 1 && multi_component) {
-      ResolveUpConeParallel();
+      ResolveUpConeParallel(cancel);
     } else {
-      ResolveUpCone();
+      ResolveUpCone(cancel);
     }
-    // The pass re-solved every pending component and chased every actual
-    // change; the tape is the full model again, so the memo is too.
-    memo_.Grow(cond_->graph().component_count());
-    memo_.MarkAllValid();
+    const bool aborted = cancel != nullptr && cancel->aborted();
+    if (!aborted) {
+      // The pass re-solved every pending component and chased every
+      // actual change; the tape is the full model again, so the memo is
+      // too. (On an abort the resolve pass already marked exactly the
+      // finalized components valid and queued the rest.)
+      memo_.MarkAllValid();
+    }
+    model_.outcome =
+        cancel != nullptr ? cancel->outcome() : SolveOutcome::kCompleted;
+    NoteOutcome(cancel, stats_.components_resolved - resolved_before);
     if (opts_.telemetry != nullptr) {
       tele_.delta_latency_us->Record((obs::NowNs() - t0) / 1000);
       PublishTelemetry();
@@ -413,6 +513,10 @@ namespace {
 /// value (e.g. asserting an already-derived atom as a fact pulls its stage
 /// down to 1), and dependents' stages must follow — cutting the cone on
 /// value equality alone would leave them stale.
+///
+/// A cancellation abort mid-solve restores the snapshot verbatim ("fully
+/// old or fully new"), sets `*aborted`, runs no flagging, and returns
+/// false — the caller queues the component for the resume pass.
 template <typename FlagFn>
 bool ResolveComponentDelta(const GroundProgram& gp,
                            const AtomDependencyGraph& graph, uint32_t c,
@@ -420,7 +524,8 @@ bool ResolveComponentDelta(const GroundProgram& gp,
                            solver::TruthTape* tape, solver::StageTape* stages,
                            std::vector<TruthValue>* old_vals,
                            std::vector<uint32_t>* old_stages,
-                           SolverDiagnostics* diag, FlagFn&& flag) {
+                           SolverDiagnostics* diag, CancelCtx* cancel,
+                           bool* aborted, FlagFn&& flag) {
   std::span<const AtomId> atoms = graph.Atoms(c);
   old_vals->clear();
   for (AtomId a : atoms) old_vals->push_back(tape->Value(a));
@@ -432,7 +537,18 @@ bool ResolveComponentDelta(const GroundProgram& gp,
     }
   }
   for (AtomId a : atoms) tape->SetUndefined(a);
-  solver::SolveComponent(gp, graph, c, disabled, tape, stages, diag);
+  if (!solver::SolveComponent(gp, graph, c, disabled, tape, stages, diag,
+                              cancel)) {
+    // `SolveComponent` left the atoms all-undefined; the snapshot puts the
+    // pre-delta values back. Stages were never touched (reconstruction
+    // runs only after values finalize), so they still hold the old
+    // levels — consistent with the restored values.
+    for (size_t i = 0; i < atoms.size(); ++i) {
+      tape->SetValue(atoms[i], (*old_vals)[i]);
+    }
+    *aborted = true;
+    return false;
+  }
 
   bool changed = false;
   for (size_t i = 0; i < atoms.size(); ++i) {
@@ -461,7 +577,7 @@ bool ResolveComponentDelta(const GroundProgram& gp,
 
 }  // namespace
 
-void IncrementalSolver::ResolveUpCone() {
+void IncrementalSolver::ResolveUpCone(CancelCtx* cancel) {
   ++stats_.incremental_solves;
   const uint64_t rounds_before = diag_.alternating_rounds;
   const AtomDependencyGraph& graph = cond_->graph();
@@ -493,16 +609,34 @@ void IncrementalSolver::ResolveUpCone() {
     uint32_t c = heap_.top();
     heap_.pop();
     marked_[c] = 0;
-    ++resolved;
-    resolved_atoms += graph.Atoms(c).size();
 
     // Change-pruned cone: dependents recompute only when some input of
     // theirs actually moved. Dependent components always have a larger id
     // (dependency order), so the heap never revisits a popped component.
+    bool aborted = false;
     bool changed =
         ResolveComponentDelta(gp_, graph, c, &disabled_, &tape_, stages,
-                              &old_vals, &old_stages, &diag_,
-                              [&](uint32_t hc) { Mark(hc); });
+                              &old_vals, &old_stages, &diag_, cancel,
+                              &aborted, [&](uint32_t hc) { Mark(hc); });
+    if (aborted) {
+      // `c` was rolled back to its snapshot; it and every still-marked
+      // component queue (by stable representative atom) for the resume
+      // pass. Components already popped this pass are final and keep
+      // their per-component validity marks.
+      memo_.Invalidate(c);
+      stale_reps_.push_back(graph.Atoms(c)[0]);
+      while (!heap_.empty()) {
+        uint32_t d = heap_.top();
+        heap_.pop();
+        marked_[d] = 0;
+        memo_.Invalidate(d);
+        stale_reps_.push_back(graph.Atoms(d)[0]);
+      }
+      break;
+    }
+    ++resolved;
+    resolved_atoms += graph.Atoms(c).size();
+    if (cancel != nullptr) memo_.MarkValid(c);
     SyncMirror(c);
     if (!changed) ++stats_.cone_cutoffs;
   }
@@ -541,7 +675,7 @@ struct alignas(64) ConeWorker {
 
 }  // namespace
 
-void IncrementalSolver::ResolveUpConeParallel() {
+void IncrementalSolver::ResolveUpConeParallel(CancelCtx* cancel) {
   ++stats_.incremental_solves;
   const uint64_t rounds_before = diag_.alternating_rounds;
   EnsureParallelRuntime();
@@ -627,35 +761,57 @@ void IncrementalSolver::ResolveUpConeParallel() {
         bool needs =
             is_dirty[c] != 0 ||
             inputs_changed[cone_pos[c]].load(std::memory_order_relaxed);
-        if (!needs) return;  // nothing moved below: just release onwards
+        if (!needs) return true;  // nothing moved below: release onwards
         // Same per-atom marking as the sequential heap, sinking into the
         // per-component flags. Relaxed is enough: the flag is read only
         // after this component's acq_rel release edge in the shared
         // scheduler.
+        bool aborted = false;
         bool changed = ResolveComponentDelta(
             gp_, graph, c, &disabled_, &tape_, stages, &w.old_vals,
-            &w.old_stages, &w.diag,
+            &w.old_stages, &w.diag, cancel, &aborted,
             [&](uint32_t hc) {
               inputs_changed[cone_pos[hc]].store(1,
                                                  std::memory_order_relaxed);
             });
+        if (aborted) return false;  // rolled back; successors unreleased
         w.resolved.push_back(c);
         if (!changed) ++w.cutoffs;
+        return true;
       },
       [&](uint32_t c) { return dag_->Successors(c); },
       [&](uint32_t s) {
         return in_cone[s] ? cone_pos[s] : solver::kNoScheduleSlot;
       });
 
+  const bool aborted = cancel != nullptr && cancel->aborted();
   uint64_t resolved = 0;
   uint64_t resolved_atoms = 0;
+  std::vector<uint8_t> resolved_in_pass;
+  if (aborted) resolved_in_pass.assign(cone.size(), 0);
   for (ConeWorker& w : workers) {
     diag_.MergeFrom(w.diag);
     resolved += w.resolved.size();
     stats_.cone_cutoffs += w.cutoffs;
     for (uint32_t c : w.resolved) {
       resolved_atoms += graph.Atoms(c).size();
+      if (cancel != nullptr) memo_.MarkValid(c);
+      if (aborted) resolved_in_pass[cone_pos[c]] = 1;
       SyncMirror(c);
+    }
+  }
+  if (aborted) {
+    // The abort drained the schedule mid-cone, and a processed-but-
+    // skipped (inputs unchanged) member is indistinguishable from one
+    // never released — so every cone member that did not finalize this
+    // pass is conservatively queued for the resume. Over-marking is
+    // sound: a re-solve against unchanged inputs reproduces its values
+    // and cuts the cone right there.
+    for (uint32_t i = 0; i < cone.size(); ++i) {
+      if (resolved_in_pass[i] != 0) continue;
+      uint32_t c = cone[i];
+      memo_.Invalidate(c);
+      stale_reps_.push_back(graph.Atoms(c)[0]);
     }
   }
   stats_.components_resolved += resolved;
@@ -691,7 +847,8 @@ void IncrementalSolver::FoldDirtyIntoPending() {
   dirty_.clear();
 }
 
-void IncrementalSolver::SolveDownCone(AtomId atom, QueryAnswer* out) {
+void IncrementalSolver::SolveDownCone(AtomId atom, QueryAnswer* out,
+                                      CancelCtx* cancel) {
   const AtomDependencyGraph& graph = cond_->graph();
   const uint32_t ncomp = graph.component_count();
   solver::StageTape* stages = opts_.compute_levels ? &stape_ : nullptr;
@@ -750,6 +907,10 @@ void IncrementalSolver::SolveDownCone(AtomId atom, QueryAnswer* out) {
   uint64_t resolved = 0;
   uint64_t resolved_atoms = 0;
   uint64_t cutoffs = 0;
+  // Per cone rank: finalized this pass. Only the abort path reads it (the
+  // conservative re-queue below), so it is built only under cancellation.
+  std::vector<uint8_t> resolved_in_pass;
+  if (cancel != nullptr) resolved_in_pass.assign(cone.size(), 0);
   std::vector<uint32_t> flagged;  ///< out-of-cone comps, deduped per pass
   auto flag_outside = [&](uint32_t hc) {
     if (std::find(flagged.begin(), flagged.end(), hc) != flagged.end()) {
@@ -801,10 +962,11 @@ void IncrementalSolver::SolveDownCone(AtomId atom, QueryAnswer* out) {
           bool needs = !memo_.Valid(c) ||
                        inputs_changed[in_down_cone_[c] - 1].load(
                            std::memory_order_relaxed) != 0;
-          if (!needs) return;  // memo hit: just release successors
+          if (!needs) return true;  // memo hit: just release successors
+          bool aborted = false;
           bool changed = ResolveComponentDelta(
               gp_, graph, c, &disabled_, &tape_, stages, &w.old_vals,
-              &w.old_stages, &w.diag, [&](uint32_t hc) {
+              &w.old_stages, &w.diag, cancel, &aborted, [&](uint32_t hc) {
                 uint32_t pos = in_down_cone_[hc];
                 if (pos != 0) {
                   inputs_changed[pos - 1].store(1, std::memory_order_relaxed);
@@ -812,8 +974,10 @@ void IncrementalSolver::SolveDownCone(AtomId atom, QueryAnswer* out) {
                   w.flagged.push_back(hc);  // memo write deferred to barrier
                 }
               });
+          if (aborted) return false;  // rolled back; successors unreleased
           w.resolved.push_back(c);
           if (!changed) ++w.cutoffs;
+          return true;
         },
         [&](uint32_t c) { return dag_->Successors(c); },
         [&](uint32_t s) {
@@ -827,6 +991,9 @@ void IncrementalSolver::SolveDownCone(AtomId atom, QueryAnswer* out) {
       for (uint32_t c : w.resolved) {
         resolved_atoms += graph.Atoms(c).size();
         memo_.MarkValid(c);
+        if (!resolved_in_pass.empty()) {
+          resolved_in_pass[in_down_cone_[c] - 1] = 1;
+        }
         SyncMirror(c);
       }
       for (uint32_t hc : w.flagged) flag_outside(hc);
@@ -847,11 +1014,10 @@ void IncrementalSolver::SolveDownCone(AtomId atom, QueryAnswer* out) {
         continue;
       }
       memo_.CountMiss();
-      ++resolved;
-      resolved_atoms += graph.Atoms(c).size();
+      bool aborted = false;
       bool changed = ResolveComponentDelta(
           gp_, graph, c, &disabled_, &tape_, stages, &old_vals, &old_stages,
-          &diag_, [&](uint32_t hc) {
+          &diag_, cancel, &aborted, [&](uint32_t hc) {
             uint32_t pos = in_down_cone_[hc];
             if (pos != 0) {
               inputs_changed[pos - 1] = 1;
@@ -859,9 +1025,26 @@ void IncrementalSolver::SolveDownCone(AtomId atom, QueryAnswer* out) {
               flag_outside(hc);
             }
           });
+      if (aborted) break;  // c rolled back and still memo-invalid
+      ++resolved;
+      resolved_atoms += graph.Atoms(c).size();
       memo_.MarkValid(c);
+      if (!resolved_in_pass.empty()) resolved_in_pass[i] = 1;
       SyncMirror(c);
       if (!changed) ++cutoffs;
+    }
+  }
+
+  if (cancel != nullptr && cancel->aborted()) {
+    // Same conservative re-queue as the aborted up-cone: any cone member
+    // not finalized this pass may have missed an inputs-changed signal
+    // the abort swallowed, so its memo entry cannot be trusted. Members
+    // finalized this pass (and their validity marks) stand.
+    for (uint32_t i = 0; i < cone.size(); ++i) {
+      if (resolved_in_pass[i] != 0) continue;
+      uint32_t c = cone[i];
+      memo_.Invalidate(c);
+      stale_reps_.push_back(graph.Atoms(c)[0]);
     }
   }
 
@@ -900,18 +1083,24 @@ IncrementalSolver::QueryAnswer IncrementalSolver::QueryAtom(AtomId atom) {
   FoldDirtyIntoPending();
 
   QueryAnswer out;
+  CancelCtx* cancel = BeginCancelPass();
   if (memo_.AllValid()) {
     // Global fast path: no component anywhere is stale, the tape holds
-    // the full final model — answer without even walking the cone.
+    // the full final model — answer without even walking the cone (and
+    // without a checkpoint: a zero-work answer is exact even under a
+    // cancelled token).
     ++stats_.query_fastpaths;
   } else {
-    SolveDownCone(atom, &out);
+    SolveDownCone(atom, &out, cancel);
   }
+  out.outcome =
+      cancel != nullptr ? cancel->outcome() : SolveOutcome::kCompleted;
   out.value = tape_.Value(atom);
   if (opts_.compute_levels) {
     out.true_stage = stape_.true_stage[atom];
     out.false_stage = stape_.false_stage[atom];
   }
+  NoteOutcome(cancel, out.resolved_components);
   if (opts_.telemetry != nullptr) {
     tele_.query_latency_us->Record((obs::NowNs() - t0) / 1000);
     tele_.query_cone_components->Record(out.cone_components);

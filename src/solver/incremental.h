@@ -23,6 +23,10 @@
 
 namespace gsls {
 
+namespace check {
+class SolverAuditor;  // invariant auditor (src/check/audit.h)
+}  // namespace check
+
 /// Counters describing how much work the incremental solver avoided.
 struct IncrementalStats {
   uint64_t deltas = 0;              ///< Assert/Retract calls that changed state
@@ -35,6 +39,8 @@ struct IncrementalStats {
   uint64_t cone_cutoffs = 0;        ///< re-solved components whose values held
   uint64_t queries = 0;             ///< goal-directed `QueryAtom` passes
   uint64_t query_fastpaths = 0;     ///< queries answered with no cone walk
+  uint64_t aborted_passes = 0;      ///< solve/query passes stopped by cancel
+  uint64_t resumed_passes = 0;      ///< completed passes right after an abort
 
   std::string ToString() const;
 };
@@ -191,6 +197,13 @@ class IncrementalSolver {
   /// What one goal-directed query answered and what it cost.
   struct QueryAnswer {
     TruthValue value = TruthValue::kUndefined;
+    /// How the cone pass ended. Anything but `kCompleted` means a
+    /// cancellation checkpoint stopped the pass before the query atom's
+    /// cone finalized: `value`/stages are then the pre-abort tape values,
+    /// not necessarily current, and the unfinished cone members stay
+    /// stale for the next query or `Model()` to settle (the abort
+    /// protocol — see docs/serving.md).
+    SolveOutcome outcome = SolveOutcome::kCompleted;
     /// V_P stage of the answering literal (Def. 2.4), 0 when the atom is
     /// undefined or the solver runs without `compute_levels`.
     uint32_t true_stage = 0;
@@ -242,6 +255,18 @@ class IncrementalSolver {
   /// query benches use to measure cold-cone latency.
   void InvalidateMemo();
 
+  /// Cancellation plumbing, live between passes: every solve entry
+  /// (`Model`, `QueryAtom`) re-reads these options, so a deadline or
+  /// budget set here governs the *next* pass (and a cancelled token stops
+  /// it at its first checkpoint). To resume after an abort, clear the
+  /// stop condition (`CancelToken::Reset`, `SetDeadlineNs(0)`, ...) and
+  /// call `Model()`/`QueryAtom` again — exactly the still-stale
+  /// components re-solve (see `WfsModel::outcome`).
+  void SetCancelToken(CancelToken* token) { opts_.cancel = token; }
+  void SetDeadlineNs(uint64_t deadline_ns) { opts_.deadline_ns = deadline_ns; }
+  void SetStepBudget(uint64_t step_budget) { opts_.step_budget = step_budget; }
+  void SetFaultInjector(FaultInjector* fault) { opts_.fault = fault; }
+
   /// The per-component query memo (validity, epoch, hit/miss counters).
   /// Diagnostics and test surface.
   const solver::ComponentMemo& memo() const { return memo_; }
@@ -265,6 +290,11 @@ class IncrementalSolver {
   void DumpTelemetry(std::ostream& os) const;
 
  private:
+  /// Read-only inspection of the private state (tapes, memo, stale set)
+  /// by the invariant auditor — `check::AuditSolver` re-derives every
+  /// maintained structure from scratch and compares (src/check/audit.h).
+  friend class check::SolverAuditor;
+
   void EnsureGraph();
   void EnsureParallelRuntime();  ///< scheduling DAG + worker pool
   void MarkDirty(AtomId atom);
@@ -274,8 +304,19 @@ class IncrementalSolver {
   void ApplyRepair(const CondensationRepair& rep);
   /// Merges the queued edge-only DAG patches in one `Splice` pass.
   void FlushPendingDagEdges();
-  void ResolveUpCone();
-  void ResolveUpConeParallel();
+  /// Syncs `cancel_ctx_` from the current options; null when detached
+  /// (every checkpoint downstream then stays a pointer test). A fault
+  /// injector with no caller token borrows `owned_token_` so a trip
+  /// persists across pass boundaries like an external Cancel would.
+  CancelCtx* ConfigureCancel();
+  /// `ConfigureCancel` plus `CancelCtx::BeginPass` — the solve entries.
+  CancelCtx* BeginCancelPass();
+  /// Pass epilogue: cancel telemetry (aborts, checkpoints, resume cost)
+  /// and the abort/resume counters. `resolved` is the pass's re-solved
+  /// component count — the cost a resume pays.
+  void NoteOutcome(CancelCtx* cancel, uint64_t resolved);
+  void ResolveUpCone(CancelCtx* cancel);
+  void ResolveUpConeParallel(CancelCtx* cancel);
   /// Moves `dirty_` (fact-delta atoms) into memo invalidations + the
   /// pending stale set, so query and model passes see one uniform
   /// "stale components" representation. Requires the graph.
@@ -284,7 +325,7 @@ class IncrementalSolver {
   /// cone-restricted parallel), marking re-solved components valid and
   /// invalidating dependents of actual changes. Fills `out`'s cost
   /// fields.
-  void SolveDownCone(AtomId atom, QueryAnswer* out);
+  void SolveDownCone(AtomId atom, QueryAnswer* out, CancelCtx* cancel);
   /// Copies the tape values of `comp`'s atoms into the `model_` mirror.
   void SyncMirror(uint32_t comp);
   /// Mirrors the cumulative stats/diagnostics into registry gauges after a
@@ -315,6 +356,17 @@ class IncrementalSolver {
   WfsModel model_;
   bool solved_ = false;
   std::vector<AtomId> dirty_;  ///< atoms whose fact set changed
+
+  /// Persistent checkpoint context, re-synced from `opts_` at every pass
+  /// entry (so the Set* mutators above take effect without rebuilds).
+  CancelCtx cancel_ctx_;
+  /// Fallback token attached when a fault injector is configured without
+  /// a caller token: an injected trip then persists across passes through
+  /// this token, exactly like an external Cancel.
+  CancelToken owned_token_;
+  /// The previous pass aborted — the next completed pass is a resume
+  /// (its re-solved-component count is the recovery cost telemetry).
+  bool last_pass_aborted_ = false;
 
   /// Per-component query memo: which components' tape values are final
   /// for the current program. Sized/repaired alongside the condensation.
@@ -394,6 +446,14 @@ class IncrementalSolver {
     obs::Gauge* memo_hits = nullptr;
     obs::Gauge* memo_misses = nullptr;
     obs::Gauge* memo_invalidations = nullptr;
+    // Cancellation channels: abort counts, checkpoint volume, and what a
+    // resume pass paid (re-solved components) to finish the interrupted
+    // work.
+    obs::Counter* cancel_aborts = nullptr;
+    obs::Counter* cancel_deadline_exceeded = nullptr;
+    obs::Counter* cancel_resumes = nullptr;
+    obs::Counter* cancel_checkpoints = nullptr;
+    obs::Histogram* cancel_resume_components = nullptr;
   };
   TelemetryChannels tele_;
 };

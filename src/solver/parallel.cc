@@ -133,8 +133,9 @@ void ParallelSolveAllComponentsInto(const GroundProgram& gp,
                                     const ComponentDag& dag,
                                     const std::vector<uint8_t>* disabled,
                                     WorkStealingPool* pool, TruthTape* values,
-                                    StageTape* stages,
-                                    SolverDiagnostics* diag) {
+                                    StageTape* stages, SolverDiagnostics* diag,
+                                    CancelCtx* cancel,
+                                    std::vector<uint8_t>* solved) {
   GSLS_TRACE_SPAN("solve.parallel", dag.component_count());
   // The lazy occurrence index must exist before workers read it
   // concurrently.
@@ -151,6 +152,7 @@ void ParallelSolveAllComponentsInto(const GroundProgram& gp,
     if (dag.indegrees()[c] == 0) seeds.push_back(c);
   }
 
+  if (solved != nullptr) solved->assign(ncomp, 0);
   std::vector<WorkerDiag> worker_diags(pool->size());
   RunReadyReleaseSchedule(
       pool, seeds, pending.get(),
@@ -159,7 +161,12 @@ void ParallelSolveAllComponentsInto(const GroundProgram& gp,
         wd.max_component_size =
             std::max(wd.max_component_size,
                      static_cast<uint32_t>(graph.Atoms(c).size()));
-        SolveComponent(gp, graph, c, disabled, values, stages, &wd);
+        if (!SolveComponent(gp, graph, c, disabled, values, stages, &wd,
+                            cancel)) {
+          return false;
+        }
+        if (solved != nullptr) (*solved)[c] = 1;
+        return true;
       },
       [&](uint32_t c) { return dag.Successors(c); },
       [](uint32_t s) { return s; });

@@ -79,12 +79,21 @@ inline constexpr uint32_t kNoScheduleSlot = UINT32_MAX;
 /// and the incremental up-cone re-solve — the one copy of the
 /// race-sensitive discipline. Starting from `seeds` (components whose
 /// scheduled predecessors are all final), each worker runs
-/// `process(worker, comp)`, then walks `successors(comp)`: a successor
-/// mapping to `kNoScheduleSlot` under `slot` is outside the schedule and
-/// skipped; otherwise its `pending[slot(s)]` counter is decremented, and
-/// the worker that takes it to zero owns the successor — continuing into
-/// the first such successor inline (a chain of tiny components runs as a
-/// tight loop, no queue round-trip) and queueing the rest.
+/// `process(worker, comp)` — returning true iff the component finalized —
+/// then walks `successors(comp)`: a successor mapping to `kNoScheduleSlot`
+/// under `slot` is outside the schedule and skipped; otherwise its
+/// `pending[slot(s)]` counter is decremented, and the worker that takes it
+/// to zero owns the successor — continuing into the first such successor
+/// inline (a chain of tiny components runs as a tight loop, no queue
+/// round-trip) and queueing the rest.
+///
+/// A false return from `process` (a cancellation abort) releases nothing:
+/// the component's successors keep their pending counts and are never
+/// scheduled, so the aborted cone simply drains — workers finish the tasks
+/// already queued (each of which re-checks the cancel context at its own
+/// component boundary and returns false immediately) and the pool's final
+/// barrier still closes. The caller reconstructs which components ran from
+/// its own bookkeeping, not from the scheduler.
 ///
 /// Memory ordering: `process` writes its component's results with plain
 /// stores; the `acq_rel` on the decrement makes every such write visible
@@ -100,7 +109,7 @@ void RunReadyReleaseSchedule(WorkStealingPool* pool,
   pool->Run(seeds, [&](unsigned worker, uint32_t task) {
     constexpr uint32_t kNone = UINT32_MAX;
     for (uint32_t c = task; c != kNone;) {
-      process(worker, c);
+      if (!process(worker, c)) break;
       uint32_t next = kNone;
       for (uint32_t s : successors(c)) {
         uint32_t ps = slot(s);
@@ -137,13 +146,24 @@ void RunReadyReleaseSchedule(WorkStealingPool* pool,
 /// safe, and distinct components write distinct `uint32_t` slots of the
 /// tape. The levels are therefore thread-count invariant for the same
 /// reason the model is.
+///
+/// Cancellation: with a non-null `cancel`, workers funnel through the
+/// component-boundary checkpoint in `SolveComponent` and an aborting
+/// component releases none of its successors, so the schedule drains.
+/// `*solved` (when non-null; resized here, one byte per component) records
+/// exactly which components finalized this pass — on a completed run it is
+/// all-ones; after an abort the unset entries are the components still
+/// holding their entry state (the abort invariant), which the incremental
+/// caller turns into dirty/stale bookkeeping. The flag bytes are written
+/// before the releasing decrement, so they are as race-free as the values.
 void ParallelSolveAllComponentsInto(const GroundProgram& gp,
                                     const AtomDependencyGraph& graph,
                                     const ComponentDag& dag,
                                     const std::vector<uint8_t>* disabled,
                                     WorkStealingPool* pool, TruthTape* values,
-                                    StageTape* stages,
-                                    SolverDiagnostics* diag);
+                                    StageTape* stages, SolverDiagnostics* diag,
+                                    CancelCtx* cancel = nullptr,
+                                    std::vector<uint8_t>* solved = nullptr);
 
 }  // namespace gsls::solver
 

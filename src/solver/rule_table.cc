@@ -4,7 +4,8 @@ namespace gsls::solver {
 
 RuleTable::RuleTable(const GroundProgram& gp, const AtomDependencyGraph& graph,
                      uint32_t comp, const TruthTape& global,
-                     const std::vector<uint8_t>* disabled) {
+                     const std::vector<uint8_t>* disabled, CancelCtx* cancel) {
+  StridedCheckpoint tick(cancel);
   std::span<const AtomId> members = graph.Atoms(comp);
   atoms_.assign(members.begin(), members.end());
   uint32_t n = static_cast<uint32_t>(atoms_.size());
@@ -30,6 +31,7 @@ RuleTable::RuleTable(const GroundProgram& gp, const AtomDependencyGraph& graph,
   rules_for_.Reset(n);
   uint32_t body_total = 0;
   for (LocalAtom local = 0; local < n; ++local) {
+    if (tick.Tick()) { AbortCompile(); return; }
     for (RuleId rid : gp.RulesFor(atoms_[local])) {
       if (disabled != nullptr && (*disabled)[rid]) continue;
       const GroundRule& r = gp.rules()[rid];
@@ -74,6 +76,7 @@ RuleTable::RuleTable(const GroundProgram& gp, const AtomDependencyGraph& graph,
   neg_occ_.Reset(n);
   uint32_t cursor = 0;
   for (LocalRule id = 0; id < kept.size(); ++id) {
+    if (tick.Tick()) { AbortCompile(); return; }
     const Probe& probe = kept[id];
     const GroundRule& r = gp.rules()[probe.rid];
     CompiledRule& compiled = rules_[id];
@@ -104,11 +107,28 @@ RuleTable::RuleTable(const GroundProgram& gp, const AtomDependencyGraph& graph,
   pos_occ_.FinishCounting();
   neg_occ_.FinishCounting();
   for (LocalRule id = 0; id < rules_.size(); ++id) {
+    if (tick.Tick()) { AbortCompile(); return; }
     for (LocalAtom b : PosBody(id)) pos_occ_.Fill(b, id);
     for (LocalAtom b : NegBody(id)) neg_occ_.Fill(b, id);
   }
   pos_occ_.FinishFilling();
   neg_occ_.FinishFilling();
+}
+
+void RuleTable::AbortCompile() {
+  aborted_ = true;
+  rules_.clear();
+  body_.clear();
+  const uint32_t n = static_cast<uint32_t>(atoms_.size());
+  // All-empty CSR rows: Reset + FinishCounting with no counts leaves every
+  // Row() a valid empty span, so a consumer that ignores `aborted()` still
+  // sees a coherent (just empty) component.
+  rules_for_.Reset(n);
+  rules_for_.FinishCounting();
+  pos_occ_.Reset(n);
+  pos_occ_.FinishCounting();
+  neg_occ_.Reset(n);
+  neg_occ_.FinishCounting();
 }
 
 }  // namespace gsls::solver

@@ -8,6 +8,7 @@
 #include "analysis/atom_dependency_graph.h"
 #include "ground/ground_program.h"
 #include "solver/truth_tape.h"
+#include "util/cancel.h"
 #include "util/csr.h"
 
 namespace gsls::solver {
@@ -63,9 +64,18 @@ class RuleTable {
   /// suppressed by a false external witness are not added at all, and
   /// neither are rules flagged in the optional `disabled` mask (one byte
   /// per global `RuleId`; how `IncrementalSolver` hides retracted facts).
+  /// Compilation itself is cancellable: it ticks `cancel` every stride,
+  /// and on a trip resets to a valid *empty* table with `aborted()` set —
+  /// no tape byte has been written at that point, so the caller can treat
+  /// it exactly like an abort at the component's entry checkpoint.
   RuleTable(const GroundProgram& gp, const AtomDependencyGraph& graph,
             uint32_t comp, const TruthTape& global,
-            const std::vector<uint8_t>* disabled = nullptr);
+            const std::vector<uint8_t>* disabled = nullptr,
+            CancelCtx* cancel = nullptr);
+
+  /// True iff a cancellation checkpoint tripped mid-compile; the table is
+  /// then empty and must not be solved.
+  bool aborted() const { return aborted_; }
 
   size_t atom_count() const { return atoms_.size(); }
   size_t rule_count() const { return rules_.size(); }
@@ -102,6 +112,11 @@ class RuleTable {
   }
 
  private:
+  /// Resets to a coherent empty table (no rules, empty CSR rows) after a
+  /// mid-compile cancellation trip.
+  void AbortCompile();
+
+  bool aborted_ = false;
   std::vector<AtomId> atoms_;  ///< local id -> global id
   std::vector<CompiledRule> rules_;
   std::vector<LocalAtom> body_;  ///< shared pool: [pos | neg] per rule

@@ -117,19 +117,26 @@ WfsModel SolveWfs(const GroundProgram& gp, const SolverOptions& opts,
   *diag = SolverDiagnostics{};
   AtomDependencyGraph graph(gp);
   unsigned threads = solver::ResolveThreadCount(opts.num_threads);
+  // A cancel context exists only when some stop condition is configured;
+  // otherwise every checkpoint stays a null-pointer test (the detached
+  // path the overhead gates measure).
+  CancelCtx ctx(opts.cancel, opts.deadline_ns, opts.step_budget, opts.fault);
+  CancelCtx* cancel = ctx.active() ? &ctx : nullptr;
+  if (cancel != nullptr) cancel->BeginPass();
   WfsModel out;
   if (threads <= 1) {
     out = solver::SolveAllComponents(gp, graph, /*disabled=*/nullptr,
-                                     opts.compute_levels, diag);
+                                     opts.compute_levels, diag, cancel);
   } else {
     solver::ComponentDag dag(gp, graph);
     solver::TruthTape values;
     solver::StageTape stages;
     solver::ParallelSolveAllComponentsInto(
         gp, graph, dag, /*disabled=*/nullptr, &CachedPool(threads), &values,
-        opts.compute_levels ? &stages : nullptr, diag);
+        opts.compute_levels ? &stages : nullptr, diag, cancel);
     out.model = values.ToInterpretation();
     out.iterations = static_cast<uint32_t>(diag->alternating_rounds);
+    if (cancel != nullptr) out.outcome = cancel->outcome();
     if (opts.compute_levels) {
       out.true_stage = std::move(stages.true_stage);
       out.false_stage = std::move(stages.false_stage);

@@ -6,6 +6,7 @@
 
 #include "ground/ground_program.h"
 #include "obs/histogram.h"
+#include "util/cancel.h"
 #include "wfs/wfs.h"
 
 namespace gsls {
@@ -103,6 +104,29 @@ struct SolverOptions {
   /// plumb this field through untouched (`EngineOptions::solver`,
   /// `TabledOptions::solver`). Not owned; must outlive the solver.
   obs::Telemetry* telemetry = nullptr;
+  /// Cooperative cancellation (util/cancel.h): when non-null, the solve
+  /// polls this token at every component boundary and every
+  /// `kCancelStride` iterations inside the long loops (lfp propagation,
+  /// unfounded floods, recondensation windows, the parallel workers), and
+  /// aborts crash-consistently — every component is either fully old or
+  /// fully new, and `WfsModel::outcome` / `QueryAnswer::outcome` report
+  /// `kCancelled`. Null (the default, with the other cancel fields unset)
+  /// keeps the pipeline checkpoint-free: the detached path costs nothing
+  /// (the bench_telemetry / bench_cancel overhead gates). Not owned; must
+  /// outlive the solver; stays cancelled until `CancelToken::Reset`.
+  CancelToken* cancel = nullptr;
+  /// Absolute steady-clock deadline in ns (`SteadyNowNs` /
+  /// `DeadlineAfterNs`), honored within one checkpoint interval; the pass
+  /// aborts with `kDeadlineExceeded`. 0 (default) = none.
+  uint64_t deadline_ns = 0;
+  /// Deterministic work budget: maximum cancellation checkpoints per solve
+  /// pass, aborting with `kDeadlineExceeded` — the wall-clock-free twin of
+  /// `deadline_ns` for reproducible tests. 0 (default) = unlimited.
+  uint64_t step_budget = 0;
+  /// Deterministic fault injection over the same checkpoints ("trip at
+  /// checkpoint k"): the abort-recovery test harness (tests/fault_test.cc).
+  /// Null in production. Not owned.
+  FaultInjector* fault = nullptr;
 };
 
 /// Computes the well-founded model by SCC-stratified evaluation (the

@@ -50,6 +50,10 @@ class TruthTape {
   void SetUndefined(AtomId a) {
     values_[a] = static_cast<uint8_t>(TruthValue::kUndefined);
   }
+  /// Direct store of any value — the abort path restoring a snapshot.
+  void SetValue(AtomId a, TruthValue v) {
+    values_[a] = static_cast<uint8_t>(v);
+  }
 
   /// The tape as a bit-packed `Interpretation` (the public model type).
   Interpretation ToInterpretation() const {

@@ -10,11 +10,13 @@ SourceTracker::SourceTracker(RuleTable* table) : table_(table) {
   cand_unmet_.assign(table_->rule_count(), 0);
 }
 
-void SourceTracker::InitSources(std::vector<LocalAtom>* unfounded) {
+bool SourceTracker::InitSources(std::vector<LocalAtom>* unfounded,
+                                CancelCtx* cancel) {
   // Counting closure over all (live) rules: an atom is supportable when
   // some rule for it has every internal positive body atom already
   // supportable. The completing rule becomes the source; assignment in
   // closure order keeps the source chains acyclic.
+  StridedCheckpoint tick(cancel);
   for (LocalRule r = 0; r < table_->rule_count(); ++r) {
     cand_unmet_[r] = static_cast<uint32_t>(table_->PosBody(r).size());
   }
@@ -29,6 +31,7 @@ void SourceTracker::InitSources(std::vector<LocalAtom>* unfounded) {
   }
   size_t qi = 0;
   while (qi < ready_.size()) {
+    if (tick.Tick()) return false;
     LocalAtom a = ready_[qi++];
     for (LocalRule r : table_->PositiveOccurrences(a)) {
       if (cand_unmet_[r] == 0 || --cand_unmet_[r] != 0) continue;
@@ -45,6 +48,7 @@ void SourceTracker::InitSources(std::vector<LocalAtom>* unfounded) {
       unfounded->push_back(a);
     }
   }
+  return true;
 }
 
 void SourceTracker::OnRuleDead(LocalRule rule) {
@@ -65,8 +69,10 @@ void SourceTracker::Resupport(LocalAtom a, LocalRule r) {
   state_[a] = State::kSourced;
 }
 
-void SourceTracker::CollectUnfounded(std::vector<LocalAtom>* unfounded) {
+bool SourceTracker::CollectUnfounded(std::vector<LocalAtom>* unfounded,
+                                     CancelCtx* cancel) {
   ++floods_;
+  StridedCheckpoint tick(cancel);
 
   // Phase 1: flood the candidate set — every atom whose support chain runs
   // through a lost source. Atoms decided true meanwhile are exempt.
@@ -77,6 +83,7 @@ void SourceTracker::CollectUnfounded(std::vector<LocalAtom>* unfounded) {
   }
   pending_.clear();
   while (!flood_stack_.empty()) {
+    if (tick.Tick()) return false;
     LocalAtom a = flood_stack_.back();
     flood_stack_.pop_back();
     cand_.push_back(a);
@@ -118,6 +125,7 @@ void SourceTracker::CollectUnfounded(std::vector<LocalAtom>* unfounded) {
   }
   size_t qi = 0;
   while (qi < ready_.size()) {
+    if (tick.Tick()) return false;
     LocalAtom b = ready_[qi++];
     for (LocalRule r : table_->PositiveOccurrences(b)) {
       if (table_->rule(r).dead) continue;
@@ -139,6 +147,7 @@ void SourceTracker::CollectUnfounded(std::vector<LocalAtom>* unfounded) {
       unfounded->push_back(a);
     }
   }
+  return true;
 }
 
 }  // namespace gsls::solver

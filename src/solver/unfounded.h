@@ -6,6 +6,7 @@
 
 #include "obs/histogram.h"
 #include "solver/rule_table.h"
+#include "util/cancel.h"
 
 namespace gsls::solver {
 
@@ -26,7 +27,14 @@ class SourceTracker {
   /// Assigns initial sources by a counting closure over the live rules.
   /// Atoms with no possible support at all are appended to `*unfounded`
   /// (the caller falsifies them before propagation starts).
-  void InitSources(std::vector<LocalAtom>* unfounded);
+  ///
+  /// A non-null `cancel` is polled every `kCancelStride` closure steps;
+  /// false means the pass aborted mid-closure. The tracker's state is then
+  /// inconsistent — the caller abandons the whole component (its tape
+  /// writes are rolled back by `SolveComponent`), so no recovery of the
+  /// tracker itself is needed: it dies with the component solve.
+  bool InitSources(std::vector<LocalAtom>* unfounded,
+                   CancelCtx* cancel = nullptr);
 
   /// Reacts to `rule` dying: if it was some atom's source, that atom is
   /// queued for the next flood.
@@ -43,7 +51,11 @@ class SourceTracker {
   /// Floods the candidate unfounded set from the pending source losses,
   /// resupports every candidate that still has a well-founded support
   /// chain, and appends the genuinely unfounded rest to `*unfounded`.
-  void CollectUnfounded(std::vector<LocalAtom>* unfounded);
+  ///
+  /// Cancellation as in `InitSources`: the flood and resupport loops are
+  /// strided-polled, false abandons the component mid-flood.
+  bool CollectUnfounded(std::vector<LocalAtom>* unfounded,
+                        CancelCtx* cancel = nullptr);
 
   /// Number of floods run (diagnostics).
   uint64_t floods() const { return floods_; }

@@ -1,0 +1,23 @@
+#include "util/cancel.h"
+
+#include <chrono>
+
+namespace gsls {
+
+const char* SolveOutcomeName(SolveOutcome o) {
+  switch (o) {
+    case SolveOutcome::kCompleted: return "completed";
+    case SolveOutcome::kCancelled: return "cancelled";
+    case SolveOutcome::kDeadlineExceeded: return "deadline-exceeded";
+  }
+  return "?";
+}
+
+uint64_t SteadyNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace gsls

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "ground/ground_program.h"
+#include "util/cancel.h"
 #include "wfs/interpretation.h"
 #include "wfs/operators.h"
 
@@ -17,6 +18,15 @@ struct WfsModel {
   Interpretation model;
   /// Number of outer iterations until the fixpoint closed.
   uint32_t iterations = 0;
+
+  /// How the solve that produced this model ended. Anything other than
+  /// `kCompleted` means the pass hit a cancellation checkpoint
+  /// (`SolverOptions::cancel`/`deadline_ns`/`step_budget`) and the model
+  /// is partial: components finalized before the abort carry their exact
+  /// well-founded values, the rest keep their previous values (undefined
+  /// on a from-scratch solve). `IncrementalSolver::Model` resumes exactly
+  /// the remaining work on the next call once the stop condition clears.
+  SolveOutcome outcome = SolveOutcome::kCompleted;
 
   /// Global-tree stage levels (Def. 2.4 / Cor. 4.6), per atom, 0 when the
   /// literal of that sign is not in the model. Filled only when the solve

@@ -1,0 +1,319 @@
+// Unit coverage for the cooperative-cancellation layer (util/cancel.h),
+// its plumbing through `SolveWfs` / `IncrementalSolver` / the engines,
+// and the invariant auditor on healthy solvers. The exhaustive
+// abort-at-every-checkpoint drill lives in tests/fault_test.cc.
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "check/audit.h"
+#include "core/engine.h"
+#include "core/tabled.h"
+#include "obs/metrics.h"
+#include "solver/incremental.h"
+#include "solver/solver.h"
+#include "test_support.h"
+#include "util/cancel.h"
+#include "wfs/wfs.h"
+
+namespace gsls {
+namespace {
+
+using testing::Fixture;
+using testing::MustGround;
+
+constexpr char kProgram[] = R"(
+  a.  b :- a.  c :- b, not d.  d :- not c.
+  p :- q.  q :- p.  p :- a.
+  w1 :- not w2.  w2 :- not w1.
+  e :- c, not p.  f :- e.  f :- w1.
+)";
+
+TEST(CancelTokenTest, LatchesUntilReset) {
+  CancelToken token;
+  EXPECT_FALSE(token.IsCancelled());
+  token.Cancel();
+  EXPECT_TRUE(token.IsCancelled());
+  token.Cancel();  // idempotent
+  EXPECT_TRUE(token.IsCancelled());
+  token.Reset();
+  EXPECT_FALSE(token.IsCancelled());
+}
+
+TEST(CancelCtxTest, InactiveWithoutAnyStopCondition) {
+  CancelCtx ctx(nullptr, 0, 0, nullptr);
+  EXPECT_FALSE(ctx.active());
+  CancelToken token;
+  EXPECT_TRUE(CancelCtx(&token, 0, 0, nullptr).active());
+  EXPECT_TRUE(CancelCtx(nullptr, 1, 0, nullptr).active());
+  EXPECT_TRUE(CancelCtx(nullptr, 0, 1, nullptr).active());
+  FaultInjector fault;
+  EXPECT_TRUE(CancelCtx(nullptr, 0, 0, &fault).active());
+}
+
+TEST(CancelCtxTest, TokenLatchesCancelledOutcome) {
+  CancelToken token;
+  CancelCtx ctx(&token, 0, 0, nullptr);
+  ctx.BeginPass();
+  EXPECT_FALSE(ctx.Checkpoint());
+  EXPECT_EQ(ctx.outcome(), SolveOutcome::kCompleted);
+  token.Cancel();
+  EXPECT_TRUE(ctx.Checkpoint());
+  EXPECT_TRUE(ctx.aborted());
+  EXPECT_EQ(ctx.outcome(), SolveOutcome::kCancelled);
+  // Latched: later checkpoints short-circuit without re-deciding.
+  token.Reset();
+  EXPECT_TRUE(ctx.Checkpoint());
+  // A new pass re-arms; the reset token no longer stops it.
+  ctx.BeginPass();
+  EXPECT_FALSE(ctx.Checkpoint());
+  EXPECT_EQ(ctx.outcome(), SolveOutcome::kCompleted);
+}
+
+TEST(CancelCtxTest, StepBudgetLatchesDeadlineOutcome) {
+  CancelCtx ctx(nullptr, 0, /*step_budget=*/3, nullptr);
+  ctx.BeginPass();
+  EXPECT_FALSE(ctx.Checkpoint());
+  EXPECT_FALSE(ctx.Checkpoint());
+  EXPECT_FALSE(ctx.Checkpoint());
+  EXPECT_TRUE(ctx.Checkpoint());  // 4th > budget
+  EXPECT_EQ(ctx.outcome(), SolveOutcome::kDeadlineExceeded);
+}
+
+TEST(CancelCtxTest, ExpiredDeadlineLatchesAtFirstCheckpoint) {
+  CancelCtx ctx(nullptr, /*deadline_ns=*/1, 0, nullptr);  // epoch-old
+  ctx.BeginPass();
+  EXPECT_TRUE(ctx.Checkpoint());
+  EXPECT_EQ(ctx.outcome(), SolveOutcome::kDeadlineExceeded);
+}
+
+TEST(CancelCtxTest, FaultTripFiresThroughAttachedToken) {
+  CancelToken token;
+  FaultInjector fault;
+  CancelCtx ctx(&token, 0, 0, &fault);
+  fault.Arm(2);
+  ctx.BeginPass();
+  EXPECT_FALSE(ctx.Checkpoint());
+  EXPECT_TRUE(ctx.Checkpoint());
+  EXPECT_TRUE(fault.tripped());
+  EXPECT_EQ(ctx.outcome(), SolveOutcome::kCancelled);
+  EXPECT_TRUE(token.IsCancelled()) << "a trip must persist like a Cancel";
+  EXPECT_EQ(fault.checkpoints(), 2u);
+}
+
+TEST(StridedCheckpointTest, NullCtxIsFree) {
+  StridedCheckpoint tick(nullptr);
+  for (int i = 0; i < 3 * static_cast<int>(kCancelStride); ++i) {
+    EXPECT_FALSE(tick.Tick());
+  }
+}
+
+TEST(StridedCheckpointTest, PollsOncePerStride) {
+  CancelCtx ctx(nullptr, 0, /*step_budget=*/1, nullptr);
+  ctx.BeginPass();
+  StridedCheckpoint tick(&ctx);
+  uint64_t ticks = 0;
+  while (!tick.Tick()) {
+    ++ticks;
+    ASSERT_LT(ticks, 10u * kCancelStride);
+  }
+  // Budget 1: the first full poll passes, the second aborts — exactly two
+  // strides of local countdowns in between.
+  EXPECT_EQ(ticks, 2u * kCancelStride - 1);
+}
+
+TEST(SolveWfsTest, PreCancelledTokenAbortsBeforeAnyComponent) {
+  Fixture f(kProgram);
+  GroundProgram gp = MustGround(f.program);
+  CancelToken token;
+  token.Cancel();
+  SolverOptions opts;
+  opts.cancel = &token;
+  WfsModel aborted = SolveWfs(gp, opts, nullptr);
+  EXPECT_EQ(aborted.outcome, SolveOutcome::kCancelled);
+  for (AtomId a = 0; a < gp.atom_count(); ++a) {
+    EXPECT_EQ(aborted.model.Value(a), TruthValue::kUndefined)
+        << "abort invariant: no component may be half-solved";
+  }
+  token.Reset();
+  WfsModel done = SolveWfs(gp, opts, nullptr);
+  EXPECT_EQ(done.outcome, SolveOutcome::kCompleted);
+  EXPECT_EQ(done.model, SolveWfs(gp, nullptr).model);
+}
+
+TEST(SolveWfsTest, PreCancelledTokenAbortsParallelSolve) {
+  Fixture f(kProgram);
+  GroundProgram gp = MustGround(f.program);
+  CancelToken token;
+  token.Cancel();
+  SolverOptions opts;
+  opts.cancel = &token;
+  opts.num_threads = 4;
+  WfsModel aborted = SolveWfs(gp, opts, nullptr);
+  EXPECT_EQ(aborted.outcome, SolveOutcome::kCancelled);
+  token.Reset();
+  EXPECT_EQ(SolveWfs(gp, opts, nullptr).model, SolveWfs(gp, nullptr).model);
+}
+
+TEST(IncrementalCancelTest, AbortedPassResumesExactly) {
+  Fixture f(kProgram);
+  CancelToken token;
+  SolverOptions opts;
+  opts.compute_levels = true;
+  opts.cancel = &token;
+  IncrementalSolver inc(MustGround(f.program), opts);
+  token.Cancel();
+  EXPECT_EQ(inc.Model().outcome, SolveOutcome::kCancelled);
+  EXPECT_EQ(inc.stats().aborted_passes, 1u);
+  check::AuditReport mid = check::AuditSolver(inc);
+  EXPECT_TRUE(mid.ok()) << mid.ToString();
+  token.Reset();
+  const WfsModel& resumed = inc.Model();
+  EXPECT_EQ(resumed.outcome, SolveOutcome::kCompleted);
+  EXPECT_EQ(inc.stats().resumed_passes, 1u);
+  WfsModel fresh = inc.SolveFresh();
+  EXPECT_EQ(resumed.model, fresh.model);
+  EXPECT_EQ(resumed.true_stage, fresh.true_stage);
+  EXPECT_EQ(resumed.false_stage, fresh.false_stage);
+  check::AuditReport report = check::AuditSolver(inc);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_TRUE(report.graph_audited);
+  EXPECT_GT(report.components_checked, 0u);
+}
+
+TEST(IncrementalCancelTest, StepBudgetGovernsNextPassOnly) {
+  Fixture f(kProgram);
+  SolverOptions opts;
+  opts.compute_levels = true;
+  IncrementalSolver inc(MustGround(f.program), opts);
+  inc.SetStepBudget(1);
+  EXPECT_EQ(inc.Model().outcome, SolveOutcome::kDeadlineExceeded);
+  inc.SetStepBudget(0);
+  EXPECT_EQ(inc.Model().outcome, SolveOutcome::kCompleted);
+  EXPECT_EQ(inc.Model().model, inc.SolveFresh().model);
+}
+
+TEST(IncrementalCancelTest, QueryAtomReportsOutcomeAndResumes) {
+  Fixture f(kProgram);
+  CancelToken token;
+  SolverOptions opts;
+  opts.compute_levels = true;
+  opts.cancel = &token;
+  IncrementalSolver inc(MustGround(f.program), opts);
+  const Term* fa = MustParseTerm(f.store, "f");
+  IncrementalSolver::QueryAnswer warm = inc.QueryAtom(fa);
+  EXPECT_EQ(warm.outcome, SolveOutcome::kCompleted);
+  // All-valid fast path under a cancelled token: zero work, exact answer,
+  // still `kCompleted` — cancellation stops work, not lookups.
+  token.Cancel();
+  IncrementalSolver::QueryAnswer fast = inc.QueryAtom(fa);
+  EXPECT_EQ(fast.outcome, SolveOutcome::kCompleted);
+  EXPECT_EQ(fast.value, warm.value);
+  // A delta makes the cone stale; the cancelled token now aborts the walk.
+  inc.Retract(MustParseTerm(f.store, "a"));
+  IncrementalSolver::QueryAnswer aborted = inc.QueryAtom(fa);
+  EXPECT_EQ(aborted.outcome, SolveOutcome::kCancelled);
+  token.Reset();
+  IncrementalSolver::QueryAnswer resumed = inc.QueryAtom(fa);
+  EXPECT_EQ(resumed.outcome, SolveOutcome::kCompleted);
+  EXPECT_EQ(resumed.value, inc.ValueOf(fa));
+}
+
+TEST(IncrementalCancelTest, CancelTelemetryChannels) {
+  Fixture f(kProgram);
+  obs::Telemetry telemetry;
+  CancelToken token;
+  SolverOptions opts;
+  opts.cancel = &token;
+  opts.telemetry = &telemetry;
+  IncrementalSolver inc(MustGround(f.program), opts);
+  token.Cancel();
+  inc.Model();
+  token.Reset();
+  inc.Model();
+  EXPECT_EQ(telemetry.metrics.GetCounter("cancel.aborts")->value(), 1u);
+  EXPECT_EQ(telemetry.metrics.GetCounter("cancel.resumes")->value(), 1u);
+  EXPECT_EQ(
+      telemetry.metrics.GetCounter("cancel.deadline_exceeded")->value(), 0u);
+}
+
+TEST(TabledEngineCancelTest, CancelAndResumeOutOfTheBox) {
+  Fixture f(kProgram);
+  Result<TabledEngine> engine = TabledEngine::Create(f.program);
+  ASSERT_TRUE(engine.ok());
+  TabledEngine& e = engine.value();
+  EXPECT_EQ(e.Refresh(), SolveOutcome::kCompleted);
+  TruthValue before = e.ValueOf(MustParseTerm(f.store, "b"));
+  // Cancel, then dirty the model so the next refresh has work to abort.
+  e.Cancel();
+  e.AssertFact(MustParseTerm(f.store, "d"));
+  EXPECT_EQ(e.Refresh(), SolveOutcome::kCancelled);
+  e.ResetCancel();
+  EXPECT_EQ(e.Refresh(), SolveOutcome::kCompleted);
+  EXPECT_EQ(e.ValueOf(MustParseTerm(f.store, "b")), before);
+  check::AuditReport report = check::AuditSolver(e.solver());
+  EXPECT_TRUE(report.ok()) << report.ToString();
+}
+
+TEST(TabledEngineCancelTest, DeadlineSetterHonoured) {
+  Fixture f(kProgram);
+  Result<TabledEngine> engine = TabledEngine::Create(f.program);
+  ASSERT_TRUE(engine.ok());
+  TabledEngine& e = engine.value();
+  e.SetDeadlineNs(1);  // long expired
+  e.AssertFact(MustParseTerm(f.store, "zz"));
+  EXPECT_EQ(e.Refresh(), SolveOutcome::kDeadlineExceeded);
+  e.SetDeadlineNs(0);
+  EXPECT_EQ(e.Refresh(), SolveOutcome::kCompleted);
+}
+
+TEST(GlobalSlsEngineCancelTest, CancelledOracleReportsUnknownNeverWrong) {
+  Fixture f(kProgram);
+  GlobalSlsEngine engine(f.program);
+  engine.Cancel();
+  EXPECT_EQ(engine.StatusOfRelevant(MustParseTerm(f.store, "b")),
+            GoalStatus::kUnknown);
+  engine.ResetCancel();
+  EXPECT_EQ(engine.StatusOfRelevant(MustParseTerm(f.store, "b")),
+            GoalStatus::kSuccessful);
+  EXPECT_EQ(engine.StatusOf(MustParseTerm(f.store, "b")),
+            GoalStatus::kSuccessful);
+}
+
+TEST(AuditTest, CleanOnHealthySolverAcrossDeltas) {
+  Fixture f(kProgram);
+  SolverOptions opts;
+  opts.compute_levels = true;
+  IncrementalSolver inc(MustGround(f.program), opts);
+  inc.Model();
+  check::AuditReport r1 = check::AuditSolver(inc);
+  EXPECT_TRUE(r1.ok()) << r1.ToString();
+  EXPECT_TRUE(r1.graph_audited);
+  EXPECT_GT(r1.components_checked, 0u);
+  inc.Retract(MustParseTerm(f.store, "a"));
+  // Pre-solve: dirty components are memo-invalid, nothing half-updated.
+  check::AuditReport r2 = check::AuditSolver(inc);
+  EXPECT_TRUE(r2.ok()) << r2.ToString();
+  inc.Model();
+  check::AuditReport r3 = check::AuditSolver(inc);
+  EXPECT_TRUE(r3.ok()) << r3.ToString();
+}
+
+TEST(AuditTest, BeforeFirstSolveIsVacuouslyClean) {
+  Fixture f(kProgram);
+  IncrementalSolver inc(MustGround(f.program));
+  check::AuditReport report = check::AuditSolver(inc);
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.components_checked, 0u);
+}
+
+TEST(SolveOutcomeTest, Names) {
+  EXPECT_STREQ(SolveOutcomeName(SolveOutcome::kCompleted), "completed");
+  EXPECT_STREQ(SolveOutcomeName(SolveOutcome::kCancelled), "cancelled");
+  EXPECT_STREQ(SolveOutcomeName(SolveOutcome::kDeadlineExceeded),
+               "deadline-exceeded");
+}
+
+}  // namespace
+}  // namespace gsls
