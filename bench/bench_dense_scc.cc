@@ -1,0 +1,272 @@
+// Warm-interior gate: per-delta incremental re-solve inside one giant
+// dense negation-recursive SCC vs a from-scratch SolveWfs. The workload
+// is the dense random win/move game — thousands of win atoms in a single
+// component with many alternative moves per position — churned by
+// move-fact (unit rule) toggles: exactly the deltas the intra-component
+// warm start (solver/warm_component.h) exists for. A cold path recompiles
+// the component and floods `InitSources` over every atom per delta; the
+// warm path patches the persisted RuleTable, undoes a trail suffix, and
+// seeds the unfounded flood from the delta's footprint, so the per-delta
+// cost must sit far below fresh (target >= 10x), with values and stage
+// levels bit-identical at 1, 2, and 4 threads. Any disagreement or a
+// ratio below the floor exits nonzero — this table is a hard CI gate
+// (ctest label `bench-gate`), and the benchmark rows land in
+// BENCH_dense.json for the bench-compare trajectory.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_main.h"
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ground/grounder.h"
+#include "lang/parser.h"
+#include "solver/incremental.h"
+#include "solver/solver.h"
+#include "util/rng.h"
+#include "util/strings.h"
+#include "wfs/wfs.h"
+#include "workload/generators.h"
+
+using namespace gsls;
+
+namespace {
+
+constexpr int kNodes = 2000;
+constexpr int kEdgePct = 1;
+
+GroundProgram GroundOf(const std::string& src, TermStore& store) {
+  Program program = MustParseProgram(store, src);
+  GroundingOptions gopts;
+  gopts.max_rules = 5'000'000;
+  Result<GroundProgram> gp = GroundRelevant(program, gopts);
+  if (!gp.ok()) {
+    std::fprintf(stderr, "grounding failed: %s\n",
+                 gp.status().ToString().c_str());
+    abort();
+  }
+  return std::move(gp.value());
+}
+
+std::string DenseGameSource() {
+  Rng rng(0xD5CC);
+  return workload::RandomGame(rng, kNodes, kEdgePct);
+}
+
+/// The dense game is grounded ONCE per process — instantiating the ~80k
+/// rule program is by far the most expensive part of setup — and each
+/// solver gets a linear-time reconstruction (same atom ids, same rule
+/// ids) so every benchmark and verification sweep sees the identical
+/// ground program.
+const GroundProgram& SharedDenseProgram() {
+  static TermStore* store = new TermStore();
+  static GroundProgram* gp =
+      new GroundProgram(GroundOf(DenseGameSource(), *store));
+  return *gp;
+}
+
+GroundProgram CopyDenseProgram() {
+  const GroundProgram& src = SharedDenseProgram();
+  GroundProgram out(&src.store());
+  for (AtomId a = 0; a < src.atom_count(); ++a) out.InternAtom(src.AtomTerm(a));
+  for (RuleId r = 0; r < src.rule_count(); ++r) out.AddRule(src.rules()[r]);
+  return out;
+}
+
+std::vector<RuleId> UnitRules(const GroundProgram& gp) {
+  std::vector<RuleId> out;
+  for (RuleId r = 0; r < gp.rule_count(); ++r) {
+    const GroundRule& rule = gp.rules()[r];
+    if (rule.pos.empty() && rule.neg.empty()) out.push_back(r);
+  }
+  return out;
+}
+
+void ToggleRule(IncrementalSolver& inc, RuleId r) {
+  if (inc.RuleEnabled(r)) {
+    inc.RetractRule(r);
+  } else {
+    inc.AssertRule(inc.program().rules()[r]);
+  }
+}
+
+SolverOptions Leveled(unsigned threads) {
+  SolverOptions opts;
+  opts.num_threads = threads;
+  opts.compute_levels = true;
+  return opts;
+}
+
+/// Identical delta stream at 1, 2, and 4 threads: values and stage levels
+/// must be bit-identical pairwise after every delta, and match the fresh
+/// masked solve on a sparse cadence (fresh solves of the dense game are
+/// the expensive thing being avoided).
+bool VerifyThreadInvariance(int deltas) {
+  std::vector<std::unique_ptr<IncrementalSolver>> solvers;
+  for (unsigned threads : {1u, 2u, 4u}) {
+    solvers.push_back(std::make_unique<IncrementalSolver>(
+        CopyDenseProgram(), Leveled(threads)));
+    solvers.back()->Model();
+  }
+  std::vector<RuleId> units = UnitRules(solvers[0]->program());
+  if (units.empty()) {
+    std::printf("dense game has no unit rules; generator broken\n");
+    return false;
+  }
+  Rng rng(0xDE17A5);
+  for (int d = 0; d < deltas; ++d) {
+    const RuleId r = units[rng.Uniform(units.size())];
+    for (auto& s : solvers) ToggleRule(*s, r);
+    const WfsModel& m1 = solvers[0]->Model();
+    for (size_t i = 1; i < solvers.size(); ++i) {
+      const WfsModel& mi = solvers[i]->Model();
+      if (!(m1.model == mi.model)) {
+        std::printf("DISAGREEMENT at delta %d: 1 thread vs %zu threads:\n%s",
+                    d, i == 1 ? size_t{2} : size_t{4},
+                    DescribeModelDifference(solvers[0]->program(), m1.model,
+                                            mi.model)
+                        .c_str());
+        return false;
+      }
+      if (m1.true_stage != mi.true_stage || m1.false_stage != mi.false_stage) {
+        std::printf("LEVEL DISAGREEMENT at delta %d across thread counts\n",
+                    d);
+        return false;
+      }
+    }
+    if (d % 10 == 0) {
+      WfsModel fresh = solvers[0]->SolveFresh();
+      if (!(m1.model == fresh.model)) {
+        std::printf("DISAGREEMENT vs fresh SolveWfs at delta %d:\n%s", d,
+                    DescribeModelDifference(solvers[0]->program(), m1.model,
+                                            fresh.model)
+                        .c_str());
+        return false;
+      }
+      for (AtomId a = 0; a < solvers[0]->program().atom_count(); ++a) {
+        if (m1.true_stage[a] != fresh.true_stage[a] ||
+            m1.false_stage[a] != fresh.false_stage[a]) {
+          std::printf("LEVEL DISAGREEMENT vs fresh at delta %d atom %u\n", d,
+                      a);
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+bool PrintVerification() {
+  std::printf(
+      "=== dense-SCC warm-interior gate (values + levels, 1/2/4 threads) "
+      "===\n");
+  bool ok = VerifyThreadInvariance(60);
+  std::printf("  thread-invariance sweep: %s\n\n", ok ? "agree" : "FAIL");
+  if (!ok) return false;
+
+  // Timing row: warm per-delta vs fresh per-delta, one solver, sequential
+  // (the ratio is about the interior warm start, not the scheduler).
+  IncrementalSolver inc(CopyDenseProgram(), Leveled(1));
+  inc.Model();
+  std::vector<RuleId> units = UnitRules(inc.program());
+  Rng rng(0x5EED);
+
+  const int kTimedDeltas = 200;
+  auto start = std::chrono::steady_clock::now();
+  for (int d = 0; d < kTimedDeltas; ++d) {
+    ToggleRule(inc, units[rng.Uniform(units.size())]);
+    benchmark::DoNotOptimize(inc.Model().model.atom_count());
+  }
+  std::chrono::duration<double> inc_s =
+      std::chrono::steady_clock::now() - start;
+
+  const int kFreshDeltas = 20;
+  start = std::chrono::steady_clock::now();
+  for (int d = 0; d < kFreshDeltas; ++d) {
+    ToggleRule(inc, units[rng.Uniform(units.size())]);
+    benchmark::DoNotOptimize(inc.SolveFresh().model.atom_count());
+  }
+  std::chrono::duration<double> fresh_s =
+      std::chrono::steady_clock::now() - start;
+
+  const double inc_us = inc_s.count() * 1e6 / kTimedDeltas;
+  const double fresh_us = fresh_s.count() * 1e6 / kFreshDeltas;
+  const double speedup = fresh_us / (inc_us > 0 ? inc_us : 1e-9);
+  const SolverDiagnostics& diag = inc.diagnostics();
+  const uint64_t flood_count = diag.seeded_flood_sizes.count;
+  const double avg_seeded_flood =
+      flood_count == 0
+          ? 0.0
+          : static_cast<double>(diag.seeded_flood_sizes.sum) / flood_count;
+
+  std::printf("=== dense random game(%d,%d%%): per-delta re-solve ===\n",
+              kNodes, kEdgePct);
+  std::printf("%-24s %10s %10s %8s %9s %9s %9s\n", "workload", "inc(us)",
+              "fresh(us)", "speedup", "warm-hit", "cold-fb", "avgflood");
+  std::printf("%-24s %10.2f %10.2f %7.1fx %9lu %9lu %9.1f\n",
+              StrCat("dense(", kNodes, ",", kEdgePct, "%)").c_str(), inc_us,
+              fresh_us, speedup,
+              static_cast<unsigned long>(diag.warm_hits),
+              static_cast<unsigned long>(diag.warm_cold_fallbacks),
+              avg_seeded_flood);
+
+  if (diag.warm_hits == 0) {
+    std::printf("GATE FAIL: warm path never taken on the dense SCC\n");
+    return false;
+  }
+  if (speedup < 10.0) {
+    std::printf("GATE FAIL: per-delta speedup %.1fx below the 10x floor\n",
+                speedup);
+    return false;
+  }
+  std::printf(
+      "\nExpected shape: the giant win SCC re-solves by patch + suffix-undo\n"
+      "+ seeded flood (warm-hit counts the deltas served warm); fresh pays\n"
+      "compile + InitSources over all %d win atoms every time.\n\n",
+      kNodes);
+  return true;
+}
+
+/// Benchmark rows for BENCH_dense.json: warm per-delta re-solve and the
+/// fresh per-delta solve it replaces, plus the cold path with warm
+/// starting disabled (warm_min_atoms = 0) as the ablation row.
+void BM_DenseScc_WarmDelta(benchmark::State& state) {
+  SolverOptions opts = Leveled(static_cast<unsigned>(state.range(0)));
+  IncrementalSolver inc(CopyDenseProgram(), opts);
+  inc.Model();
+  std::vector<RuleId> units = UnitRules(inc.program());
+  Rng rng(17);
+  for (auto _ : state) {
+    ToggleRule(inc, units[rng.Uniform(units.size())]);
+    benchmark::DoNotOptimize(inc.Model().model.atom_count());
+  }
+  state.counters["atoms"] = static_cast<double>(inc.program().atom_count());
+  state.counters["warm_hits"] =
+      static_cast<double>(inc.diagnostics().warm_hits);
+}
+BENCHMARK(BM_DenseScc_WarmDelta)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_DenseScc_ColdDelta(benchmark::State& state) {
+  SolverOptions opts = Leveled(1);
+  opts.warm_min_atoms = 0;  // ablation: force the cold per-component path
+  IncrementalSolver inc(CopyDenseProgram(), opts);
+  inc.Model();
+  std::vector<RuleId> units = UnitRules(inc.program());
+  Rng rng(17);
+  for (auto _ : state) {
+    ToggleRule(inc, units[rng.Uniform(units.size())]);
+    benchmark::DoNotOptimize(inc.Model().model.atom_count());
+  }
+  state.counters["atoms"] = static_cast<double>(inc.program().atom_count());
+}
+BENCHMARK(BM_DenseScc_ColdDelta)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+GSLS_BENCH_MAIN_GATED(PrintVerification(),
+                      "dense-SCC warm-interior gate failed");

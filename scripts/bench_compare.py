@@ -22,6 +22,11 @@ Rules of the gate:
 When $GITHUB_STEP_SUMMARY is set, a markdown summary table of every
 compared row (plus added/removed rows) is appended to it, so the verdict
 is readable from the Actions run page without digging through the log.
+Rows that got *faster* than the inverse tolerance (ratio < 1/tolerance)
+are marked IMPROVEMENT per row and counted in the summary — a perf win
+should be as visible in the run page as a regression, and a surprise
+improvement (a row suddenly 10x faster) is worth a look too: it can mean
+a benchmark stopped measuring what it used to.
 """
 
 import argparse
@@ -93,7 +98,8 @@ def fmt_ns(ns):
     return f"{ns:.0f}ns"
 
 
-def write_step_summary(records, regressions, tolerance, compared):
+def write_step_summary(records, regressions, improvements, tolerance,
+                       compared):
     """Appends a markdown table to $GITHUB_STEP_SUMMARY when set."""
     path = os.environ.get("GITHUB_STEP_SUMMARY")
     if not path:
@@ -102,7 +108,8 @@ def write_step_summary(records, regressions, tolerance, compared):
     verdict = "❌ FAIL" if regressions else "✅ PASS"
     lines.append(f"## Bench compare: {verdict}")
     lines.append(f"{compared} rows compared, {len(regressions)} "
-                 f"regression(s), tolerance {tolerance}x")
+                 f"regression(s), {len(improvements)} improvement(s), "
+                 f"tolerance {tolerance}x")
     lines.append("")
     lines.append("| benchmark | baseline | current | ratio | status |")
     lines.append("|---|---:|---:|---:|---|")
@@ -132,6 +139,7 @@ def main():
         return 0
 
     regressions = []
+    improvements = []
     records = []  # (row name, base_ns, cur_ns, ratio, status)
     compared = 0
     added = 0
@@ -173,13 +181,22 @@ def main():
                 continue
             compared += 1
             ratio = cur_ns / base_ns if base_ns > 0 else float("inf")
-            marker = "REGRESSION" if ratio > args.tolerance else "ok"
+            if ratio > args.tolerance:
+                marker = "REGRESSION"
+            elif ratio < 1.0 / args.tolerance:
+                marker = "IMPROVEMENT"
+            else:
+                marker = "ok"
             print(f"  {name}:{row}: {base_ns:.0f}ns -> {cur_ns:.0f}ns "
                   f"({ratio:.2f}x) {marker}")
             records.append((f"{name}:{row}", base_ns, cur_ns, ratio, marker))
             if ratio > args.tolerance:
                 regressions.append(
                     f"{name}:{row}: {ratio:.2f}x slower "
+                    f"({base_ns:.0f}ns -> {cur_ns:.0f}ns)")
+            elif ratio < 1.0 / args.tolerance:
+                improvements.append(
+                    f"{name}:{row}: {1.0 / ratio:.2f}x faster "
                     f"({base_ns:.0f}ns -> {cur_ns:.0f}ns)")
         for row, cur_ns in sorted(cur.items()):
             if row not in base:
@@ -189,8 +206,13 @@ def main():
 
     print(f"bench-compare: {compared} rows compared, {added} added, "
           f"{removed} removed, {len(regressions)} regression(s), "
-          f"tolerance {args.tolerance}x")
-    write_step_summary(records, regressions, args.tolerance, compared)
+          f"{len(improvements)} improvement(s), tolerance {args.tolerance}x")
+    if improvements:
+        print("improvements beyond inverse tolerance:")
+        for imp in improvements:
+            print(f"  {imp}")
+    write_step_summary(records, regressions, improvements, args.tolerance,
+                       compared)
     if regressions:
         print("\nFAIL: perf regressions beyond tolerance:")
         for r in regressions:

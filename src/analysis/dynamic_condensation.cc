@@ -12,7 +12,8 @@ std::string DynamicCondensation::Stats::ToString() const {
   return StrCat("inserts=", inserts, " removals=", removals,
                 " windows=", windows, " window_atoms=", window_atoms,
                 " window_us=", window_ns / 1000, " merges=", merges,
-                " splits=", splits);
+                " splits=", splits, " pk_regions=", pk_regions,
+                " pk_region_comps=", pk_region_comps);
 }
 
 DynamicCondensation::DynamicCondensation(
@@ -259,6 +260,265 @@ void DynamicCondensation::RecondenseWindow(
   stats_.window_ns += obs::NowNs() - t0;
 }
 
+void DynamicCondensation::NarrowedInsertRepair(
+    const GroundProgram& gp, const std::vector<uint8_t>* disabled, RuleId r,
+    uint32_t ch, uint32_t cmax, CondensationRepair* out, CancelCtx* cancel) {
+  // Latch-only cancellation, as in RecondenseWindow: the repair always
+  // completes structurally.
+  StridedCheckpoint tick(cancel);
+  AtomDependencyGraph& g = graph_;
+  const uint32_t old_k = cmax - ch + 1;
+  const uint32_t abegin = g.comp_offsets_[ch];
+  const uint32_t aend = g.comp_offsets_[cmax + 1];
+
+  GSLS_TRACE_SPAN("condense.pk_region", old_k);
+  const uint64_t t0 = obs::NowNs();
+
+  out->recondensed = true;
+  out->window_lo = ch;
+  out->old_window_size = old_k;
+  out->old_to_new.assign(old_k, UINT32_MAX);
+  ++stats_.windows;
+  ++stats_.pk_regions;
+
+  if (++pk_epoch_ == 0) {  // uint32 wrap: stale marks would alias
+    std::fill(pk_f_.begin(), pk_f_.end(), 0);
+    std::fill(pk_b_.begin(), pk_b_.end(), 0);
+    pk_epoch_ = 1;
+  }
+  const uint32_t epoch = pk_epoch_;
+  if (pk_f_.size() < g.component_count()) pk_f_.resize(g.component_count(), 0);
+  if (pk_b_.size() < g.component_count()) pk_b_.resize(g.component_count(), 0);
+
+  const GroundRule& rule = gp.rules()[r];
+
+  // Forward frontier F: components reachable from `ch` through enabled
+  // rules other than `r`, restricted to ids <= cmax. Ids only ascend along
+  // dependency edges, so F sits inside [ch, cmax] by construction.
+  pk_stack_.clear();
+  pk_f_[ch] = epoch;
+  pk_stack_.push_back(ch);
+  while (!pk_stack_.empty()) {
+    (void)tick.Tick();
+    uint32_t c = pk_stack_.back();
+    pk_stack_.pop_back();
+    for (AtomId a : g.Atoms(c)) {
+      auto visit_head = [&](RuleId rid) {
+        if (rid == r || !RuleEnabledIn(disabled, rid)) return;
+        uint32_t hc = g.comp_of_[gp.rules()[rid].head];
+        if (hc <= cmax && pk_f_[hc] != epoch) {
+          pk_f_[hc] = epoch;
+          pk_stack_.push_back(hc);
+        }
+      };
+      for (RuleId rid : gp.PositiveOccurrences(a)) visit_head(rid);
+      for (RuleId rid : gp.NegativeOccurrences(a)) visit_head(rid);
+    }
+  }
+
+  // Backward frontier B: components reaching a violating body component of
+  // `r` (body ids > ch) through enabled rules other than `r`, restricted to
+  // ids >= ch. All seeds are <= cmax and ids ascend along edges, so B sits
+  // inside [ch, cmax] too — and cmax itself is a seed, so the affected
+  // region spans exactly the classical window's id range; the narrowing is
+  // in *work* (no Tarjan over window atoms) and *membership churn* (only
+  // F ∩ B merges), not in the id span.
+  pk_stack_.clear();
+  auto seed_b = [&](AtomId b) {
+    uint32_t cb = g.comp_of_[b];
+    if (cb > ch && pk_b_[cb] != epoch) {
+      pk_b_[cb] = epoch;
+      pk_stack_.push_back(cb);
+    }
+  };
+  for (AtomId b : rule.pos) seed_b(b);
+  for (AtomId b : rule.neg) seed_b(b);
+  while (!pk_stack_.empty()) {
+    (void)tick.Tick();
+    uint32_t c = pk_stack_.back();
+    pk_stack_.pop_back();
+    for (AtomId a : g.Atoms(c)) {
+      for (RuleId rid : gp.RulesFor(a)) {
+        if (rid == r || !RuleEnabledIn(disabled, rid)) continue;
+        const GroundRule& rr = gp.rules()[rid];
+        auto visit_body = [&](AtomId b) {
+          uint32_t cb = g.comp_of_[b];
+          if (cb >= ch && pk_b_[cb] != epoch) {
+            pk_b_[cb] = epoch;
+            pk_stack_.push_back(cb);
+          }
+        };
+        for (AtomId b : rr.pos) visit_body(b);
+        for (AtomId b : rr.neg) visit_body(b);
+      }
+    }
+  }
+
+  // Classify the window's ids. Every new cycle passes through the new
+  // edges' shared head component `ch`, so the merged SCC — if any — is
+  // exactly M = F ∩ B at component granularity, every member absorbed
+  // whole; membership outside M is untouched and no Tarjan run is needed.
+  pk_seq_b_.clear();
+  pk_seq_m_.clear();
+  pk_seq_f_.clear();
+  for (uint32_t c = ch; c <= cmax; ++c) {
+    const bool in_f = pk_f_[c] == epoch;
+    const bool in_b = pk_b_[c] == epoch;
+    if (in_f && in_b) {
+      pk_seq_m_.push_back(c);
+    } else if (in_b) {
+      pk_seq_b_.push_back(c);
+    } else if (in_f) {
+      pk_seq_f_.push_back(c);
+    }
+    if (in_f || in_b) {
+      stats_.window_atoms += g.Atoms(c).size();
+    }
+  }
+  const uint32_t k = static_cast<uint32_t>(pk_seq_b_.size());
+  const uint32_t m = static_cast<uint32_t>(pk_seq_f_.size());
+  const uint32_t region =
+      k + m + static_cast<uint32_t>(pk_seq_m_.size());
+  out->pk_region_components = region;
+  stats_.pk_region_comps += region;
+  const bool merge = !pk_seq_m_.empty();
+  // A merge happens iff ch reaches a violating body component, i.e. ch
+  // itself is backward-marked; and then |M| >= 2 (ch plus that body).
+  assert(merge == (pk_b_[ch] == epoch));
+  assert(!merge || pk_seq_m_.size() >= 2);
+  assert(pk_seq_m_.empty() || pk_seq_m_.front() == ch);
+
+  // Renumber by walking the window's id slots in ascending order. Region
+  // slots are refilled from the queue [sorted(B \ M), merged M,
+  // sorted(F \ M)] with B∪M entries at the earliest region slots and F
+  // entries at the *latest* region slots (the |M|-1 freed slots collapse
+  // in the middle); non-region slots re-emit their own component. This
+  // placement keeps every edge class order-valid: B members only move
+  // earlier (j-th smallest B id lands on the j-th smallest region id),
+  // F members only move later, in-window successors of F∪M members are
+  // again in F (forward closure) and in-window predecessors of B∪M
+  // members are again in B (backward closure), so a non-region component
+  // only ever feeds F members placed at later slots or consumes B members
+  // placed at earlier ones.
+  new_atoms_.clear();
+  new_offsets_.assign(1, 0);
+  pk_neg_.clear();
+  pk_rec_.clear();
+  uint32_t emitted = 0;
+  uint32_t merged_new = UINT32_MAX;
+  auto emit_single = [&](uint32_t oldc) {
+    out->old_to_new[oldc - ch] = ch + emitted;
+    for (AtomId a : g.Atoms(oldc)) new_atoms_.push_back(a);
+    new_offsets_.push_back(static_cast<uint32_t>(new_atoms_.size()));
+    pk_neg_.push_back(g.internal_neg_[oldc]);
+    pk_rec_.push_back(g.recursive_[oldc]);
+    ++emitted;
+  };
+  uint32_t region_seen = 0;
+  for (uint32_t c = ch; c <= cmax; ++c) {
+    (void)tick.Tick();
+    if (pk_f_[c] != epoch && pk_b_[c] != epoch) {
+      emit_single(c);
+      continue;
+    }
+    ++region_seen;
+    if (region_seen <= k) {
+      emit_single(pk_seq_b_[region_seen - 1]);
+    } else if (region_seen > region - m) {
+      emit_single(pk_seq_f_[region_seen - (region - m) - 1]);
+    } else if (region_seen == k + 1 && merge) {
+      // The merged component, in ascending old-id order (each old
+      // component is an atom-level SCC and the new edges close a cycle
+      // through all of them, so the concatenation is one SCC).
+      merged_new = ch + emitted;
+      for (uint32_t oldc : pk_seq_m_) {
+        out->old_to_new[oldc - ch] = merged_new;
+        for (AtomId a : g.Atoms(oldc)) new_atoms_.push_back(a);
+      }
+      new_offsets_.push_back(static_cast<uint32_t>(new_atoms_.size()));
+      pk_neg_.push_back(0);  // recomputed below, post-splice
+      pk_rec_.push_back(1);  // >= 2 merged components: cycle by definition
+      ++emitted;
+    }
+    // Remaining middle region slots are the |M|-1 ids freed by the merge.
+  }
+
+  const uint32_t new_k = emitted;
+  out->new_window_size = new_k;
+  const int64_t delta = static_cast<int64_t>(new_k) - old_k;
+  assert(delta <= 0);  // insertions only merge, never split
+  if (delta < 0) ++stats_.merges;
+
+  // Splice, as in RecondenseWindow: same atoms in the window slice under a
+  // new grouping, per-component arrays resized by `delta`, component ids
+  // above the window shifted.
+  std::copy(new_atoms_.begin(), new_atoms_.end(),
+            g.comp_atoms_.begin() + abegin);
+  if (delta < 0) {
+    g.comp_offsets_.erase(g.comp_offsets_.begin() + ch + 1 + new_k,
+                          g.comp_offsets_.begin() + ch + 1 + old_k);
+    g.internal_neg_.erase(g.internal_neg_.begin() + ch + new_k,
+                          g.internal_neg_.begin() + ch + old_k);
+    g.recursive_.erase(g.recursive_.begin() + ch + new_k,
+                       g.recursive_.begin() + ch + old_k);
+  }
+  for (uint32_t i = 1; i <= new_k; ++i) {
+    g.comp_offsets_[ch + i] = abegin + new_offsets_[i];
+  }
+  for (uint32_t i = 0; i < new_k; ++i) {
+    g.internal_neg_[ch + i] = pk_neg_[i];
+    g.recursive_[ch + i] = pk_rec_[i];
+    uint32_t rank = 0;
+    for (uint32_t p = new_offsets_[i]; p < new_offsets_[i + 1]; ++p) {
+      g.comp_of_[new_atoms_[p]] = ch + i;
+      g.local_of_[new_atoms_[p]] = rank++;
+    }
+  }
+  if (delta != 0) {
+    for (size_t p = aend; p < g.comp_atoms_.size(); ++p) {
+      g.comp_of_[g.comp_atoms_[p]] =
+          static_cast<uint32_t>(g.comp_of_[g.comp_atoms_[p]] + delta);
+    }
+  }
+
+  // Non-merged components carried their flags verbatim — valid for every
+  // pre-existing rule (membership is unchanged), but the new rule itself
+  // may add an intra-component edge to its head's component (a body atom
+  // in the head's own component, next to the violating higher body), so
+  // tighten those flags here exactly like the order-respecting branch of
+  // InsertRule does.
+  {
+    const uint32_t hc = g.comp_of_[rule.head];
+    for (AtomId b : rule.pos) {
+      if (g.comp_of_[b] == hc) g.recursive_[hc] = 1;
+    }
+    for (AtomId b : rule.neg) {
+      if (g.comp_of_[b] == hc) {
+        g.internal_neg_[hc] = 1;
+        g.recursive_[hc] = 1;
+      }
+    }
+  }
+
+  // Exact flags for the merged component (the new rule `r` included —
+  // its neg body atoms may be the very edge that makes the merge
+  // negation-recursive). Non-merged components carried their flags.
+  if (merge) {
+    uint8_t neg = 0;
+    for (AtomId a : g.Atoms(merged_new)) {
+      for (RuleId rid : gp.RulesFor(a)) {
+        if (!RuleEnabledIn(disabled, rid)) continue;
+        for (AtomId b : gp.rules()[rid].neg) {
+          if (g.comp_of_[b] == merged_new) neg = 1;
+        }
+      }
+    }
+    g.internal_neg_[merged_new] = neg;
+    out->dirty.push_back(merged_new);
+  }
+  stats_.window_ns += obs::NowNs() - t0;
+}
+
 CondensationRepair DynamicCondensation::InsertRule(
     const GroundProgram& gp, const std::vector<uint8_t>* disabled, RuleId r,
     CancelCtx* cancel) {
@@ -274,9 +534,12 @@ CondensationRepair DynamicCondensation::InsertRule(
   if (cmax > ch) {
     // The delta's head now depends on a component ordered after it — the
     // one way a rule insertion can close a cycle or break the id order.
-    // Any closing path descends through ids in [ch, cmax], so that window
-    // is the whole affected region.
-    RecondenseWindow(gp, disabled, ch, cmax, &out, cancel);
+    // Any closing path descends through ids in [ch, cmax], but only the
+    // Pearce–Kelly affected region (forward frontier of ch ∩ backward
+    // frontier of the violating bodies) can actually change membership;
+    // the narrowed repair renumbers without re-running Tarjan and leaves
+    // every component outside the region untouched.
+    NarrowedInsertRepair(gp, disabled, r, ch, cmax, &out, cancel);
   } else {
     // Order-respecting edges: membership and ids hold everywhere; only the
     // head component's recursion flags can tighten.

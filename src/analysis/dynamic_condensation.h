@@ -45,6 +45,13 @@ struct CondensationRepair {
   /// consumers key off this one dirty set.
   std::vector<uint32_t> dirty;
 
+  /// Components in the Pearce–Kelly affected region of a cycle-closing
+  /// insertion — the true forward/backward frontier re-Tarjaned instead of
+  /// the whole id window (see `InsertRule`). 0 when the repair did not
+  /// narrow (edge-only inserts, removals). Feeds the `interior.pk_region`
+  /// telemetry histogram.
+  uint32_t pk_region_components = 0;
+
   bool split() const { return new_window_size > old_window_size; }
   bool merged() const { return new_window_size < old_window_size; }
 
@@ -135,6 +142,8 @@ class DynamicCondensation {
     uint64_t window_ns = 0;      ///< wall time inside re-Tarjan windows
     uint64_t merges = 0;         ///< windows that merged components
     uint64_t splits = 0;         ///< windows that split a component
+    uint64_t pk_regions = 0;       ///< inserts repaired by PK narrowing
+    uint64_t pk_region_comps = 0;  ///< components across all PK regions
 
     std::string ToString() const;
   };
@@ -150,6 +159,27 @@ class DynamicCondensation {
                         uint32_t hi, CondensationRepair* out,
                         CancelCtx* cancel);
 
+  /// Pearce–Kelly narrowed repair for a cycle-closing insertion of rule
+  /// `r` with head component `ch` and max body component `cmax > ch`.
+  /// Instead of re-Tarjaning the whole id window [ch, cmax], computes the
+  /// true affected region: F = components forward-reachable from `ch`
+  /// within ids <= cmax, B = components backward-reachable from the rule's
+  /// violating body components within ids >= ch (the new rule's own edges
+  /// excluded from both searches). Every new cycle passes through the new
+  /// edge, hence through `ch`, so the merged SCC — if any — is exactly
+  /// F ∩ B at component granularity, with every member component absorbed
+  /// whole; no Tarjan run is needed. The region is renumbered as
+  /// [sorted(B \ M), merged M, sorted(F \ M)] over the region's own id
+  /// slots — a placement every mixed edge tolerates, since F members only
+  /// move later and B members only earlier — and components outside the
+  /// region keep membership and id verbatim, which is what lets the
+  /// solver's per-component warm state (`solver::WarmComponent`) survive
+  /// repairs that the full-window rewrite would have evicted.
+  void NarrowedInsertRepair(const GroundProgram& gp,
+                            const std::vector<uint8_t>* disabled, RuleId r,
+                            uint32_t ch, uint32_t cmax,
+                            CondensationRepair* out, CancelCtx* cancel);
+
   AtomDependencyGraph graph_;
 
   // Window scratch, reused across repairs. All Tarjan state is local to
@@ -158,6 +188,18 @@ class DynamicCondensation {
   std::vector<AtomId> old_window_atoms_;  ///< pre-repair window slice
   std::vector<AtomId> new_atoms_;         ///< re-grouped window slice
   std::vector<uint32_t> new_offsets_;     ///< prefix sizes of new comps
+
+  // Pearce–Kelly frontier scratch. Epoch-stamped marks over *component*
+  // ids (a repair touches one in-window region; stamping beats clearing).
+  std::vector<uint32_t> pk_f_;      ///< forward-mark epoch per component
+  std::vector<uint32_t> pk_b_;      ///< backward-mark epoch per component
+  std::vector<uint32_t> pk_stack_;  ///< BFS worklist of component ids
+  std::vector<uint32_t> pk_seq_b_;  ///< region ids in B \ M, ascending
+  std::vector<uint32_t> pk_seq_m_;  ///< region ids in M = F ∩ B, ascending
+  std::vector<uint32_t> pk_seq_f_;  ///< region ids in F \ M, ascending
+  std::vector<uint8_t> pk_neg_;     ///< per emitted comp: internal_neg flag
+  std::vector<uint8_t> pk_rec_;     ///< per emitted comp: recursive flag
+  uint32_t pk_epoch_ = 0;
 
   Stats stats_;
 };

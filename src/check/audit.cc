@@ -153,6 +153,39 @@ AuditReport SolverAuditor::Audit(const IncrementalSolver& s) {
     }
   }
 
+  // -- 6. persisted warm component state --------------------------------
+  // The warm-interior contract: an entry in the warm store is either
+  // provably consistent with the live tape and mask, or it must have been
+  // discarded. `WarmComponent::AuditInvariants` re-derives every piece —
+  // live-rule counters vs a from-scratch recount, source pointers live and
+  // acyclic, trail batches monotone with every decision justified.
+  for (const auto& [key, entry] : s.warm_) {
+    if (entry == nullptr) {
+      Fail(&report, StrCat("warm entry for atom ", key, " is null"));
+      continue;
+    }
+    if (key >= covered) {
+      Fail(&report, StrCat("warm entry keyed by atom ", key,
+                           " outside the condensation"));
+      continue;
+    }
+    const uint32_t c = g.ComponentOf(key);
+    const std::span<const AtomId> watoms = g.Atoms(c);
+    if (watoms.empty() || watoms[0] != key) {
+      Fail(&report, StrCat("warm entry keyed by atom ", key,
+                           " which is not component ", c,
+                           "'s representative"));
+      continue;
+    }
+    std::string why;
+    if (!entry->AuditInvariants(gp, g, c, &s.disabled_, s.tape_, &why)) {
+      Fail(&report, StrCat("warm state of component ", c, " (rep ", key,
+                           "): ", why));
+      continue;
+    }
+    ++report.warm_entries_checked;
+  }
+
   if (!s.solved_) return report;
 
   // Fact deltas fold into the memo lazily (`FoldDirtyIntoPending` at the

@@ -24,6 +24,9 @@ struct AuditReport {
   uint32_t components_skipped = 0;
   /// The condensation was compared against a from-scratch Tarjan build.
   bool graph_audited = false;
+  /// Persisted warm-component entries whose invariants (binding, counter
+  /// recounts, source acyclicity, trail justification) were re-derived.
+  uint32_t warm_entries_checked = 0;
 
   bool ok() const { return failures.empty(); }
   /// "ok" or the failure lines, newline-joined — test assertion messages.
@@ -58,6 +61,15 @@ struct AuditReport {
 ///     and stage slots are sign-consistent with the truth values
 ///     (true => true_stage >= 1, false_stage == 0; symmetrically for
 ///     false; undefined => 0/0).
+///  6. Persisted warm-interior state (`solver::WarmComponent`): every
+///     entry in the warm store is keyed by its component's representative
+///     atom and passes `AuditInvariants` against the live tape and mask —
+///     cached rule counters equal a from-scratch recount, source pointers
+///     are live and acyclic, snapshots are reconciled, and the decision
+///     trail is batch-monotone with every decision justified. This is the
+///     "provably consistent or discarded" half of the warm-start
+///     contract; the discard half is exercised by abort/recondensation
+///     tests.
 ///
 /// Cost: one fresh Tarjan plus one re-solve per clean component — meant
 /// for tests and fault drills, not production serving paths.

@@ -1,5 +1,7 @@
 #include "solver/component_memo.h"
 
+#include <algorithm>
+
 #include "util/strings.h"
 
 namespace gsls::solver {
@@ -16,9 +18,12 @@ void ComponentMemo::ApplyRepair(const CondensationRepair& rep,
     return;
   }
   // The repair renumbered ids: below the window verbatim, the window
-  // re-condensed (conservatively dropped — `rep.dirty` lists the members
-  // whose values may move, but even an unchanged-membership member may
-  // have a new id inside the window, and windows are rare), above the
+  // translated through `old_to_new` when the repair produced a total map
+  // (insertions: merges and pure permutations — membership of a non-dirty
+  // window member is unchanged, so its tape bytes are still final and its
+  // validity rides along to the new id; a merged target carries validity
+  // only if every source did, and is in `rep.dirty` anyway), dropped
+  // wholesale otherwise (splits fan out and have no map), above the
   // window shifted by the size delta.
   std::vector<uint8_t> valid(new_component_count, 0);
   std::vector<uint64_t> stamp(new_component_count, 0);
@@ -26,6 +31,24 @@ void ComponentMemo::ApplyRepair(const CondensationRepair& rep,
   for (uint32_t c = 0; c < lo && c < valid_.size(); ++c) {
     valid[c] = valid_[c];
     stamp[c] = stamp_[c];
+  }
+  if (!rep.split() && rep.old_to_new.size() == rep.old_window_size) {
+    std::vector<uint8_t> seen(rep.new_window_size, 0);
+    for (uint32_t i = 0;
+         i < rep.old_window_size && lo + i < valid_.size(); ++i) {
+      const uint32_t nc = rep.old_to_new[i];
+      if (nc == UINT32_MAX || nc < lo || nc >= lo + rep.new_window_size) {
+        continue;
+      }
+      if (!seen[nc - lo]) {
+        seen[nc - lo] = 1;
+        valid[nc] = valid_[lo + i];
+        stamp[nc] = stamp_[lo + i];
+      } else {
+        valid[nc] &= valid_[lo + i];
+        stamp[nc] = std::min(stamp[nc], stamp_[lo + i]);
+      }
+    }
   }
   const int64_t shift = rep.id_shift();
   for (uint32_t c = lo + rep.old_window_size; c < valid_.size(); ++c) {

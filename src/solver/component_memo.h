@@ -45,8 +45,11 @@ namespace gsls::solver {
 /// Component ids are renumbered by recondensation windows
 /// (`DynamicCondensation`); `ApplyRepair` translates the validity map
 /// through a repair — ids below the window keep their entries, ids above
-/// shift by the window's size delta, and the window itself is invalidated
-/// (its compiled state is stale regardless).
+/// shift by the window's size delta, and the window's entries follow
+/// `CondensationRepair::old_to_new` when the repair produced a total map
+/// (a window member whose membership didn't change keeps its validity at
+/// its new id; merged and dirty members are dropped). Splits have no map
+/// and drop the window wholesale.
 ///
 /// Thread-safety: none. The parallel query/up-cone passes read validity
 /// before the barrier and write it after — see the call sites in
@@ -134,9 +137,10 @@ class ComponentMemo {
 
   /// Translates the validity map through a condensation repair: ids below
   /// `rep.window_lo` are untouched, ids above the old window shift by
-  /// `rep.id_shift()`, and the re-condensed window itself is dropped
-  /// (membership or numbering inside it changed; its compiled state must
-  /// re-solve). `new_component_count` is the post-repair count. On a
+  /// `rep.id_shift()`, and window entries ride `rep.old_to_new` when the
+  /// map is total (merged targets AND their sources' validity; `rep.dirty`
+  /// is dropped at the end regardless) or are dropped wholesale on a
+  /// split. `new_component_count` is the post-repair count. On a
   /// non-recondensing repair only `rep.dirty` is dropped.
   void ApplyRepair(const CondensationRepair& rep,
                    uint32_t new_component_count);

@@ -71,6 +71,12 @@ IncrementalSolver::IncrementalSolver(GroundProgram gp, SolverOptions opts)
     tele_.cancel_checkpoints = m.GetCounter("cancel.checkpoints");
     tele_.cancel_resume_components =
         m.GetHistogram("cancel.resume_components");
+    tele_.interior_warm_hits = m.GetGauge("interior.warm_hits");
+    tele_.interior_cold_fallbacks = m.GetGauge("interior.cold_fallbacks");
+    tele_.interior_seeded_flood_atoms =
+        m.GetHistogram("interior.seeded_flood_atoms");
+    tele_.interior_pk_region_components =
+        m.GetHistogram("interior.pk_region_components");
   }
 }
 
@@ -220,6 +226,25 @@ void IncrementalSolver::ApplyRepair(const CondensationRepair& rep) {
   if (memo_.size() != 0) memo_.ApplyRepair(rep, g.component_count());
   if (rep.recondensed && tele_.window_components != nullptr) {
     tele_.window_components->Record(rep.new_window_size);
+    if (rep.pk_region_components != 0) {
+      tele_.interior_pk_region_components->Record(rep.pk_region_components);
+    }
+  }
+  if (rep.recondensed && !warm_.empty()) {
+    // A recondensation renumbered/re-grouped the window: warm interior
+    // state is keyed by representative atom, so entries whose key no
+    // longer leads its component (or whose component changed size) are
+    // provably stale — discard them now rather than leaking them. Same-
+    // key same-size survivors are re-checked atom-for-atom by
+    // `BindingValid` on their next touch.
+    std::lock_guard<std::mutex> lock(warm_mu_);
+    std::erase_if(warm_, [&](const auto& kv) {
+      std::span<const AtomId> atoms = g.Atoms(g.ComponentOf(kv.first));
+      bool keep = !atoms.empty() && atoms[0] == kv.first &&
+                  atoms.size() == kv.second->atom_count();
+      if (!keep) ++diag_.warm_cold_fallbacks;
+      return !keep;
+    });
   }
   // Components are marked through a stable representative atom: later
   // deltas may renumber components again before `Model()` resolves them.
@@ -393,6 +418,8 @@ const WfsModel& IncrementalSolver::Model() {
     stale_reps_.clear();
     memo_.Grow(cond_->graph().component_count());
     const uint64_t resolved_before = stats_.components_resolved;
+    const uint64_t warm_hits_before = diag_.warm_hits;
+    const uint64_t seeded_flood_before = diag_.seeded_flood_sizes.sum;
     // The parallel cone schedules every component *reachable* from the
     // deltas (pruned re-solves, but still a release per cone member),
     // while the heap touches only components whose inputs actually
@@ -425,6 +452,14 @@ const WfsModel& IncrementalSolver::Model() {
     NoteOutcome(cancel, stats_.components_resolved - resolved_before);
     if (opts_.telemetry != nullptr) {
       tele_.delta_latency_us->Record((obs::NowNs() - t0) / 1000);
+      if (diag_.warm_hits != warm_hits_before) {
+        // What this pass's warm re-solves actually flooded, summed over
+        // the pass — the per-delta "how much of the SCC did the seed
+        // touch" signal (per-resolve sizes live in the diagnostics
+        // histogram; per-pass is the delta-latency-aligned view).
+        tele_.interior_seeded_flood_atoms->Record(
+            diag_.seeded_flood_sizes.sum - seeded_flood_before);
+      }
       PublishTelemetry();
     }
   }
@@ -449,6 +484,9 @@ void IncrementalSolver::PublishTelemetry() {
   tele_.cone_cutoffs->Set(static_cast<int64_t>(stats_.cone_cutoffs));
   tele_.queries->Set(static_cast<int64_t>(stats_.queries));
   tele_.query_fastpaths->Set(static_cast<int64_t>(stats_.query_fastpaths));
+  tele_.interior_warm_hits->Set(static_cast<int64_t>(diag_.warm_hits));
+  tele_.interior_cold_fallbacks->Set(
+      static_cast<int64_t>(diag_.warm_cold_fallbacks));
   const solver::ComponentMemo::Stats& ms = memo_.stats();
   tele_.memo_hits->Set(static_cast<int64_t>(ms.hits));
   tele_.memo_misses->Set(static_cast<int64_t>(ms.misses));
@@ -501,12 +539,58 @@ void IncrementalSolver::Mark(uint32_t comp) {
   heap_.push(comp);
 }
 
-namespace {
+bool IncrementalSolver::SolveEligibleComponent(uint32_t c,
+                                               solver::StageTape* stages,
+                                               SolverDiagnostics* diag,
+                                               CancelCtx* cancel) {
+  const AtomDependencyGraph& graph = cond_->graph();
+  std::span<const AtomId> atoms = graph.Atoms(c);
+  const AtomId rep = atoms[0];
+  solver::WarmComponent* warm = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(warm_mu_);
+    auto it = warm_.find(rep);
+    if (it != warm_.end()) warm = it->second.get();
+  }
+  if (warm != nullptr && warm->BindingValid(gp_, graph, c, tape_)) {
+    // Warm path: the entry still describes this component and the tape
+    // holds the quiescent model it recorded — patch, undo, seed, resume.
+    if (warm->Resolve(gp_, graph, c, &disabled_, &tape_, stages, diag,
+                      cancel)) {
+      return true;
+    }
+    // Aborted mid-patch: the entry is inconsistent (partial undo/flood)
+    // and must not be resumed against; the caller restores the tape
+    // snapshot, so the next touch rebuilds from scratch.
+    ++diag->warm_cold_fallbacks;
+    std::lock_guard<std::mutex> lock(warm_mu_);
+    warm_.erase(rep);
+    return false;
+  }
+  if (warm != nullptr) {
+    // Present but no longer provably consistent (recondensed membership,
+    // new rules targeting the component, or an out-of-band solve moved
+    // the tape under it): the audit contract says discard, never trust.
+    ++diag->warm_cold_fallbacks;
+    std::lock_guard<std::mutex> lock(warm_mu_);
+    warm_.erase(rep);
+  }
+  auto fresh = std::make_unique<solver::WarmComponent>();
+  for (AtomId a : atoms) tape_.SetUndefined(a);
+  if (!fresh->SolveFromScratch(gp_, graph, c, &disabled_, &tape_, stages,
+                               diag, cancel)) {
+    return false;  // tape left all-undefined; entry dropped with `fresh`
+  }
+  std::lock_guard<std::mutex> lock(warm_mu_);
+  warm_[rep] = std::move(fresh);
+  return true;
+}
 
 /// The one copy of the per-component delta step shared by the sequential
-/// heap and the parallel cone: snapshot old values, reset, re-solve, and
-/// invoke `flag(head_component)` for every component owning a rule that
-/// mentions an atom whose value moved. Returns whether anything moved.
+/// heap, the parallel cone, and the query passes: snapshot old values,
+/// re-solve (warm or cold), and invoke `flag(head_component)` for every
+/// component owning a rule that mentions an atom whose value moved.
+/// Returns whether anything moved.
 ///
 /// With `stages` non-null the snapshot/compare covers the stage levels
 /// too: a delta can advance a literal's stage without flipping any truth
@@ -518,17 +602,14 @@ namespace {
 /// old or fully new"), sets `*aborted`, runs no flagging, and returns
 /// false — the caller queues the component for the resume pass.
 template <typename FlagFn>
-bool ResolveComponentDelta(const GroundProgram& gp,
-                           const AtomDependencyGraph& graph, uint32_t c,
-                           const std::vector<uint8_t>* disabled,
-                           solver::TruthTape* tape, solver::StageTape* stages,
-                           std::vector<TruthValue>* old_vals,
-                           std::vector<uint32_t>* old_stages,
-                           SolverDiagnostics* diag, CancelCtx* cancel,
-                           bool* aborted, FlagFn&& flag) {
+bool IncrementalSolver::ResolveComponentDelta(
+    uint32_t c, solver::StageTape* stages, std::vector<TruthValue>* old_vals,
+    std::vector<uint32_t>* old_stages, SolverDiagnostics* diag,
+    CancelCtx* cancel, bool* aborted, FlagFn&& flag) {
+  const AtomDependencyGraph& graph = cond_->graph();
   std::span<const AtomId> atoms = graph.Atoms(c);
   old_vals->clear();
-  for (AtomId a : atoms) old_vals->push_back(tape->Value(a));
+  for (AtomId a : atoms) old_vals->push_back(tape_.Value(a));
   if (stages != nullptr) {
     old_stages->clear();
     for (AtomId a : atoms) {
@@ -536,15 +617,26 @@ bool ResolveComponentDelta(const GroundProgram& gp,
       old_stages->push_back(stages->false_stage[a]);
     }
   }
-  for (AtomId a : atoms) tape->SetUndefined(a);
-  if (!solver::SolveComponent(gp, graph, c, disabled, tape, stages, diag,
-                              cancel)) {
-    // `SolveComponent` left the atoms all-undefined; the snapshot puts the
-    // pre-delta values back. Stages were never touched (reconstruction
+  // Warm/cold dispatch is by component *shape* only (`Eligible`), never
+  // by schedule, so every thread count takes identical paths and the
+  // models stay bit-identical. The warm path reads the pre-delta tape
+  // (no reset here — the undo is the point); the cold paths reset first.
+  bool ok;
+  if (solver::WarmComponent::Eligible(graph, c, opts_.warm_min_atoms)) {
+    ok = SolveEligibleComponent(c, stages, diag, cancel);
+  } else {
+    for (AtomId a : atoms) tape_.SetUndefined(a);
+    ok = solver::SolveComponent(gp_, graph, c, &disabled_, &tape_, stages,
+                                diag, cancel);
+  }
+  if (!ok) {
+    // The failed solve left the atoms all-undefined (cold/scratch) or
+    // partially written (warm patch); the snapshot puts the pre-delta
+    // values back either way. Stages were never touched (reconstruction
     // runs only after values finalize), so they still hold the old
     // levels — consistent with the restored values.
     for (size_t i = 0; i < atoms.size(); ++i) {
-      tape->SetValue(atoms[i], (*old_vals)[i]);
+      tape_.SetValue(atoms[i], (*old_vals)[i]);
     }
     *aborted = true;
     return false;
@@ -552,7 +644,7 @@ bool ResolveComponentDelta(const GroundProgram& gp,
 
   bool changed = false;
   for (size_t i = 0; i < atoms.size(); ++i) {
-    bool moved = tape->Value(atoms[i]) != (*old_vals)[i];
+    bool moved = tape_.Value(atoms[i]) != (*old_vals)[i];
     if (!moved && stages != nullptr) {
       moved = stages->true_stage[atoms[i]] != (*old_stages)[2 * i] ||
               stages->false_stage[atoms[i]] != (*old_stages)[2 * i + 1];
@@ -561,21 +653,19 @@ bool ResolveComponentDelta(const GroundProgram& gp,
     changed = true;
     // Retracted rules stay in the occurrence index; their heads do not
     // depend on this atom anymore, so skip them instead of over-marking.
-    for (RuleId r : gp.PositiveOccurrences(atoms[i])) {
-      if (!RuleEnabledIn(disabled, r)) continue;
-      uint32_t hc = graph.ComponentOf(gp.rules()[r].head);
+    for (RuleId r : gp_.PositiveOccurrences(atoms[i])) {
+      if (!RuleEnabledIn(&disabled_, r)) continue;
+      uint32_t hc = graph.ComponentOf(gp_.rules()[r].head);
       if (hc != c) flag(hc);
     }
-    for (RuleId r : gp.NegativeOccurrences(atoms[i])) {
-      if (!RuleEnabledIn(disabled, r)) continue;
-      uint32_t hc = graph.ComponentOf(gp.rules()[r].head);
+    for (RuleId r : gp_.NegativeOccurrences(atoms[i])) {
+      if (!RuleEnabledIn(&disabled_, r)) continue;
+      uint32_t hc = graph.ComponentOf(gp_.rules()[r].head);
       if (hc != c) flag(hc);
     }
   }
   return changed;
 }
-
-}  // namespace
 
 void IncrementalSolver::ResolveUpCone(CancelCtx* cancel) {
   ++stats_.incremental_solves;
@@ -615,9 +705,9 @@ void IncrementalSolver::ResolveUpCone(CancelCtx* cancel) {
     // (dependency order), so the heap never revisits a popped component.
     bool aborted = false;
     bool changed =
-        ResolveComponentDelta(gp_, graph, c, &disabled_, &tape_, stages,
-                              &old_vals, &old_stages, &diag_, cancel,
-                              &aborted, [&](uint32_t hc) { Mark(hc); });
+        ResolveComponentDelta(c, stages, &old_vals, &old_stages, &diag_,
+                              cancel, &aborted,
+                              [&](uint32_t hc) { Mark(hc); });
     if (aborted) {
       // `c` was rolled back to its snapshot; it and every still-marked
       // component queue (by stable representative atom) for the resume
@@ -768,8 +858,7 @@ void IncrementalSolver::ResolveUpConeParallel(CancelCtx* cancel) {
         // scheduler.
         bool aborted = false;
         bool changed = ResolveComponentDelta(
-            gp_, graph, c, &disabled_, &tape_, stages, &w.old_vals,
-            &w.old_stages, &w.diag, cancel, &aborted,
+            c, stages, &w.old_vals, &w.old_stages, &w.diag, cancel, &aborted,
             [&](uint32_t hc) {
               inputs_changed[cone_pos[hc]].store(1,
                                                  std::memory_order_relaxed);
@@ -965,8 +1054,8 @@ void IncrementalSolver::SolveDownCone(AtomId atom, QueryAnswer* out,
           if (!needs) return true;  // memo hit: just release successors
           bool aborted = false;
           bool changed = ResolveComponentDelta(
-              gp_, graph, c, &disabled_, &tape_, stages, &w.old_vals,
-              &w.old_stages, &w.diag, cancel, &aborted, [&](uint32_t hc) {
+              c, stages, &w.old_vals, &w.old_stages, &w.diag, cancel,
+              &aborted, [&](uint32_t hc) {
                 uint32_t pos = in_down_cone_[hc];
                 if (pos != 0) {
                   inputs_changed[pos - 1].store(1, std::memory_order_relaxed);
@@ -1016,8 +1105,8 @@ void IncrementalSolver::SolveDownCone(AtomId atom, QueryAnswer* out,
       memo_.CountMiss();
       bool aborted = false;
       bool changed = ResolveComponentDelta(
-          gp_, graph, c, &disabled_, &tape_, stages, &old_vals, &old_stages,
-          &diag_, cancel, &aborted, [&](uint32_t hc) {
+          c, stages, &old_vals, &old_stages, &diag_, cancel, &aborted,
+          [&](uint32_t hc) {
             uint32_t pos = in_down_cone_[hc];
             if (pos != 0) {
               inputs_changed[pos - 1] = 1;
@@ -1128,6 +1217,14 @@ IncrementalSolver::QueryAnswer IncrementalSolver::QueryAtom(
 
 void IncrementalSolver::InvalidateMemo() {
   memo_.InvalidateAll();
+  // Warm interior state describes the tape the next pass will overwrite
+  // from scratch; it would fail `BindingValid` afterwards anyway, so drop
+  // it with the memo (this is the cache-drop lever, and the cold-cone
+  // benches must measure truly cold solves).
+  {
+    std::lock_guard<std::mutex> lock(warm_mu_);
+    warm_.clear();
+  }
   // Everything is stale now; the finer-grained pending markers are
   // subsumed (the next `Model()` is a from-scratch solve, the next query
   // a cold cone), so drop them rather than re-solving piecemeal.

@@ -4,9 +4,11 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <mutex>
 #include <queue>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "analysis/atom_dependency_graph.h"
@@ -18,6 +20,7 @@
 #include "solver/solver.h"
 #include "solver/stages.h"
 #include "solver/truth_tape.h"
+#include "solver/warm_component.h"
 #include "util/thread_pool.h"
 #include "wfs/wfs.h"
 
@@ -317,6 +320,28 @@ class IncrementalSolver {
   void NoteOutcome(CancelCtx* cancel, uint64_t resolved);
   void ResolveUpCone(CancelCtx* cancel);
   void ResolveUpConeParallel(CancelCtx* cancel);
+  /// The one copy of the per-component delta step, shared by the
+  /// sequential heap, the parallel up-cone, and both query-cone passes:
+  /// snapshot old values/stages, re-solve — *warm* when the component
+  /// carries persisted evaluation state (solver/warm_component.h), cold
+  /// through `SolveComponent` otherwise — and invoke `flag(head_comp)`
+  /// for every out-of-component rule head whose input moved. Returns
+  /// whether anything moved; an abort restores the snapshot verbatim and
+  /// sets `*aborted`. Defined in incremental.cc (all instantiations live
+  /// there). `diag` is per-caller (per-worker on the parallel paths).
+  template <typename FlagFn>
+  bool ResolveComponentDelta(uint32_t c, solver::StageTape* stages,
+                             std::vector<TruthValue>* old_vals,
+                             std::vector<uint32_t>* old_stages,
+                             SolverDiagnostics* diag, CancelCtx* cancel,
+                             bool* aborted, FlagFn&& flag);
+  /// Warm half of `ResolveComponentDelta`, non-template so it compiles
+  /// once: dispatches an `Eligible` component to its persisted
+  /// `WarmComponent` (resolve when `BindingValid`, rebuild-from-scratch
+  /// into a fresh entry otherwise), discarding the entry on any abort or
+  /// invalid binding. Returns the solve outcome like `SolveComponent`.
+  bool SolveEligibleComponent(uint32_t c, solver::StageTape* stages,
+                              SolverDiagnostics* diag, CancelCtx* cancel);
   /// Moves `dirty_` (fact-delta atoms) into memo invalidations + the
   /// pending stale set, so query and model passes see one uniform
   /// "stale components" representation. Requires the graph.
@@ -367,6 +392,19 @@ class IncrementalSolver {
   /// The previous pass aborted — the next completed pass is a resume
   /// (its re-solved-component count is the recovery cost telemetry).
   bool last_pass_aborted_ = false;
+
+  /// Persisted intra-component evaluation state for the large recursive
+  /// components (`WarmComponent::Eligible`), keyed by the component's
+  /// stable representative atom (`Atoms(c)[0]` — component ids shift
+  /// under recondensation, atom ids never do). Entries are created on a
+  /// component's first delta re-solve, reused while `BindingValid`, and
+  /// discarded on aborts, invalid bindings, recondensations touching
+  /// them, and `InvalidateMemo`. The mutex guards only the map itself:
+  /// workers of a parallel pass touch disjoint components, so each
+  /// `WarmComponent` stays thread-confined to whichever worker owns its
+  /// component this pass.
+  std::unordered_map<AtomId, std::unique_ptr<solver::WarmComponent>> warm_;
+  std::mutex warm_mu_;
 
   /// Per-component query memo: which components' tape values are final
   /// for the current program. Sized/repaired alongside the condensation.
@@ -454,6 +492,15 @@ class IncrementalSolver {
     obs::Counter* cancel_resumes = nullptr;
     obs::Counter* cancel_checkpoints = nullptr;
     obs::Histogram* cancel_resume_components = nullptr;
+    // Warm-interior channels (intra-component incremental evaluation):
+    // how often dirty components re-solved from persisted state vs fell
+    // back cold, how much of a component each seeded flood actually
+    // touched (per delta pass), and how narrow the Pearce–Kelly affected
+    // region stayed (per cycle-closing recondensation).
+    obs::Gauge* interior_warm_hits = nullptr;
+    obs::Gauge* interior_cold_fallbacks = nullptr;
+    obs::Histogram* interior_seeded_flood_atoms = nullptr;
+    obs::Histogram* interior_pk_region_components = nullptr;
   };
   TelemetryChannels tele_;
 };

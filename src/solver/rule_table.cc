@@ -1,13 +1,21 @@
 #include "solver/rule_table.h"
 
+#include <algorithm>
+
 namespace gsls::solver {
 
 RuleTable::RuleTable(const GroundProgram& gp, const AtomDependencyGraph& graph,
                      uint32_t comp, const TruthTape& global,
-                     const std::vector<uint8_t>* disabled, CancelCtx* cancel) {
+                     const std::vector<uint8_t>* disabled, CancelCtx* cancel,
+                     bool keep_all) {
   StridedCheckpoint tick(cancel);
   std::span<const AtomId> members = graph.Atoms(comp);
   atoms_.assign(members.begin(), members.end());
+  if (keep_all) {
+    keep_all_ = true;
+    CompileKeepAll(gp, graph, comp, global, disabled, cancel);
+    return;
+  }
   uint32_t n = static_cast<uint32_t>(atoms_.size());
 
   // Pass 1: partially evaluate every candidate rule against the final
@@ -115,10 +123,219 @@ RuleTable::RuleTable(const GroundProgram& gp, const AtomDependencyGraph& graph,
   neg_occ_.FinishFilling();
 }
 
+void RuleTable::CompileKeepAll(const GroundProgram& gp,
+                               const AtomDependencyGraph& graph, uint32_t comp,
+                               const TruthTape& global,
+                               const std::vector<uint8_t>* disabled,
+                               CancelCtx* cancel) {
+  StridedCheckpoint tick(cancel);
+  const uint32_t n = static_cast<uint32_t>(atoms_.size());
+
+  // Pass 1 over every candidate — nothing is suppressed or skipped; a
+  // disabled rule or a false external witness only sets `dead`, keeping
+  // the record patchable when a later delta revives it. The body scans
+  // therefore always run to the end, so the internal/external counts here
+  // match pass 2's fills exactly.
+  struct Probe {
+    RuleId rid;
+    LocalAtom head;
+    uint32_t npos;
+    uint32_t nneg;
+    uint32_t undef_external;
+    bool dead;
+  };
+  std::vector<Probe> kept;
+  size_t candidates = 0;
+  for (LocalAtom local = 0; local < n; ++local) {
+    candidates += gp.RulesFor(atoms_[local]).size();
+  }
+  kept.reserve(candidates);
+
+  rules_for_.Reset(n);
+  uint32_t body_total = 0;
+  uint32_t ext_total = 0;
+  for (LocalAtom local = 0; local < n; ++local) {
+    if (tick.Tick()) { AbortCompile(); return; }
+    for (RuleId rid : gp.RulesFor(atoms_[local])) {
+      const GroundRule& r = gp.rules()[rid];
+      Probe probe{rid, local, 0, 0, 0, false};
+      uint32_t ext = 0;
+      for (AtomId b : r.pos) {
+        if (graph.ComponentOf(b) == comp) {
+          ++probe.npos;
+        } else {
+          ++ext;
+          if (global.IsFalse(b)) probe.dead = true;
+          else if (!global.IsTrue(b)) ++probe.undef_external;
+        }
+      }
+      for (AtomId b : r.neg) {
+        if (graph.ComponentOf(b) == comp) {
+          ++probe.nneg;
+        } else {
+          ++ext;
+          if (global.IsTrue(b)) probe.dead = true;
+          else if (!global.IsFalse(b)) ++probe.undef_external;
+        }
+      }
+      if (disabled != nullptr && (*disabled)[rid]) probe.dead = true;
+      rules_for_.CountAt(local);
+      body_total += probe.npos + probe.nneg;
+      ext_total += ext;
+      kept.push_back(probe);
+    }
+  }
+
+  rules_.resize(kept.size());
+  rids_.resize(kept.size());
+  ext_spans_.resize(kept.size());
+  disabled_snap_.assign(kept.size(), 0);
+  body_.resize(body_total);
+  ext_pool_.resize(ext_total);
+  rules_for_.FinishCounting();
+  pos_occ_.Reset(n);
+  neg_occ_.Reset(n);
+  uint32_t cursor = 0;
+  uint32_t ext_cursor = 0;
+  for (LocalRule id = 0; id < kept.size(); ++id) {
+    if (tick.Tick()) { AbortCompile(); return; }
+    const Probe& probe = kept[id];
+    const GroundRule& r = gp.rules()[probe.rid];
+    CompiledRule& compiled = rules_[id];
+    compiled.head = probe.head;
+    compiled.undef_external = probe.undef_external;
+    // At-rest counters: every internal literal is undefined at the start
+    // of a component solve, so this is the same value the default compile
+    // produces for a live rule. Dead rules keep the at-rest value too —
+    // a revival recomputes them (`RecomputeRule`) before they re-enter
+    // the game, because the propagation loop never decrements dead rules.
+    compiled.unsat = probe.npos + probe.nneg + probe.undef_external;
+    compiled.dead = probe.dead;
+    rids_[id] = probe.rid;
+    disabled_snap_[id] = disabled != nullptr ? (*disabled)[probe.rid] : 0;
+    ExtSpan& ext = ext_spans_[id];
+    compiled.pos_begin = cursor;
+    ext.pos_begin = ext_cursor;
+    for (AtomId b : r.pos) {
+      if (graph.ComponentOf(b) == comp) {
+        LocalAtom lb = graph.LocalIndexOf(b);
+        body_[cursor++] = lb;
+        pos_occ_.CountAt(lb);
+      } else {
+        ext_pool_[ext_cursor++] = b;
+      }
+    }
+    compiled.neg_begin = cursor;
+    ext.neg_begin = ext_cursor;
+    for (AtomId b : r.neg) {
+      if (graph.ComponentOf(b) == comp) {
+        LocalAtom lb = graph.LocalIndexOf(b);
+        body_[cursor++] = lb;
+        neg_occ_.CountAt(lb);
+      } else {
+        ext_pool_[ext_cursor++] = b;
+      }
+    }
+    compiled.body_end = cursor;
+    ext.end = ext_cursor;
+    rules_for_.Fill(probe.head, id);
+  }
+  rules_for_.FinishFilling();
+
+  pos_occ_.FinishCounting();
+  neg_occ_.FinishCounting();
+  for (LocalRule id = 0; id < rules_.size(); ++id) {
+    if (tick.Tick()) { AbortCompile(); return; }
+    for (LocalAtom b : PosBody(id)) pos_occ_.Fill(b, id);
+    for (LocalAtom b : NegBody(id)) neg_occ_.Fill(b, id);
+  }
+  pos_occ_.FinishFilling();
+  neg_occ_.FinishFilling();
+
+  // External-atom index: sorted distinct atoms, value snapshot, and the
+  // occurrence CSR the drift diff walks.
+  ext_atoms_.assign(ext_pool_.begin(), ext_pool_.end());
+  std::sort(ext_atoms_.begin(), ext_atoms_.end());
+  ext_atoms_.erase(std::unique(ext_atoms_.begin(), ext_atoms_.end()),
+                   ext_atoms_.end());
+  ext_vals_.resize(ext_atoms_.size());
+  for (uint32_t i = 0; i < ext_atoms_.size(); ++i) {
+    ext_vals_[i] = Code(global, ext_atoms_[i]);
+  }
+  auto ext_index = [this](AtomId a) {
+    return static_cast<uint32_t>(
+        std::lower_bound(ext_atoms_.begin(), ext_atoms_.end(), a) -
+        ext_atoms_.begin());
+  };
+  ext_occ_.Reset(ext_atoms_.size());
+  for (LocalRule id = 0; id < rules_.size(); ++id) {
+    const ExtSpan& e = ext_spans_[id];
+    for (uint32_t k = e.pos_begin; k < e.end; ++k) {
+      ext_occ_.CountAt(ext_index(ext_pool_[k]));
+    }
+  }
+  ext_occ_.FinishCounting();
+  for (LocalRule id = 0; id < rules_.size(); ++id) {
+    if (tick.Tick()) { AbortCompile(); return; }
+    const ExtSpan& e = ext_spans_[id];
+    for (uint32_t k = e.pos_begin; k < e.end; ++k) {
+      ext_occ_.Fill(ext_index(ext_pool_[k]), id);
+    }
+  }
+  ext_occ_.FinishFilling();
+}
+
+void RuleTable::RecomputeRule(LocalRule r, const TruthTape& global,
+                              const std::vector<uint8_t>* disabled) {
+  CompiledRule& rule = rules_[r];
+  bool dead = disabled != nullptr && (*disabled)[rids_[r]] != 0;
+  uint32_t undef_ext = 0;
+  for (AtomId b : ExtPos(r)) {
+    if (global.IsFalse(b)) dead = true;
+    else if (!global.IsTrue(b)) ++undef_ext;
+  }
+  for (AtomId b : ExtNeg(r)) {
+    if (global.IsTrue(b)) dead = true;
+    else if (!global.IsFalse(b)) ++undef_ext;
+  }
+  uint32_t unsat = 0;
+  for (LocalAtom lb : PosBody(r)) {
+    AtomId g = atoms_[lb];
+    if (global.IsFalse(g)) dead = true;
+    else if (!global.IsTrue(g)) ++unsat;
+  }
+  for (LocalAtom lb : NegBody(r)) {
+    AtomId g = atoms_[lb];
+    if (global.IsTrue(g)) dead = true;
+    else if (!global.IsFalse(g)) ++unsat;
+  }
+  rule.dead = dead;
+  rule.undef_external = undef_ext;
+  rule.unsat = unsat + undef_ext;
+}
+
+void RuleTable::RefreshSnapshots(const TruthTape& global,
+                                 const std::vector<uint8_t>* disabled) {
+  for (uint32_t i = 0; i < ext_atoms_.size(); ++i) {
+    ext_vals_[i] = Code(global, ext_atoms_[i]);
+  }
+  for (LocalRule r = 0; r < rids_.size(); ++r) {
+    disabled_snap_[r] = disabled != nullptr ? (*disabled)[rids_[r]] : 0;
+  }
+}
+
 void RuleTable::AbortCompile() {
   aborted_ = true;
   rules_.clear();
   body_.clear();
+  rids_.clear();
+  ext_pool_.clear();
+  ext_spans_.clear();
+  disabled_snap_.clear();
+  ext_atoms_.clear();
+  ext_vals_.clear();
+  ext_occ_.Reset(0);
+  ext_occ_.FinishCounting();
   const uint32_t n = static_cast<uint32_t>(atoms_.size());
   // All-empty CSR rows: Reset + FinishCounting with no counts leaves every
   // Row() a valid empty span, so a consumer that ignores `aborted()` still

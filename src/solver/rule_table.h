@@ -68,10 +68,20 @@ class RuleTable {
   /// and on a trip resets to a valid *empty* table with `aborted()` set —
   /// no tape byte has been written at that point, so the caller can treat
   /// it exactly like an abort at the component's entry checkpoint.
+  /// With `keep_all` true, the table is compiled for *warm reuse* across
+  /// deltas (solver/warm_component.h): every candidate rule is retained —
+  /// disabled and externally-suppressed rules included, carried with
+  /// `CompiledRule::dead` set — together with its global `RuleId`, its
+  /// external body literals (global ids, in a separate pool), a snapshot
+  /// of the disabled-mask bytes, and a sorted external-atom index with a
+  /// value snapshot and an occurrence CSR. A later delta then *patches*
+  /// this table (`RecomputeRule`) instead of recompiling it: mask flips
+  /// and external drift map to exactly the touched rules. The default
+  /// (false) path is byte-for-byte the historical compile.
   RuleTable(const GroundProgram& gp, const AtomDependencyGraph& graph,
             uint32_t comp, const TruthTape& global,
             const std::vector<uint8_t>* disabled = nullptr,
-            CancelCtx* cancel = nullptr);
+            CancelCtx* cancel = nullptr, bool keep_all = false);
 
   /// True iff a cancellation checkpoint tripped mid-compile; the table is
   /// then empty and must not be solved.
@@ -111,18 +121,94 @@ class RuleTable {
     return neg_occ_.Row(a);
   }
 
+  // --- keep-all extensions (valid only when compiled with keep_all) ---
+
+  bool keep_all() const { return keep_all_; }
+
+  /// Global `RuleId` of local rule `r`.
+  RuleId GlobalRule(LocalRule r) const { return rids_[r]; }
+
+  /// External (lower-component) positive / negative body atoms of `r`, as
+  /// global ids. Empty spans in default mode (externals are partially
+  /// evaluated away there).
+  std::span<const AtomId> ExtPos(LocalRule r) const {
+    const ExtSpan& e = ext_spans_[r];
+    return std::span<const AtomId>(ext_pool_.data() + e.pos_begin,
+                                   e.neg_begin - e.pos_begin);
+  }
+  std::span<const AtomId> ExtNeg(LocalRule r) const {
+    const ExtSpan& e = ext_spans_[r];
+    return std::span<const AtomId>(ext_pool_.data() + e.neg_begin,
+                                   e.end - e.neg_begin);
+  }
+
+  /// Sorted distinct external atoms of the component, with the tape-value
+  /// snapshot (`TruthValue` as a byte) they were last reconciled against
+  /// and the local rules each occurs in. The warm patcher diffs the
+  /// snapshot against the live tape to find exactly the drifted rules.
+  size_t external_count() const { return ext_atoms_.size(); }
+  AtomId ExternalAtom(uint32_t i) const { return ext_atoms_[i]; }
+  uint8_t ExternalSnapshot(uint32_t i) const { return ext_vals_[i]; }
+  std::span<const LocalRule> ExternalOccurrences(uint32_t i) const {
+    return ext_occ_.Row(i);
+  }
+
+  /// Disabled-mask byte of `GlobalRule(r)` as of the last reconcile.
+  uint8_t DisabledSnapshot(LocalRule r) const { return disabled_snap_[r]; }
+
+  /// Tape value of `a` encoded as the snapshot byte.
+  static uint8_t Code(const TruthTape& tape, AtomId a) {
+    return static_cast<uint8_t>(tape.Value(a));
+  }
+
+  /// Recomputes `rule(r)`'s `dead` / `undef_external` / `unsat` from the
+  /// current mask, the live tape values of its external literals, and the
+  /// live tape values of its internal literals — the at-rest counter
+  /// values the solve loop's decrements would have produced. Keep-all
+  /// only.
+  void RecomputeRule(LocalRule r, const TruthTape& global,
+                     const std::vector<uint8_t>* disabled);
+
+  /// Re-reconciles the external-value and disabled-mask snapshots against
+  /// the live tape and mask (after a patch classified the drift).
+  void RefreshSnapshots(const TruthTape& global,
+                        const std::vector<uint8_t>* disabled);
+
  private:
+  struct ExtSpan {
+    uint32_t pos_begin = 0;
+    uint32_t neg_begin = 0;
+    uint32_t end = 0;
+  };
+
+  /// The keep-all compile (see the constructor comment). Same two-pass
+  /// CSR layout as the default path, plus the retained-rule metadata.
+  void CompileKeepAll(const GroundProgram& gp,
+                      const AtomDependencyGraph& graph, uint32_t comp,
+                      const TruthTape& global,
+                      const std::vector<uint8_t>* disabled, CancelCtx* cancel);
+
   /// Resets to a coherent empty table (no rules, empty CSR rows) after a
   /// mid-compile cancellation trip.
   void AbortCompile();
 
   bool aborted_ = false;
+  bool keep_all_ = false;
   std::vector<AtomId> atoms_;  ///< local id -> global id
   std::vector<CompiledRule> rules_;
   std::vector<LocalAtom> body_;  ///< shared pool: [pos | neg] per rule
   Csr<LocalRule> rules_for_;
   Csr<LocalRule> pos_occ_;
   Csr<LocalRule> neg_occ_;
+
+  // Keep-all metadata (empty in default mode).
+  std::vector<RuleId> rids_;          ///< local rule -> global rule
+  std::vector<AtomId> ext_pool_;      ///< [ext pos | ext neg] per rule
+  std::vector<ExtSpan> ext_spans_;    ///< per rule, into ext_pool_
+  std::vector<uint8_t> disabled_snap_;  ///< per rule: mask byte snapshot
+  std::vector<AtomId> ext_atoms_;     ///< sorted distinct external atoms
+  std::vector<uint8_t> ext_vals_;     ///< per ext atom: value snapshot
+  Csr<LocalRule> ext_occ_;            ///< ext atom index -> rules
 };
 
 }  // namespace gsls::solver

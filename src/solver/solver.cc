@@ -38,8 +38,8 @@ WorkStealingPool& CachedPool(unsigned threads) {
 // Any layout change trips this assert; update the expected size together
 // with MergeFrom, ToString, and PublishTo below.
 static_assert(sizeof(SolverDiagnostics) ==
-                  4 * sizeof(uint32_t) + 4 * sizeof(uint64_t) +
-                      sizeof(obs::LocalHistogram),
+                  4 * sizeof(uint32_t) + 7 * sizeof(uint64_t) +
+                      2 * sizeof(obs::LocalHistogram),
               "SolverDiagnostics changed: update MergeFrom, ToString, "
               "PublishTo, and this assert together");
 
@@ -52,7 +52,11 @@ void SolverDiagnostics::MergeFrom(const SolverDiagnostics& other) {
   unfounded_floods += other.unfounded_floods;
   unfounded_falsified += other.unfounded_falsified;
   alternating_rounds += other.alternating_rounds;
+  warm_hits += other.warm_hits;
+  warm_cold_fallbacks += other.warm_cold_fallbacks;
+  warm_undone_atoms += other.warm_undone_atoms;
   flood_sizes.MergeFrom(other.flood_sizes);
+  seeded_flood_sizes.MergeFrom(other.seeded_flood_sizes);
 }
 
 SolverDiagnostics::Channels SolverDiagnostics::InternChannels(
@@ -70,6 +74,11 @@ SolverDiagnostics::Channels SolverDiagnostics::InternChannels(
   ch.alternating_rounds = m.GetGauge("solver.diag.alternating_rounds");
   ch.flood_size_p50 = m.GetGauge("solver.diag.flood_size_p50");
   ch.flood_size_p99 = m.GetGauge("solver.diag.flood_size_p99");
+  ch.warm_hits = m.GetGauge("solver.diag.warm_hits");
+  ch.warm_cold_fallbacks = m.GetGauge("solver.diag.warm_cold_fallbacks");
+  ch.warm_undone_atoms = m.GetGauge("solver.diag.warm_undone_atoms");
+  ch.seeded_flood_p50 = m.GetGauge("solver.diag.seeded_flood_p50");
+  ch.seeded_flood_p99 = m.GetGauge("solver.diag.seeded_flood_p99");
   return ch;
 }
 
@@ -85,6 +94,11 @@ void SolverDiagnostics::PublishTo(const Channels& ch) const {
   ch.alternating_rounds->Set(static_cast<int64_t>(alternating_rounds));
   ch.flood_size_p50->Set(static_cast<int64_t>(flood_sizes.p50()));
   ch.flood_size_p99->Set(static_cast<int64_t>(flood_sizes.p99()));
+  ch.warm_hits->Set(static_cast<int64_t>(warm_hits));
+  ch.warm_cold_fallbacks->Set(static_cast<int64_t>(warm_cold_fallbacks));
+  ch.warm_undone_atoms->Set(static_cast<int64_t>(warm_undone_atoms));
+  ch.seeded_flood_p50->Set(static_cast<int64_t>(seeded_flood_sizes.p50()));
+  ch.seeded_flood_p99->Set(static_cast<int64_t>(seeded_flood_sizes.p99()));
 }
 
 void SolverDiagnostics::PublishTo(obs::Telemetry* telemetry) const {
@@ -101,8 +115,13 @@ std::string SolverDiagnostics::ToString() const {
                 " floods=", unfounded_floods,
                 " falsified=", unfounded_falsified,
                 " rounds=", alternating_rounds,
+                " warm_hits=", warm_hits,
+                " warm_cold_fallbacks=", warm_cold_fallbacks,
+                " warm_undone=", warm_undone_atoms,
                 " flood_size_p50=", flood_sizes.p50(),
-                " flood_size_p99=", flood_sizes.p99());
+                " flood_size_p99=", flood_sizes.p99(),
+                " seeded_flood_p50=", seeded_flood_sizes.p50(),
+                " seeded_flood_p99=", seeded_flood_sizes.p99());
 }
 
 WfsModel SolveWfs(const GroundProgram& gp, SolverDiagnostics* diag) {

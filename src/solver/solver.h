@@ -31,11 +31,27 @@ struct SolverDiagnostics {
   uint64_t unfounded_floods = 0;     ///< source-loss floods run
   uint64_t unfounded_falsified = 0;  ///< atoms falsified wholesale by floods
   uint64_t alternating_rounds = 0;   ///< component-local truth/unfounded rounds
+  /// Warm-interior bookkeeping (solver/warm_component.h): dirty recursive
+  /// components re-solved by patching persisted state instead of a cold
+  /// compile + `InitSources`, and the times the warm entry had to be
+  /// discarded (binding drift, recondensation, abort) and the cold path
+  /// taken instead.
+  uint64_t warm_hits = 0;
+  uint64_t warm_cold_fallbacks = 0;
+  /// Trail entries undone across all warm re-solves: the interior dual of
+  /// `unfounded_falsified` — how much of a component a delta actually
+  /// touched. Bounded by the seeded flood, not the component size.
+  uint64_t warm_undone_atoms = 0;
   /// Atoms flooded per source-loss flood (candidate-set sizes): the
   /// distribution behind `unfounded_floods`, accumulated without atomics
   /// like every other field and merged bucket-wise at the barrier. The
   /// p99 here is what the dense-SCC interior work must shrink.
   obs::LocalHistogram flood_sizes;
+  /// Flood sizes restricted to warm re-solves — the floods seeded from the
+  /// delta's own atoms/rules rather than `InitSources` over the whole
+  /// component. Comparing this distribution against `flood_sizes` is the
+  /// direct measurement of the intra-component win.
+  obs::LocalHistogram seeded_flood_sizes;
 
   /// Folds another accumulator into this one (sums, except
   /// `max_component_size`). The parallel scheduler gives every worker a
@@ -59,6 +75,11 @@ struct SolverDiagnostics {
     obs::Gauge* alternating_rounds = nullptr;
     obs::Gauge* flood_size_p50 = nullptr;
     obs::Gauge* flood_size_p99 = nullptr;
+    obs::Gauge* warm_hits = nullptr;
+    obs::Gauge* warm_cold_fallbacks = nullptr;
+    obs::Gauge* warm_undone_atoms = nullptr;
+    obs::Gauge* seeded_flood_p50 = nullptr;
+    obs::Gauge* seeded_flood_p99 = nullptr;
   };
   /// Interns the channels in `telemetry`'s registry (null-safe: returns
   /// all-null channels that `PublishTo` treats as a no-op).
@@ -95,6 +116,15 @@ struct SolverOptions {
   /// default) costs nothing: no tape is allocated and no per-component
   /// pass runs.
   bool compute_levels = false;
+  /// Minimum atom count for a recursive component to keep warm interior
+  /// state across deltas (`IncrementalSolver` only; one-shot `SolveWfs`
+  /// never warms). Small components re-solve cold faster than the warm
+  /// bookkeeping costs, and keeping them cold also keeps the fault
+  /// injector's checkpoint numbering stable on the small fault-test
+  /// programs. 0 disables warm state entirely. The threshold depends only
+  /// on component shape, never on the schedule, so warm/cold decisions are
+  /// identical at every thread count.
+  uint32_t warm_min_atoms = 64;
   /// Telemetry sink (obs/metrics.h): when non-null, solve passes publish
   /// their diagnostics into its registry and the delta paths of
   /// `IncrementalSolver` record per-delta latency/cone/repair histograms

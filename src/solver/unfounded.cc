@@ -17,12 +17,16 @@ bool SourceTracker::InitSources(std::vector<LocalAtom>* unfounded,
   // supportable. The completing rule becomes the source; assignment in
   // closure order keeps the source chains acyclic.
   StridedCheckpoint tick(cancel);
+  // Dead rules cannot support. The default compile drops suppressed rules
+  // and starts every survivor live, so the check is vacuous there; a
+  // keep-all table (solver/warm_component.h) retains disabled and
+  // suppressed rules with `dead` set, and they must not source anything.
   for (LocalRule r = 0; r < table_->rule_count(); ++r) {
     cand_unmet_[r] = static_cast<uint32_t>(table_->PosBody(r).size());
   }
   ready_.clear();
   for (LocalRule r = 0; r < table_->rule_count(); ++r) {
-    if (cand_unmet_[r] != 0) continue;
+    if (table_->rule(r).dead || cand_unmet_[r] != 0) continue;
     LocalAtom head = table_->rule(r).head;
     if (state_[head] == State::kUnsourced) {
       Resupport(head, r);
@@ -34,6 +38,7 @@ bool SourceTracker::InitSources(std::vector<LocalAtom>* unfounded,
     if (tick.Tick()) return false;
     LocalAtom a = ready_[qi++];
     for (LocalRule r : table_->PositiveOccurrences(a)) {
+      if (table_->rule(r).dead) continue;
       if (cand_unmet_[r] == 0 || --cand_unmet_[r] != 0) continue;
       LocalAtom head = table_->rule(r).head;
       if (state_[head] == State::kUnsourced) {
@@ -62,6 +67,15 @@ void SourceTracker::OnRuleDead(LocalRule rule) {
 void SourceTracker::OnAtomTrue(LocalAtom a) {
   assert(state_[a] != State::kFalse);
   state_[a] = State::kTrue;
+}
+
+void SourceTracker::OnAtomUndone(LocalAtom a) {
+  // `OnAtomTrue` leaves `source_` holding whatever rule last sourced the
+  // atom before it was decided — stale by now — so an undo must clear it
+  // explicitly, not just flip the state byte.
+  source_[a] = kNoRule;
+  state_[a] = State::kUnsourced;
+  pending_.push_back(a);
 }
 
 void SourceTracker::Resupport(LocalAtom a, LocalRule r) {

@@ -22,6 +22,13 @@ namespace gsls::solver {
 /// falsified wholesale by the caller.
 class SourceTracker {
  public:
+  enum class State : uint8_t {
+    kSourced,    ///< has a valid source rule
+    kUnsourced,  ///< lost its source; pending or mid-flood
+    kTrue,       ///< decided true; permanently supported
+    kFalse,      ///< decided false; out of the game
+  };
+
   explicit SourceTracker(RuleTable* table);
 
   /// Assigns initial sources by a counting closure over the live rules.
@@ -45,6 +52,18 @@ class SourceTracker {
   /// it is exempt from future floods.
   void OnAtomTrue(LocalAtom a);
 
+  /// Reverts `a` to undecided with no source — the warm-interior undo
+  /// (solver/warm_component.h) popping a trail suffix. The atom is queued
+  /// pending so the next `CollectUnfounded` flood either resupports it
+  /// from the surviving rules or falsifies it for real.
+  void OnAtomUndone(LocalAtom a);
+
+  /// Read-only views for the warm patcher and the state auditor
+  /// (check/audit.cc): the source-pointer graph they walk for liveness
+  /// and acyclicity.
+  State StateOf(LocalAtom a) const { return state_[a]; }
+  LocalRule SourceOf(LocalAtom a) const { return source_[a]; }
+
   /// True if some atom lost its source since the last collection.
   bool HasPending() const { return !pending_.empty(); }
 
@@ -67,13 +86,6 @@ class SourceTracker {
   const obs::LocalHistogram& flood_sizes() const { return flood_sizes_; }
 
  private:
-  enum class State : uint8_t {
-    kSourced,    ///< has a valid source rule
-    kUnsourced,  ///< lost its source; pending or mid-flood
-    kTrue,       ///< decided true; permanently supported
-    kFalse,      ///< decided false; out of the game
-  };
-
   void Resupport(LocalAtom a, LocalRule r);
 
   RuleTable* table_;
