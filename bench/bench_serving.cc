@@ -1,0 +1,444 @@
+// The MVCC serving layer under mixed read/write load. The verification
+// half is three hard CI gates: (1) batching — N queued deltas fold into
+// ONE writer batch, ONE incremental re-solve pass, and ONE published
+// epoch (proven from both serving stats and the solver's own pass
+// counters); (2) answer identity — the published snapshot's answers
+// (values AND Def. 2.4 stages) are bit-identical whether the underlying
+// solver runs 1, 2, or 4 threads; (3) throughput — with 4 reader threads
+// against a live delta stream, snapshot serving must clear 3x the
+// read throughput of the single-owner baseline (one mutex around one
+// solver, every reader and the writer serialized). The timing half
+// reports reads/sec at 1/2/4/8 readers plus point read / publish
+// latency rows; rows carry `noise_tolerance` counters for
+// bench_compare.py.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_main.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "ground/grounder.h"
+#include "lang/parser.h"
+#include "serve/server.h"
+#include "serve/snapshot.h"
+#include "solver/incremental.h"
+#include "util/rng.h"
+#include "util/strings.h"
+#include "wfs/wfs.h"
+#include "workload/generators.h"
+
+using namespace gsls;
+
+namespace {
+
+// The serving workload: a win/move chain long enough that a toggled edge
+// dirties a real cone — the single-owner baseline's readers pay those
+// re-solves under the lock, snapshot readers never do.
+constexpr int kNodes = 1024;
+
+GroundProgram GroundOf(const std::string& src, TermStore& store) {
+  Program program = MustParseProgram(store, src);
+  Result<GroundProgram> gp = GroundRelevant(program, GroundingOptions{});
+  if (!gp.ok()) {
+    std::fprintf(stderr, "grounding failed: %s\n",
+                 gp.status().ToString().c_str());
+    abort();
+  }
+  return std::move(gp.value());
+}
+
+SolverOptions LeveledOpts(unsigned threads) {
+  SolverOptions opts;
+  opts.num_threads = threads;
+  opts.compute_levels = true;
+  return opts;
+}
+
+std::unique_ptr<IncrementalSolver> ChainSolver(TermStore& store,
+                                               unsigned threads) {
+  return std::make_unique<IncrementalSolver>(
+      GroundOf(workload::GameChain(kNodes), store), LeveledOpts(threads));
+}
+
+/// Probe terms: every win atom plus every seed edge, pre-interned so the
+/// TermStore is never written while threads read through it.
+std::vector<const Term*> ChainProbes(TermStore& store) {
+  std::vector<const Term*> probes;
+  for (int i = 0; i < kNodes; ++i) {
+    probes.push_back(MustParseTerm(store, StrCat("win(n", i, ")")));
+    if (i + 1 < kNodes) {
+      probes.push_back(
+          MustParseTerm(store, StrCat("move(n", i, ", n", i + 1, ")")));
+    }
+  }
+  return probes;
+}
+
+/// The delta script toggles seed edges (their win instances are grounded,
+/// so every toggle genuinely churns the model — deltas never re-ground).
+std::vector<std::pair<const Term*, bool>> ToggleScript(TermStore& store,
+                                                       Rng& rng, int count) {
+  std::vector<std::pair<const Term*, bool>> script;
+  script.reserve(count);
+  for (int k = 0; k < count; ++k) {
+    int i = rng.UniformInt(0, kNodes - 2);
+    const Term* t =
+        MustParseTerm(store, StrCat("move(n", i, ", n", i + 1, ")"));
+    script.emplace_back(t, rng.Chance(1, 2));
+  }
+  return script;
+}
+
+// --- gate 1: batching --------------------------------------------------
+
+/// N deltas queued against a paused writer must fold into one batch, one
+/// incremental solver pass, one published epoch.
+bool VerifyBatching() {
+  constexpr int kDeltas = 64;
+  TermStore store;
+  serve::ServeOptions opts;
+  opts.start_paused = true;
+  serve::ServingSolver server(ChainSolver(store, 1), opts);
+  const uint64_t passes_before = server.solver().stats().incremental_solves;
+
+  Rng rng(11);
+  for (const auto& [term, is_assert] : ToggleScript(store, rng, kDeltas)) {
+    if (is_assert) {
+      server.Assert(term);
+    } else {
+      server.Retract(term);
+    }
+  }
+  server.Resume();
+  server.Flush();
+
+  serve::ServingSolver::Stats stats = server.stats();
+  const uint64_t passes =
+      server.solver().stats().incremental_solves - passes_before;
+  const bool ok = stats.batches == 1 && stats.deltas_applied == kDeltas &&
+                  stats.max_batch == kDeltas &&
+                  stats.epochs_published == 2 && passes == 1;
+  std::printf(
+      "  batching: %d deltas -> %llu batch(es), %llu re-solve pass(es), "
+      "%llu epoch(s) beyond the initial publish  [%s]\n",
+      kDeltas, static_cast<unsigned long long>(stats.batches),
+      static_cast<unsigned long long>(passes),
+      static_cast<unsigned long long>(stats.epochs_published - 1),
+      ok ? "ok" : "GATE FAIL");
+  return ok;
+}
+
+// --- gate 2: answer identity across solver thread counts ---------------
+
+struct SampledAnswer {
+  TruthValue value;
+  uint32_t true_stage;
+  uint32_t false_stage;
+  bool registered;
+};
+
+/// Runs the same delta script at `threads` solver threads and sweeps all
+/// probes from a pinned read of the final epoch.
+std::vector<SampledAnswer> SampleFinalEpoch(unsigned threads) {
+  TermStore store;
+  serve::ServingSolver server(ChainSolver(store, threads));
+  Rng rng(0xBEEF);
+  for (const auto& [term, is_assert] : ToggleScript(store, rng, 200)) {
+    if (is_assert) {
+      server.Assert(term);
+    } else {
+      server.Retract(term);
+    }
+  }
+  server.Flush();
+  serve::EpochStore::ReaderHandle h = server.RegisterReader();
+  std::vector<SampledAnswer> out;
+  for (const Term* probe : ChainProbes(store)) {
+    serve::SnapshotAnswer a = server.Read(h, probe);
+    out.push_back({a.value, a.true_stage, a.false_stage, a.registered});
+  }
+  return out;
+}
+
+bool VerifyAnswerIdentity() {
+  std::vector<SampledAnswer> base = SampleFinalEpoch(1);
+  bool ok = true;
+  for (unsigned threads : {2u, 4u}) {
+    std::vector<SampledAnswer> got = SampleFinalEpoch(threads);
+    if (got.size() != base.size()) {
+      std::printf("GATE FAIL identity: %u threads sampled %zu answers, "
+                  "1 thread sampled %zu\n",
+                  threads, got.size(), base.size());
+      ok = false;
+      continue;
+    }
+    for (size_t i = 0; i < base.size(); ++i) {
+      if (got[i].value != base[i].value ||
+          got[i].true_stage != base[i].true_stage ||
+          got[i].false_stage != base[i].false_stage ||
+          got[i].registered != base[i].registered) {
+        std::printf(
+            "GATE FAIL identity: probe %zu diverges at %u threads "
+            "(value %d/%d true_stage %u/%u false_stage %u/%u)\n",
+            i, threads, static_cast<int>(got[i].value),
+            static_cast<int>(base[i].value), got[i].true_stage,
+            base[i].true_stage, got[i].false_stage, base[i].false_stage);
+        ok = false;
+        break;
+      }
+    }
+  }
+  std::printf("  answer identity at 1/2/4 solver threads: %zu probes  [%s]\n",
+              base.size(), ok ? "bit-identical" : "GATE FAIL");
+  return ok;
+}
+
+// --- gate 3: mixed read/write throughput vs the single-owner baseline --
+
+struct Throughput {
+  double reads_per_sec = 0;
+  uint64_t reads = 0;
+  uint64_t deltas = 0;
+};
+
+/// Serving side: `readers` threads hammer snapshot point reads while one
+/// thread streams toggle deltas through the batching writer.
+Throughput MeasureServing(int readers, int run_ms) {
+  TermStore store;
+  std::vector<const Term*> probes = ChainProbes(store);
+  serve::ServingSolver server(ChainSolver(store, 1));
+
+  std::atomic<bool> stop{false};
+  std::vector<uint64_t> counts(readers, 0);
+  std::vector<std::thread> fleet;
+  fleet.reserve(readers);
+  for (int r = 0; r < readers; ++r) {
+    fleet.emplace_back([&, r] {
+      serve::EpochStore::ReaderHandle h = server.RegisterReader();
+      Rng rng(100 + r);
+      uint64_t n = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        benchmark::DoNotOptimize(
+            server.Read(h, probes[rng.Uniform(probes.size())]).value);
+        ++n;
+      }
+      counts[r] = n;
+    });
+  }
+
+  // Pre-generated script, deadline checked per block: the writer streams
+  // at full rate instead of being throttled by parsing and clock reads.
+  Rng wrng(7);
+  std::vector<std::pair<const Term*, bool>> script =
+      ToggleScript(store, wrng, 4096);
+  uint64_t deltas = 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(run_ms);
+  const auto t0 = std::chrono::steady_clock::now();
+  while (std::chrono::steady_clock::now() < deadline) {
+    for (int k = 0; k < 256; ++k) {
+      const auto& [t, is_assert] = script[deltas % script.size()];
+      if (is_assert) {
+        server.Assert(t);
+      } else {
+        server.Retract(t);
+      }
+      ++deltas;
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : fleet) t.join();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  Throughput out;
+  for (uint64_t c : counts) out.reads += c;
+  out.deltas = deltas;
+  out.reads_per_sec = static_cast<double>(out.reads) / secs;
+  return out;
+}
+
+/// Baseline: the pre-serving shape — one solver, one mutex, every reader
+/// and the writer serialized. Deltas mark dirty under the lock; each read
+/// is a goal-directed query under the same lock and pays the cone
+/// re-solve the writes left behind (the cost the snapshot layer takes
+/// off the read path entirely).
+Throughput MeasureBaseline(int readers, int run_ms) {
+  TermStore store;
+  std::vector<const Term*> probes = ChainProbes(store);
+  std::unique_ptr<IncrementalSolver> solver = ChainSolver(store, 1);
+  solver->Model();
+  std::mutex mu;
+
+  std::atomic<bool> stop{false};
+  std::vector<uint64_t> counts(readers, 0);
+  std::vector<std::thread> fleet;
+  fleet.reserve(readers);
+  for (int r = 0; r < readers; ++r) {
+    fleet.emplace_back([&, r] {
+      Rng rng(100 + r);
+      uint64_t n = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const Term* probe = probes[rng.Uniform(probes.size())];
+        std::lock_guard<std::mutex> l(mu);
+        benchmark::DoNotOptimize(solver->QueryAtom(probe).value);
+        ++n;
+      }
+      counts[r] = n;
+    });
+  }
+
+  Rng wrng(7);
+  std::vector<std::pair<const Term*, bool>> script =
+      ToggleScript(store, wrng, 4096);
+  uint64_t deltas = 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(run_ms);
+  const auto t0 = std::chrono::steady_clock::now();
+  while (std::chrono::steady_clock::now() < deadline) {
+    for (int k = 0; k < 256; ++k) {
+      const auto& [t, is_assert] = script[deltas % script.size()];
+      std::lock_guard<std::mutex> l(mu);
+      if (is_assert) {
+        solver->Assert(t);
+      } else {
+        solver->Retract(t);
+      }
+      ++deltas;
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : fleet) t.join();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  Throughput out;
+  for (uint64_t c : counts) out.reads += c;
+  out.deltas = deltas;
+  out.reads_per_sec = static_cast<double>(out.reads) / secs;
+  return out;
+}
+
+bool VerifyThroughput() {
+  constexpr int kRunMs = 150;
+  std::printf(
+      "\n=== mixed read/write throughput: snapshot serving vs single-owner "
+      "mutex ===\n");
+  std::printf("%8s %16s %12s %16s %12s %8s\n", "readers", "serve(reads/s)",
+              "serve(wr)", "mutex(reads/s)", "mutex(wr)", "ratio");
+  bool ok = true;
+  for (int readers : {1, 2, 4, 8}) {
+    Throughput serve = MeasureServing(readers, kRunMs);
+    Throughput base = MeasureBaseline(readers, kRunMs);
+    const double ratio =
+        serve.reads_per_sec / (base.reads_per_sec > 0 ? base.reads_per_sec
+                                                      : 1e-9);
+    const bool gated = readers == 4;
+    if (gated && ratio < 3.0) {
+      std::printf("GATE FAIL serving: %d readers only %.2fx over the "
+                  "serialized baseline (need >= 3x)\n",
+                  readers, ratio);
+      ok = false;
+    }
+    std::printf("%8d %16.0f %12llu %16.0f %12llu %7.1fx%s\n", readers,
+                serve.reads_per_sec,
+                static_cast<unsigned long long>(serve.deltas),
+                base.reads_per_sec,
+                static_cast<unsigned long long>(base.deltas), ratio,
+                gated ? "*" : "");
+  }
+  std::printf(
+      "\nExpected shape: serving reads scale with reader count (pin +\n"
+      "two tape loads, no lock), the mutex baseline's don't; the starred\n"
+      "row is the hard gate (>= 3x at 4 readers). serve(wr)/mutex(wr)\n"
+      "count writer deltas folded during the same window.\n\n");
+  return ok;
+}
+
+bool PrintVerification() {
+  std::printf("=== serving layer gates (batching / identity / throughput) "
+              "===\n");
+  bool ok = VerifyBatching();
+  ok = VerifyAnswerIdentity() && ok;
+  ok = VerifyThroughput() && ok;
+  return ok;
+}
+
+// --- timing rows -------------------------------------------------------
+
+/// One snapshot point read against a quiescent server: the pin/unpin
+/// protocol plus two tape loads.
+void BM_ServingPointRead(benchmark::State& state) {
+  TermStore store;
+  std::vector<const Term*> probes = ChainProbes(store);
+  serve::ServingSolver server(ChainSolver(store, 1));
+  serve::EpochStore::ReaderHandle h = server.RegisterReader();
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        server.Read(h, probes[rng.Uniform(probes.size())]).value);
+  }
+  state.counters["noise_tolerance"] = 0.25;
+}
+BENCHMARK(BM_ServingPointRead);
+
+/// Delta-to-visibility latency: one toggle submitted and flushed through
+/// the writer (apply + cone re-solve + snapshot publish).
+void BM_ServingAssertFlush(benchmark::State& state) {
+  TermStore store;
+  serve::ServingSolver server(ChainSolver(store, 1));
+  const Term* edge = MustParseTerm(
+      store, StrCat("move(n", kNodes / 2, ", n", kNodes / 2 + 1, ")"));
+  bool present = true;
+  for (auto _ : state) {
+    if (present) {
+      server.Retract(edge);
+    } else {
+      server.Assert(edge);
+    }
+    present = !present;
+    server.Flush();
+  }
+  state.counters["noise_tolerance"] = 0.40;
+}
+BENCHMARK(BM_ServingAssertFlush);
+
+/// Mixed fleet throughput at N readers; one manually timed wall-clock
+/// window per iteration, reads/sec as the reported counter.
+void BM_ServingMixedFleet(benchmark::State& state) {
+  const int readers = static_cast<int>(state.range(0));
+  double reads_per_sec = 0;
+  for (auto _ : state) {
+    const auto t0 = std::chrono::steady_clock::now();
+    Throughput t = MeasureServing(readers, 60);
+    reads_per_sec = t.reads_per_sec;
+    state.SetIterationTime(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count());
+  }
+  state.counters["reads_per_sec"] = reads_per_sec;
+  state.counters["noise_tolerance"] = 0.45;
+}
+BENCHMARK(BM_ServingMixedFleet)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseManualTime()
+    ->Iterations(3);
+
+}  // namespace
+
+GSLS_BENCH_MAIN_GATED(PrintVerification(),
+                      "serving batching/identity/throughput gate failed")

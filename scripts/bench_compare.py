@@ -18,6 +18,12 @@ Rules of the gate:
     and compared on real_time, normalized to nanoseconds.
   * CI runners are noisy; 1.5x is deliberately loose — it catches
     order-of-magnitude breakage (a lost fast path), not jitter.
+  * A row may declare its own jitter via a `noise_tolerance` user counter
+    (e.g. `state.counters["noise_tolerance"] = 0.45` for a wall-clock
+    threaded workload): the effective tolerance for that row becomes
+    max(--tolerance, 1 + noise_tolerance), taking the larger declaration
+    from the baseline and current runs. Rows without the counter keep the
+    global tolerance.
 
 When $GITHUB_STEP_SUMMARY is set, a markdown summary table of every
 compared row (plus added/removed rows) is appended to it, so the verdict
@@ -43,7 +49,7 @@ class MalformedBenchJson(Exception):
 
 
 def load_rows(path):
-    """benchmark name -> real_time in ns (aggregates skipped).
+    """benchmark name -> (real_time ns, noise_tolerance or None).
 
     Raises MalformedBenchJson — with a one-line human reason, never a
     traceback — for anything a truncated upload or a crashed benchmark
@@ -84,7 +90,10 @@ def load_rows(path):
                 real_time, bool):
             raise MalformedBenchJson(
                 f"benchmarks[{i}] ({name!r}) has non-numeric real_time")
-        rows[name] = real_time * unit
+        noise = b.get("noise_tolerance")
+        if not isinstance(noise, (int, float)) or isinstance(noise, bool):
+            noise = None
+        rows[name] = (real_time * unit, noise)
     return rows
 
 
@@ -168,9 +177,8 @@ def main():
             regressions.append(f"{name}: malformed current-run JSON: {e}")
             records.append((name, None, None, None, "malformed current"))
             continue
-        for row, base_ns in sorted(base.items()):
-            cur_ns = cur.get(row)
-            if cur_ns is None:
+        for row, (base_ns, base_noise) in sorted(base.items()):
+            if row not in cur:
                 # Renamed/removed rows inside a surviving family are
                 # reported, not failed: the file-level check above already
                 # guards against wholesale loss.
@@ -179,26 +187,37 @@ def main():
                 records.append((f"{name}:{row}", base_ns, None, None,
                                 "removed"))
                 continue
+            cur_ns, cur_noise = cur[row]
             compared += 1
+            # Per-row noise declarations widen the gate, never narrow it.
+            declared = max(
+                (n for n in (base_noise, cur_noise) if n is not None),
+                default=None)
+            tolerance = args.tolerance
+            if declared is not None:
+                tolerance = max(tolerance, 1.0 + declared)
             ratio = cur_ns / base_ns if base_ns > 0 else float("inf")
-            if ratio > args.tolerance:
+            if ratio > tolerance:
                 marker = "REGRESSION"
-            elif ratio < 1.0 / args.tolerance:
+            elif ratio < 1.0 / tolerance:
                 marker = "IMPROVEMENT"
             else:
                 marker = "ok"
+            noise_note = (f" [noise_tolerance -> {tolerance:.2f}x]"
+                          if tolerance != args.tolerance else "")
             print(f"  {name}:{row}: {base_ns:.0f}ns -> {cur_ns:.0f}ns "
-                  f"({ratio:.2f}x) {marker}")
+                  f"({ratio:.2f}x) {marker}{noise_note}")
             records.append((f"{name}:{row}", base_ns, cur_ns, ratio, marker))
-            if ratio > args.tolerance:
+            if ratio > tolerance:
                 regressions.append(
                     f"{name}:{row}: {ratio:.2f}x slower "
-                    f"({base_ns:.0f}ns -> {cur_ns:.0f}ns)")
-            elif ratio < 1.0 / args.tolerance:
+                    f"({base_ns:.0f}ns -> {cur_ns:.0f}ns, row tolerance "
+                    f"{tolerance:.2f}x)")
+            elif ratio < 1.0 / tolerance:
                 improvements.append(
                     f"{name}:{row}: {1.0 / ratio:.2f}x faster "
                     f"({base_ns:.0f}ns -> {cur_ns:.0f}ns)")
-        for row, cur_ns in sorted(cur.items()):
+        for row, (cur_ns, _) in sorted(cur.items()):
             if row not in base:
                 added += 1
                 print(f"  added: {name}:{row} new in current run")

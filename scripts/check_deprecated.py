@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""CI lint: no NEW call sites of the deprecated pre-Session surface.
+
+The unified `gsls::Session` facade (src/serve/session.h) replaced the
+per-engine spellings; the old ones survive as thin adapters so existing
+code keeps compiling, but new code should not grow more callers:
+
+    TabledEngine::AssertFact / RetractFact  ->  Session::Assert / Retract
+    TabledEngine::AssertRule                ->  Session::Assert(clause)
+    TabledEngine::SolveRelevant             ->  Session::Query
+    GlobalSlsEngine::StatusOfRelevant       ->  Session::Query(...).status
+
+The lint greps tests/ and examples/ (the user-facing call-site layers;
+src/ keeps the adapter implementations and their doc comments) for the
+deprecated member calls. Files that already used the old spellings when
+the facade landed are grandfathered below — they cover the adapters
+themselves or predate the migration. A hit in any OTHER file fails the
+job with a pointer at the replacement.
+
+Shrinking the allowlist is always welcome; growing it should be a
+deliberate review decision, not a drive-by.
+
+Usage: check_deprecated.py [--root REPO_ROOT]
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# Member-call spellings of the deprecated surface. Matching on `.` / `->`
+# keeps declarations, doc comments, and the Session implementation out of
+# scope — this is a call-site lint.
+DEPRECATED = [
+    (re.compile(r"[.>]\s*AssertFact\s*\("), "Session::Assert(fact)"),
+    (re.compile(r"[.>]\s*RetractFact\s*\("), "Session::Retract(fact)"),
+    (re.compile(r"[.>]\s*SolveRelevant\s*\("), "Session::Query"),
+    (re.compile(r"[.>]\s*StatusOfRelevant\s*\("),
+     "Session::Query(...).status"),
+]
+
+# Call-site layers the lint patrols.
+SCAN_DIRS = ["tests", "examples"]
+SCAN_EXTS = {".cc", ".cpp", ".h", ".hpp"}
+
+# Grandfathered files: used the old spellings before the Session facade
+# existed, or exercise the adapters on purpose (session_test proves the
+# old spellings still route through the facade).
+ALLOWLIST = {
+    "tests/cancel_test.cc",
+    "tests/incremental_test.cc",
+    "tests/query_test.cc",
+    "tests/session_test.cc",
+    "tests/stages_test.cc",
+}
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--root", default=".")
+    args = ap.parse_args()
+
+    failures = []
+    grandfathered = 0
+    for scan_dir in SCAN_DIRS:
+        base = os.path.join(args.root, scan_dir)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, _, filenames in os.walk(base):
+            for fn in sorted(filenames):
+                if os.path.splitext(fn)[1] not in SCAN_EXTS:
+                    continue
+                path = os.path.join(dirpath, fn)
+                rel = os.path.relpath(path, args.root).replace(os.sep, "/")
+                with open(path, encoding="utf-8", errors="replace") as f:
+                    lines = f.read().splitlines()
+                hits = []
+                for lineno, line in enumerate(lines, 1):
+                    for pattern, replacement in DEPRECATED:
+                        if pattern.search(line):
+                            hits.append((lineno, line.strip(), replacement))
+                if not hits:
+                    continue
+                if rel in ALLOWLIST:
+                    grandfathered += len(hits)
+                    continue
+                for lineno, line, replacement in hits:
+                    failures.append(
+                        f"{rel}:{lineno}: deprecated call "
+                        f"(use {replacement}): {line}")
+
+    print(f"deprecation-lint: {grandfathered} grandfathered hit(s), "
+          f"{len(failures)} violation(s)")
+    if failures:
+        print("\nFAIL: new call sites of the deprecated pre-Session "
+              "surface:")
+        for f in failures:
+            print(f"  {f}")
+        print("\nMigrate to gsls::Session (docs/serving.md has the "
+              "table), or — for adapter coverage — extend the allowlist "
+              "in scripts/check_deprecated.py with a review.")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

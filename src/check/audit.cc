@@ -3,6 +3,7 @@
 #include <cstddef>
 
 #include "analysis/atom_dependency_graph.h"
+#include "serve/server.h"
 #include "solver/component_eval.h"
 #include "solver/stages.h"
 #include "solver/truth_tape.h"
@@ -306,6 +307,132 @@ AuditReport SolverAuditor::Audit(const IncrementalSolver& s) {
     }
     ++report.components_checked;
   }
+  return report;
+}
+
+AuditReport ServingAuditor::Audit(serve::ServingSolver& server) {
+  // Quiesce the writer: between batches the tapes, builder, and epoch
+  // store are stable; live readers only pin/read immutable snapshots.
+  server.Pause();
+  const IncrementalSolver& s = *server.solver_;
+  AuditReport report = SolverAuditor::Audit(s);
+  report.serving_audited = true;
+
+  const serve::EpochStore& store = server.epochs_;
+  const std::shared_ptr<const serve::Snapshot>& snap = store.current_;
+  if (snap == nullptr) {
+    Fail(&report, "serving: no published snapshot");
+    server.Resume();
+    return report;
+  }
+  const uint64_t current_epoch = store.current_epoch();
+  if (snap->epoch_ != current_epoch) {
+    Fail(&report, StrCat("serving: current snapshot epoch ", snap->epoch_,
+                         " != published epoch ", current_epoch));
+  }
+
+  // 1. Published-snapshot fidelity against the quiesced tapes. With the
+  // solver audit's independent per-component re-solve above, equality
+  // here certifies the snapshot bit-identical to a fresh solve of the
+  // epoch's program state. An aborted pass leaves the tapes legitimately
+  // ahead (folded, unpublished deltas): skip, do not fail.
+  if (server.tape_consistent_) {
+    const solver::TruthTape& tape = s.tape();
+    const solver::StageTape& stape = s.stage_tape();
+    if (snap->atom_count_ != tape.size()) {
+      Fail(&report, StrCat("serving: snapshot covers ", snap->atom_count_,
+                           " atoms, tape holds ", tape.size()));
+    } else {
+      for (size_t a = 0; a < snap->atom_count_; ++a) {
+        const AtomId id = static_cast<AtomId>(a);
+        const serve::SnapshotAnswer got = snap->Query(id);
+        if (got.value != tape.Value(id)) {
+          Fail(&report,
+               StrCat("serving: snapshot value of atom ", a, " is ",
+                      ValueInt(got.value), ", tape says ",
+                      ValueInt(tape.Value(id))));
+          continue;
+        }
+        if (snap->has_levels_ &&
+            (got.true_stage != stape.true_stage[id] ||
+             got.false_stage != stape.false_stage[id])) {
+          Fail(&report,
+               StrCat("serving: snapshot stages of atom ", a, " are (",
+                      got.true_stage, ", ", got.false_stage,
+                      "), tape says (", stape.true_stage[id], ", ",
+                      stape.false_stage[id], ")"));
+          continue;
+        }
+        ++report.serving_atoms_checked;
+      }
+    }
+
+    // 2. Copy-on-intern index fidelity against the atom registry.
+    const GroundProgram& gp = s.program();
+    if (snap->index_ == nullptr) {
+      Fail(&report, "serving: snapshot carries no atom index");
+    } else if (snap->index_->terms.size() != snap->atom_count_) {
+      Fail(&report, StrCat("serving: index covers ",
+                           snap->index_->terms.size(), " atoms, snapshot ",
+                           snap->atom_count_));
+    } else {
+      for (size_t a = 0; a < snap->atom_count_; ++a) {
+        const AtomId id = static_cast<AtomId>(a);
+        const Term* t = snap->index_->terms[a];
+        if (t != gp.AtomTerm(id)) {
+          Fail(&report, StrCat("serving: index term of atom ", a,
+                               " disagrees with the registry"));
+        } else if (auto found = snap->index_->Find(t);
+                   !found.has_value() || *found != id) {
+          Fail(&report,
+               StrCat("serving: index lookup of atom ", a,
+                      " does not round-trip"));
+        }
+      }
+    }
+  }
+
+  // 3. Reclamation safety: pooled pages are exclusively owned, and every
+  // recorded reclaim was justified by the EBR horizon.
+  for (const std::shared_ptr<serve::Page>& p : server.builder_.pool_) {
+    if (p.use_count() != 1) {
+      Fail(&report, StrCat("serving: pooled page reachable elsewhere "
+                           "(use_count ",
+                           p.use_count(), ")"));
+    }
+    ++report.serving_pool_pages_checked;
+  }
+  for (const serve::EpochStore::ReclaimRecord& r : store.reclaim_log_) {
+    if (r.epoch >= r.min_pin) {
+      Fail(&report, StrCat("serving: epoch ", r.epoch,
+                           " reclaimed at min-pin horizon ", r.min_pin));
+    }
+    ++report.serving_reclaims_checked;
+  }
+
+  // 4. Pin/ring integrity: every live pin names a published epoch whose
+  // ring slot still holds the matching snapshot.
+  for (const auto& slot : store.slots_) {
+    if (slot.used.load(std::memory_order_acquire) == 0) continue;
+    const uint64_t pin = slot.pin.load(std::memory_order_seq_cst);
+    if (pin == serve::EpochStore::kNotPinned) continue;
+    if (pin == 0 || pin > current_epoch) {
+      Fail(&report, StrCat("serving: reader pinned unpublished epoch ",
+                           pin, " (current ", current_epoch, ")"));
+      continue;
+    }
+    const std::shared_ptr<const serve::Snapshot>& ringed =
+        store.ring_[pin % serve::EpochStore::kRingSize];
+    if (ringed == nullptr) {
+      Fail(&report, StrCat("serving: ring slot of pinned epoch ", pin,
+                           " was cleared"));
+    } else if (ringed->epoch_ != pin) {
+      Fail(&report, StrCat("serving: ring slot of pinned epoch ", pin,
+                           " holds epoch ", ringed->epoch_));
+    }
+  }
+
+  server.Resume();
   return report;
 }
 

@@ -7,6 +7,10 @@
 
 #include "solver/incremental.h"
 
+namespace gsls::serve {
+class ServingSolver;
+}  // namespace gsls::serve
+
 namespace gsls::check {
 
 /// Outcome of one `AuditSolver` pass: every violated invariant as a
@@ -27,6 +31,22 @@ struct AuditReport {
   /// Persisted warm-component entries whose invariants (binding, counter
   /// recounts, source acyclicity, trail justification) were re-derived.
   uint32_t warm_entries_checked = 0;
+
+  // --- serving-layer coverage (`AuditServing` only) ---
+
+  /// The MVCC serving invariants below were exercised.
+  bool serving_audited = false;
+  /// Atoms whose published-snapshot value (and stages) were compared
+  /// byte-for-byte against the quiesced solver's tapes. 0 when the last
+  /// writer pass aborted (tapes then legitimately lead the snapshot).
+  uint64_t serving_atoms_checked = 0;
+  /// Free-pool pages whose unreachability (`use_count() == 1`) was
+  /// re-verified — a retired epoch's tapes must be provably unreachable
+  /// before any reuse.
+  uint32_t serving_pool_pages_checked = 0;
+  /// Reclaim-log records re-checked against the EBR horizon invariant
+  /// (reclaimed epoch < min pinned epoch at reclaim time).
+  uint32_t serving_reclaims_checked = 0;
 
   bool ok() const { return failures.empty(); }
   /// "ok" or the failure lines, newline-joined — test assertion messages.
@@ -75,15 +95,48 @@ struct AuditReport {
 /// for tests and fault drills, not production serving paths.
 AuditReport AuditSolver(const IncrementalSolver& solver);
 
-/// Implementation vehicle for `AuditSolver` — the class the solver
-/// befriends. Use the free function.
+/// Audits the MVCC serving layer (src/serve/) on top of the full solver
+/// audit. Quiesces the writer (`Pause`) for the duration, then `Resume`s —
+/// safe to interleave with live readers and delta producers.
+///
+/// Serving invariants verified:
+///  1. Published-snapshot fidelity: every atom's truth value (and V_P
+///     stages, when levels are exported) in the current epoch's snapshot
+///     equals the quiesced solver's tapes byte-for-byte. Combined with
+///     the solver audit's independent per-component re-solve (check 3 of
+///     `AuditSolver`), this is the "published snapshot is bit-identical
+///     to a fresh solve of the epoch's program state" gate. Skipped (not
+///     failed) while an aborted pass leaves the tapes legitimately ahead
+///     of the snapshot.
+///  2. Snapshot index fidelity: the copy-on-intern term index is a
+///     bijection consistent with the ground program's atom registry.
+///  3. Reclamation safety: every page in the builder's free pool is
+///     exclusively owned (`use_count() == 1`) — a retired epoch's tapes
+///     are unreachable before reuse; every reclaim-log record shows the
+///     freed epoch strictly below the min-pin horizon that justified it.
+///  4. Pin/ring integrity: every pinned reader's epoch is published, at
+///     most the current epoch, and its ring slot still holds the matching
+///     snapshot (reclaim never clears a slot a pin can reach).
+AuditReport AuditServing(serve::ServingSolver& server);
+
+/// Implementation vehicle for `AuditSolver`/`AuditServing` — the class
+/// the solver and serving layer befriend. Use the free functions.
 class SolverAuditor {
  public:
   static AuditReport Audit(const IncrementalSolver& solver);
 };
 
+class ServingAuditor {
+ public:
+  static AuditReport Audit(serve::ServingSolver& server);
+};
+
 inline AuditReport AuditSolver(const IncrementalSolver& solver) {
   return SolverAuditor::Audit(solver);
+}
+
+inline AuditReport AuditServing(serve::ServingSolver& server) {
+  return ServingAuditor::Audit(server);
 }
 
 }  // namespace gsls::check

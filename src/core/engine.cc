@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "ground/grounder.h"
+#include "serve/session.h"
 #include "solver/solver.h"
 #include "util/strings.h"
 #include "wfs/wfs.h"
@@ -45,6 +46,38 @@ uint64_t MixKey(uint64_t h, uint64_t v) {
 GlobalSlsEngine::GlobalSlsEngine(const Program& program, EngineOptions opts)
     : program_(program), store_(program.store()), opts_(opts) {}
 
+GlobalSlsEngine::~GlobalSlsEngine() = default;
+
+IncrementalSolver* GlobalSlsEngine::OracleSolver() const {
+  return oracle_session_ != nullptr ? &oracle_session_->solver() : nullptr;
+}
+
+const IncrementalSolver* GlobalSlsEngine::oracle_solver() const {
+  return OracleSolver();
+}
+
+void GlobalSlsEngine::SetDeadlineNs(uint64_t deadline_ns) {
+  opts_.solver.deadline_ns = deadline_ns;
+  if (oracle_session_ != nullptr) {
+    oracle_session_->SetDeadlineNs(deadline_ns);
+  }
+}
+
+void GlobalSlsEngine::SetStepBudget(uint64_t step_budget) {
+  opts_.solver.step_budget = step_budget;
+  if (oracle_session_ != nullptr) {
+    oracle_session_->SetStepBudget(step_budget);
+  }
+}
+
+void GlobalSlsEngine::DumpTelemetry(std::ostream& os) const {
+  if (oracle_session_ == nullptr) {
+    os << "no bottom-up oracle built\n";
+    return;
+  }
+  oracle_session_->solver().DumpTelemetry(os);
+}
+
 bool GlobalSlsEngine::OracleApplies() {
   // The bottom-up model matches the search statuses only under the
   // preferential rule (Thm. 4.7); the counterexample computation rules of
@@ -75,36 +108,15 @@ bool GlobalSlsEngine::OracleApplies() {
 
 bool GlobalSlsEngine::ApplyOracleRuleDelta(bool is_assert, const Clause& rule,
                                            RuleId* id_out) {
-  std::vector<const Term*> pos;
-  std::vector<const Term*> neg;
-  for (const Literal& l : rule.body) {
-    (l.positive ? pos : neg).push_back(l.atom);
-  }
   if (is_assert) {
     bool changed = false;
-    RuleId id = oracle_solver_->AssertRule(rule.head, pos, neg, &changed);
-    if (id_out != nullptr) *id_out = id;
+    Result<RuleId> id = oracle_session_->Assert(rule, &changed);
+    if (id.ok() && id_out != nullptr) *id_out = id.value();
     return changed;
   }
-  // Content-addressed retraction: unknown atoms mean the rule cannot be
-  // registered, hence there is nothing to retract.
-  const GroundProgram& gp = oracle_solver_->program();
-  std::optional<AtomId> head = gp.FindAtom(rule.head);
-  if (!head.has_value()) return false;
-  GroundRule ground{*head, {}, {}};
-  for (const Term* t : pos) {
-    std::optional<AtomId> a = gp.FindAtom(t);
-    if (!a.has_value()) return false;
-    ground.pos.push_back(*a);
-  }
-  for (const Term* t : neg) {
-    std::optional<AtomId> a = gp.FindAtom(t);
-    if (!a.has_value()) return false;
-    ground.neg.push_back(*a);
-  }
-  std::optional<RuleId> id = gp.FindRule(std::move(ground));
-  if (!id.has_value()) return false;
-  return oracle_solver_->RetractRule(*id);
+  // Content-addressed retraction (delegated): unknown atoms mean the rule
+  // cannot be registered, hence there is nothing to retract.
+  return oracle_session_->Retract(rule);
 }
 
 void GlobalSlsEngine::LogOracleRuleDelta(bool is_assert, const Clause& rule) {
@@ -137,17 +149,17 @@ void GlobalSlsEngine::EnsureOracleBuilt() {
     // function-symbol clause arrived): a previously built oracle is now
     // stale and must never seed another memo. Queries fall back to plain
     // search; the rule log is kept in case applicability returns.
-    oracle_solver_.reset();
+    oracle_session_.reset();
     return;
   }
   // A program that gained clauses since the oracle was built (AddClause,
   // then ClearMemo) invalidates the ground model wholesale: rebuild, then
   // replay the logged rule deltas so they survive the rebuild.
-  if (oracle_solver_ != nullptr &&
+  if (oracle_session_ != nullptr &&
       oracle_clause_count_ != program_.clauses().size()) {
-    oracle_solver_.reset();
+    oracle_session_.reset();
   }
-  if (oracle_solver_ != nullptr) return;
+  if (oracle_session_ != nullptr) return;
   GroundingOptions gopts;
   Result<GroundProgram> ground = GroundRelevant(program_, gopts);
   if (!ground.ok()) return;  // over budget: fall back to plain search
@@ -159,8 +171,15 @@ void GlobalSlsEngine::EnsureOracleBuilt() {
   // Attach a token before the first pass so `Cancel()` always has a
   // channel the solver polls (the caller's token when supplied).
   if (sopts.cancel == nullptr) sopts.cancel = &cancel_token_;
-  oracle_solver_ = std::make_unique<IncrementalSolver>(
+  auto solver = std::make_unique<IncrementalSolver>(
       std::move(ground.value()), sopts);
+  // The oracle is a direct-mode (synchronous, zero extra threads) Session:
+  // rule deltas and point queries go through the same unified facade the
+  // public engines expose.
+  SessionOptions sess_opts;
+  sess_opts.compute_levels = opts_.compute_levels;
+  oracle_session_ = std::make_unique<Session>(
+      Session::Adopt(std::move(solver), std::move(sess_opts)));
   oracle_clause_count_ = program_.clauses().size();
   for (const OracleDelta& d : oracle_rule_log_) {
     ApplyOracleRuleDelta(d.is_assert, d.rule);
@@ -171,12 +190,13 @@ void GlobalSlsEngine::MaybeSeedOracle() {
   if (oracle_attempted_) return;
   oracle_attempted_ = true;
   EnsureOracleBuilt();
-  if (oracle_solver_ == nullptr) return;
+  IncrementalSolver* oracle = OracleSolver();
+  if (oracle == nullptr) return;
   // The incremental instance persists across queries and `ClearMemo`:
   // `Model()` returns the cached solve when the program is unchanged, so
   // reseeding is one O(atoms) memo fill, not a re-ground and re-solve.
-  const GroundProgram& gp = oracle_solver_->program();
-  const WfsModel& wfs = oracle_solver_->Model();
+  const GroundProgram& gp = oracle->program();
+  const WfsModel& wfs = oracle->Model();
   if (wfs.outcome != SolveOutcome::kCompleted) {
     // The seed pass was cancelled or hit its deadline: the model is the
     // anytime partial state, not Thm. 4.7's — seeding from it would
@@ -219,7 +239,7 @@ Result<RuleId> GlobalSlsEngine::AssertRule(const Clause& rule) {
                                    rule.ToString(store_));
   }
   EnsureOracleBuilt();  // no memo fill — the next query seeds it once
-  if (oracle_solver_ == nullptr) {
+  if (oracle_session_ == nullptr) {
     return Status::FailedPrecondition(
         "bottom-up oracle unavailable for this engine (disabled, "
         "non-preferential options, non-function-free program, or "
@@ -240,7 +260,7 @@ Result<RuleId> GlobalSlsEngine::AssertRule(const Clause& rule) {
 bool GlobalSlsEngine::RetractRule(const Clause& rule) {
   if (!rule.ground()) return false;
   EnsureOracleBuilt();
-  if (oracle_solver_ == nullptr) return false;
+  if (oracle_session_ == nullptr) return false;
   if (!ApplyOracleRuleDelta(/*is_assert=*/false, rule)) return false;
   LogOracleRuleDelta(false, rule);
   ClearMemo();
@@ -737,19 +757,12 @@ GoalStatus GlobalSlsEngine::StatusOfRelevant(const Term* ground_atom) {
     // the point of the relevance path is to skip the O(atoms) fill and
     // the full-model solve behind it.
     EnsureOracleBuilt();
-    if (oracle_solver_ != nullptr) {
-      IncrementalSolver::QueryAnswer ans =
-          oracle_solver_->QueryAtom(ground_atom);
-      // An aborted down-cone pass reports the pre-abort tape value, which
-      // may not be the atom's well-founded value — `kUnknown` is the
-      // budget-exhausted status (never a wrong determination); the next
-      // query resumes the cone's remaining components.
-      if (ans.outcome != SolveOutcome::kCompleted) return GoalStatus::kUnknown;
-      switch (ans.value) {
-        case TruthValue::kTrue: return GoalStatus::kSuccessful;
-        case TruthValue::kFalse: return GoalStatus::kFailed;
-        case TruthValue::kUndefined: return GoalStatus::kIndeterminate;
-      }
+    if (oracle_session_ != nullptr) {
+      // The Session already applies the Thm 4.7 value→status mapping and
+      // reports `kUnknown` for an aborted down-cone pass (the pre-abort
+      // tape value may not be the atom's well-founded value; the next
+      // query resumes the cone's remaining components).
+      return oracle_session_->Query(ground_atom).status;
     }
   }
   return StatusOf(ground_atom);  // oracle unavailable: plain search

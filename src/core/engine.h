@@ -125,9 +125,12 @@ struct QueryResult {
 /// Sound for all programs under a safe rule (Thm. 5.4); complete for
 /// nonfloundering queries under the preferential rule (Thm. 6.2), up to the
 /// budgets (exhaustion reports `kUnknown`, never a wrong determination).
+class Session;  // serve/session.h — the unified facade the engine adapts
+
 class GlobalSlsEngine {
  public:
   explicit GlobalSlsEngine(const Program& program, EngineOptions opts = {});
+  ~GlobalSlsEngine();  // out-of-line: `Session` is incomplete here
 
   /// Evaluates an arbitrary goal, enumerating answer substitutions.
   QueryResult Solve(const Goal& goal);
@@ -138,6 +141,11 @@ class GlobalSlsEngine {
   /// Status of the ground goal `<- atom` (memoized across calls).
   GoalStatus StatusOf(const Term* ground_atom);
 
+  /// Deprecated spelling: prefer `gsls::Session::Query` (serve/session.h),
+  /// which returns the unified `SessionAnswer` (value + stage + outcome +
+  /// cost counters) instead of a bare status. This remains as a thin
+  /// adapter over the engine's internal `Session`.
+  ///
   /// Goal-directed variant of `StatusOf`: when the bottom-up oracle
   /// applies (see `EngineOptions::bottom_up_oracle`), answers from the
   /// oracle's *down-cone* query mode (`IncrementalSolver::QueryAtom`) —
@@ -174,7 +182,9 @@ class GlobalSlsEngine {
   /// (see `EngineOptions::bottom_up_oracle` and the exactness
   /// conditions), InvalidArgument for a nonground clause. The returned id
   /// is valid until the next oracle rebuild — retraction is therefore
-  /// *content*-addressed, see below.
+  /// *content*-addressed, see below. (Thin adapter over the internal
+  /// `Session::Assert(Clause)` — new code should open a `gsls::Session`
+  /// directly.)
   Result<RuleId> AssertRule(const Clause& rule);
 
   /// Retracts the ground rule identical to `rule` (from `AssertRule` or
@@ -200,31 +210,21 @@ class GlobalSlsEngine {
   /// Deadline / step-budget for subsequent oracle solve passes (0 = none);
   /// see `SolverOptions::deadline_ns` / `step_budget`. Effective for an
   /// already-built oracle as well as a future one.
-  void SetDeadlineNs(uint64_t deadline_ns) {
-    opts_.solver.deadline_ns = deadline_ns;
-    if (oracle_solver_ != nullptr) oracle_solver_->SetDeadlineNs(deadline_ns);
-  }
-  void SetStepBudget(uint64_t step_budget) {
-    opts_.solver.step_budget = step_budget;
-    if (oracle_solver_ != nullptr) oracle_solver_->SetStepBudget(step_budget);
-  }
+  void SetDeadlineNs(uint64_t deadline_ns);
+  void SetStepBudget(uint64_t step_budget);
 
   /// The persistent bottom-up oracle instance, if one has been built
   /// (null before the first query or when the oracle does not apply).
-  const IncrementalSolver* oracle_solver() const {
-    return oracle_solver_.get();
-  }
+  const IncrementalSolver* oracle_solver() const;
+
+  /// The session the oracle lives behind (null before the first build) —
+  /// the facade every oracle read/delta now routes through.
+  const Session* session() const { return oracle_session_.get(); }
 
   /// Telemetry dump of the bottom-up oracle's solver (see
   /// `IncrementalSolver::DumpTelemetry`); notes the absence when no oracle
   /// has been built yet.
-  void DumpTelemetry(std::ostream& os) const {
-    if (oracle_solver_ == nullptr) {
-      os << "no bottom-up oracle built\n";
-      return;
-    }
-    oracle_solver_->DumpTelemetry(os);
-  }
+  void DumpTelemetry(std::ostream& os) const;
 
   const EngineOptions& options() const { return opts_; }
 
@@ -330,7 +330,11 @@ class GlobalSlsEngine {
   /// ground program is unchanged; `IncrementalSolver::Model` is cached).
   /// Rebuilt when the program's clause count moved since the build — the
   /// mutate-then-`ClearMemo` pattern must not answer from a stale model.
-  std::unique_ptr<IncrementalSolver> oracle_solver_;
+  /// The oracle lives behind a direct-mode `Session` (serve/session.h):
+  /// every delta and point query routes through the unified facade.
+  std::unique_ptr<Session> oracle_session_;
+  /// The session's solver (diagnostics/seed path). Null iff no session.
+  IncrementalSolver* OracleSolver() const;
   size_t oracle_clause_count_ = 0;
   /// Net ground rule deltas applied through `AssertRule`/`RetractRule`
   /// (one entry per distinct rule content, last delta wins). Clauses hold

@@ -23,8 +23,14 @@ Result<TabledEngine> TabledEngine::FinishCreate(const Program& program,
     owned = std::make_unique<CancelToken>();
     sopts.cancel = owned.get();
   }
-  TabledEngine engine(program, std::make_unique<IncrementalSolver>(
-                                   std::move(gp), sopts));
+  auto solver =
+      std::make_unique<IncrementalSolver>(std::move(gp), sopts);
+  // The engine is a thin adapter over a direct-mode (synchronous,
+  // zero-thread) Session — the unified facade of serve/session.h.
+  SessionOptions sess_opts;
+  sess_opts.compute_levels = opts.compute_stages;
+  TabledEngine engine(program, std::make_unique<Session>(Session::Adopt(
+                                   std::move(solver), std::move(sess_opts))));
   engine.opts_ = opts;
   engine.token_ = sopts.cancel;
   engine.owned_token_ = std::move(owned);
@@ -50,25 +56,21 @@ Result<TabledEngine> TabledEngine::CreateForQuery(const Program& program,
 }
 
 bool TabledEngine::AssertFact(const Term* fact) {
-  return incremental_->Assert(fact);
+  return session_->Assert(fact);
 }
 
 bool TabledEngine::RetractFact(const Term* fact) {
-  return incremental_->Retract(fact);
+  return session_->Retract(fact);
 }
 
 Result<RuleId> TabledEngine::AssertRule(const Clause& rule) {
+  // Own the check to keep this adapter's historical error message.
   if (!rule.ground()) {
     return Status::InvalidArgument(
         StrCat("AssertRule requires a ground clause: ",
                rule.ToString(program_->store())));
   }
-  std::vector<const Term*> pos;
-  std::vector<const Term*> neg;
-  for (const Literal& l : rule.body) {
-    (l.positive ? pos : neg).push_back(l.atom);
-  }
-  return incremental_->AssertRule(rule.head, pos, neg);
+  return session_->Assert(rule);
 }
 
 bool TabledEngine::RetractRule(RuleId r) {
@@ -94,31 +96,21 @@ GoalStatus TabledEngine::StatusOf(const Term* ground_atom) const {
 
 TabledEngine::RelevantAnswer TabledEngine::SolveRelevant(
     const Term* ground_atom) const {
+  // Adapter: the Session applies the Thm 4.7 status mapping and the
+  // failed-at-stage-1 convention for atoms outside the relevant
+  // instantiation; repackage its answer into the historical shape.
+  SessionAnswer a = session_->Query(ground_atom);
   RelevantAnswer out;
-  std::optional<AtomId> id = ground().FindAtom(ground_atom);
-  if (!id.has_value()) {
-    // Outside the relevant instantiation: failed at stage 1, like
-    // `ValueOf`/`LevelOf` — no cone, no solving.
-    out.status = GoalStatus::kFailed;
-    out.level = Ordinal::Finite(1);
-    out.query.value = TruthValue::kFalse;
-    out.query.false_stage = 1;
-    return out;
-  }
-  out.query = incremental_->QueryAtom(*id);
-  switch (out.query.value) {
-    case TruthValue::kTrue:
-      out.status = GoalStatus::kSuccessful;
-      if (has_stages()) out.level = Ordinal::Finite(out.query.true_stage);
-      break;
-    case TruthValue::kFalse:
-      out.status = GoalStatus::kFailed;
-      if (has_stages()) out.level = Ordinal::Finite(out.query.false_stage);
-      break;
-    case TruthValue::kUndefined:
-      out.status = GoalStatus::kIndeterminate;
-      break;
-  }
+  out.status = a.status;
+  out.level = a.level;
+  out.query.value = a.value;
+  out.query.outcome = a.outcome;
+  out.query.true_stage = a.true_stage;
+  out.query.false_stage = a.false_stage;
+  out.query.cone_components = a.cone_components;
+  out.query.resolved_components = a.resolved_components;
+  out.query.memo_hits = a.memo_hits;
+  out.query.cone_atoms = a.cone_atoms;
   return out;
 }
 

@@ -6,6 +6,7 @@
 
 #include "core/engine.h"
 #include "ground/grounder.h"
+#include "serve/session.h"
 #include "solver/incremental.h"
 #include "util/cancel.h"
 #include "util/status.h"
@@ -102,6 +103,10 @@ class TabledEngine {
   /// full `Solve`/`StatusOf` reads is always exact — see docs/serving.md
   /// for the staleness contract. Atoms outside the relevant
   /// instantiation are failed at level 1, with no solving.
+  ///
+  /// Deprecated spelling: a thin adapter over the engine's internal
+  /// `Session::Query` — prefer `gsls::Session` (serve/session.h), whose
+  /// `SessionAnswer` carries the same status/level/cost fields.
   RelevantAnswer SolveRelevant(const Term* ground_atom) const;
 
   /// Evaluates a (possibly nonground) goal: enumerates every answer
@@ -115,6 +120,10 @@ class TabledEngine {
   /// Returns true iff the fact base changed (false on a no-op delta: fact
   /// already present/absent). Deltas are ground-level: they toggle unit
   /// rules, they do not re-ground non-unit rules.
+  ///
+  /// Deprecated spellings: thin adapters over the engine's internal
+  /// `Session` — prefer `gsls::Session::Assert`/`Retract`
+  /// (serve/session.h), the consolidated delta vocabulary.
   bool AssertFact(const Term* fact);
   bool RetractFact(const Term* fact);
 
@@ -125,6 +134,8 @@ class TabledEngine {
   /// the affected up-cone re-solves on the next read, stage levels
   /// included. Returns the rule's id (the retraction handle), or
   /// InvalidArgument for a nonground clause.
+  ///
+  /// Deprecated spelling: thin adapter over `Session::Assert(Clause)`.
   Result<RuleId> AssertRule(const Clause& rule);
 
   /// Retracts rule `r` — from the base grounding or a previous
@@ -173,6 +184,11 @@ class TabledEngine {
   /// diagnostics).
   const IncrementalSolver& solver() const { return *incremental_; }
 
+  /// The direct-mode `Session` every delta and goal-directed query of this
+  /// engine routes through — the unified facade (serve/session.h).
+  Session& session() { return *session_; }
+  const Session& session() const { return *session_; }
+
   /// Telemetry dump of the persistent solver: avoided-work stats, pipeline
   /// diagnostics, condensation-repair stats, and — when the engine was
   /// created with `TabledOptions::solver.telemetry` — the metrics registry
@@ -185,9 +201,10 @@ class TabledEngine {
   const Program& program() const { return *program_; }
 
  private:
-  TabledEngine(const Program& program,
-               std::unique_ptr<IncrementalSolver> incremental)
-      : program_(&program), incremental_(std::move(incremental)) {}
+  TabledEngine(const Program& program, std::unique_ptr<Session> session)
+      : program_(&program),
+        session_(std::move(session)),
+        incremental_(&session_->solver()) {}
 
   static Result<TabledEngine> FinishCreate(const Program& program,
                                            GroundProgram gp,
@@ -208,7 +225,12 @@ class TabledEngine {
                       Fn&& on_complete) const;
 
   const Program* program_;
-  std::unique_ptr<IncrementalSolver> incremental_;
+  /// The facade owning the solver. Direct mode: zero extra threads; every
+  /// public delta/query adapter below delegates here.
+  std::unique_ptr<Session> session_;
+  /// Cached view of `session_`'s solver for the inline diagnostics paths
+  /// (stable across engine moves: both live behind unique_ptrs).
+  IncrementalSolver* incremental_ = nullptr;
   TabledOptions opts_;
   /// Engine-owned token attached when the caller supplied none (behind a
   /// pointer: `TabledEngine` moves through `Result`, atomics do not).

@@ -1,0 +1,58 @@
+#include "serve/delta.h"
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "ground/ground_program.h"
+
+namespace gsls::serve {
+
+RuleId AssertClause(IncrementalSolver& inc, const Clause& rule,
+                    bool* changed) {
+  std::vector<const Term*> pos;
+  std::vector<const Term*> neg;
+  pos.reserve(rule.body.size());
+  for (const Literal& l : rule.body) {
+    (l.positive ? pos : neg).push_back(l.atom);
+  }
+  return inc.AssertRule(rule.head, pos, neg, changed);
+}
+
+bool RetractClause(IncrementalSolver& inc, const Clause& rule) {
+  if (rule.IsFact()) {
+    return inc.Retract(rule.head);
+  }
+  const GroundProgram& gp = inc.program();
+  const std::optional<AtomId> head = gp.FindAtom(rule.head);
+  if (!head.has_value()) return false;
+  GroundRule ground;
+  ground.head = *head;
+  for (const Literal& l : rule.body) {
+    const std::optional<AtomId> a = gp.FindAtom(l.atom);
+    if (!a.has_value()) return false;  // unknown atom: no such rule exists
+    (l.positive ? ground.pos : ground.neg).push_back(*a);
+  }
+  const std::optional<RuleId> id = gp.FindRule(std::move(ground));
+  if (!id.has_value()) return false;
+  return inc.RetractRule(*id);
+}
+
+bool ApplyDelta(IncrementalSolver& inc, const DeltaOp& op) {
+  switch (op.kind) {
+    case DeltaOp::Kind::kAssertFact:
+      return inc.Assert(op.fact);
+    case DeltaOp::Kind::kRetractFact:
+      return inc.Retract(op.fact);
+    case DeltaOp::Kind::kAssertRule: {
+      bool changed = false;
+      AssertClause(inc, op.rule, &changed);
+      return changed;
+    }
+    case DeltaOp::Kind::kRetractRule:
+      return RetractClause(inc, op.rule);
+  }
+  return false;
+}
+
+}  // namespace gsls::serve

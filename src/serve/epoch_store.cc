@@ -1,0 +1,111 @@
+#include "serve/epoch_store.h"
+
+#include <cassert>
+#include <thread>
+
+namespace gsls::serve {
+
+void EpochStore::ReaderHandle::Release() {
+  if (store_ == nullptr) return;
+  Slot& s = store_->slots_[slot_];
+  s.pin.store(kNotPinned, std::memory_order_release);
+  s.used.store(0, std::memory_order_release);
+  store_ = nullptr;
+}
+
+EpochStore::ReaderHandle EpochStore::RegisterReader() {
+  ReaderHandle h;
+  for (size_t i = 0; i < kMaxReaders; ++i) {
+    uint8_t expect = 0;
+    if (slots_[i].used.compare_exchange_strong(expect, 1,
+                                               std::memory_order_acq_rel)) {
+      h.store_ = this;
+      h.slot_ = i;
+      return h;
+    }
+  }
+  return h;  // invalid: table full
+}
+
+EpochStore::Pinned EpochStore::Pin(const ReaderHandle& h) {
+  assert(h.valid() && h.store_ == this);
+  Slot& s = slots_[h.slot_];
+  uint64_t e = epoch_.load(std::memory_order_seq_cst);
+  for (;;) {
+    s.pin.store(e, std::memory_order_seq_cst);
+    const uint64_t now = epoch_.load(std::memory_order_seq_cst);
+    if (now == e) break;
+    e = now;  // publish raced the pin; re-pin at the newer epoch
+  }
+  assert(e >= 1 && "Pin before the first publish");
+  // Safe only after a successful revalidation: the slot for `e` cannot be
+  // overwritten or cleared while our pin is visible (see class comment).
+  const Snapshot* snap = ring_[e % kRingSize].get();
+  return Pinned{e, snap};
+}
+
+void EpochStore::Unpin(const ReaderHandle& h) {
+  assert(h.valid() && h.store_ == this);
+  slots_[h.slot_].pin.store(kNotPinned, std::memory_order_seq_cst);
+}
+
+void EpochStore::Publish(std::shared_ptr<const Snapshot> snap) {
+  const uint64_t e = snap->epoch();
+  assert(e == current_epoch() + 1 && "epochs publish in sequence");
+  if (e >= kRingSize) {
+    // A reader pinned kRingSize epochs back still reaches this slot;
+    // wait for it rather than yank its snapshot.
+    while (MinPinned() <= e - kRingSize) {
+      std::this_thread::yield();
+    }
+  }
+  if (current_ != nullptr) {
+    retired_.emplace_back(current_->epoch(), current_);
+  }
+  ring_[e % kRingSize] = snap;
+  current_ = std::move(snap);
+  epoch_.store(e, std::memory_order_seq_cst);
+}
+
+uint64_t EpochStore::MinPinned() const {
+  uint64_t min = kNotPinned;
+  for (const Slot& s : slots_) {
+    if (s.used.load(std::memory_order_acquire) == 0) continue;
+    const uint64_t p = s.pin.load(std::memory_order_seq_cst);
+    if (p < min) min = p;
+  }
+  return min;
+}
+
+size_t EpochStore::pinned_readers() const {
+  size_t n = 0;
+  for (const Slot& s : slots_) {
+    if (s.used.load(std::memory_order_acquire) != 0 &&
+        s.pin.load(std::memory_order_acquire) != kNotPinned) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::vector<std::shared_ptr<const Snapshot>> EpochStore::DrainReclaimable() {
+  std::vector<std::shared_ptr<const Snapshot>> out;
+  const uint64_t min = MinPinned();
+  while (!retired_.empty() && retired_.front().first < min) {
+    auto [e, snap] = std::move(retired_.front());
+    retired_.pop_front();
+    // After the scan above, no reader can newly pin an epoch below `min`
+    // (its revalidating load would see a newer epoch), so the ring slot
+    // is unreachable and safe for the writer to clear.
+    std::shared_ptr<const Snapshot>& slot = ring_[e % kRingSize];
+    if (slot != nullptr && slot->epoch() == e) {
+      slot.reset();
+    }
+    reclaim_log_.push_back(ReclaimRecord{e, min});
+    if (reclaim_log_.size() > kMaxReclaimLog) reclaim_log_.pop_front();
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+}  // namespace gsls::serve

@@ -1,0 +1,176 @@
+#include "serve/session.h"
+
+#include <utility>
+
+#include "serve/delta.h"
+
+namespace gsls {
+
+namespace {
+
+GoalStatus StatusFromValue(TruthValue v) {
+  switch (v) {
+    case TruthValue::kTrue: return GoalStatus::kSuccessful;
+    case TruthValue::kFalse: return GoalStatus::kFailed;
+    case TruthValue::kUndefined: return GoalStatus::kIndeterminate;
+  }
+  return GoalStatus::kUnknown;
+}
+
+}  // namespace
+
+Session::Session(std::unique_ptr<IncrementalSolver> solver,
+                 SessionOptions opts)
+    : opts_(std::move(opts)) {
+  if (opts_.serving) {
+    server_solver_ = solver.get();
+    server_ = std::make_unique<serve::ServingSolver>(std::move(solver),
+                                                     opts_.serve);
+    reader_ = server_->RegisterReader();
+  } else {
+    direct_ = std::move(solver);
+  }
+}
+
+Session::Session(Session&&) noexcept = default;
+Session& Session::operator=(Session&&) noexcept = default;
+Session::~Session() = default;
+
+Result<Session> Session::Open(const Program& program, SessionOptions opts) {
+  SolverOptions sopts = opts.solver;
+  sopts.compute_levels = opts.compute_levels;
+  if (opts.serving && opts.serve.telemetry == nullptr) {
+    // One registry serves both the solver's delta.*/query.* channels and
+    // the layer's serve.* channels unless the caller split them.
+    opts.serve.telemetry = sopts.telemetry;
+  }
+  Result<GroundProgram> gp = GroundRelevant(program, opts.grounding);
+  if (!gp.ok()) return gp.status();
+  auto solver =
+      std::make_unique<IncrementalSolver>(std::move(gp.value()), sopts);
+  return Session(std::move(solver), std::move(opts));
+}
+
+Session Session::Adopt(std::unique_ptr<IncrementalSolver> solver,
+                       SessionOptions opts) {
+  return Session(std::move(solver), std::move(opts));
+}
+
+bool Session::Assert(const Term* fact) {
+  if (server_ != nullptr) return server_->Assert(fact) != 0;
+  return direct_->Assert(fact);
+}
+
+bool Session::Retract(const Term* fact) {
+  if (server_ != nullptr) return server_->Retract(fact) != 0;
+  return direct_->Retract(fact);
+}
+
+Result<RuleId> Session::Assert(const Clause& rule, bool* changed) {
+  if (!rule.ground()) {
+    return Status::InvalidArgument(
+        "Assert(Clause) requires a ground clause: deltas never re-ground");
+  }
+  if (server_ != nullptr) {
+    const bool queued = server_->Assert(rule) != 0;
+    if (changed != nullptr) *changed = queued;
+    // The id is assigned asynchronously by the writer; the clause itself
+    // is the content-addressed handle for `Retract(Clause)`.
+    return RuleId{0};
+  }
+  return serve::AssertClause(*direct_, rule, changed);
+}
+
+bool Session::Retract(const Clause& rule) {
+  if (server_ != nullptr) return server_->Retract(rule) != 0;
+  return serve::RetractClause(*direct_, rule);
+}
+
+SessionAnswer Session::FromQueryAnswer(
+    const IncrementalSolver::QueryAnswer& qa) const {
+  SessionAnswer out;
+  out.value = qa.value;
+  out.outcome = qa.outcome;
+  out.status = qa.outcome == SolveOutcome::kCompleted
+                   ? StatusFromValue(qa.value)
+                   : GoalStatus::kUnknown;
+  out.true_stage = qa.true_stage;
+  out.false_stage = qa.false_stage;
+  if (out.status == GoalStatus::kSuccessful && qa.true_stage > 0) {
+    out.level = Ordinal::Finite(qa.true_stage);
+  } else if (out.status == GoalStatus::kFailed && qa.false_stage > 0) {
+    out.level = Ordinal::Finite(qa.false_stage);
+  }
+  out.cone_components = qa.cone_components;
+  out.resolved_components = qa.resolved_components;
+  out.memo_hits = qa.memo_hits;
+  out.cone_atoms = qa.cone_atoms;
+  return out;
+}
+
+SessionAnswer Session::FromSnapshotAnswer(const serve::SnapshotAnswer& sa,
+                                          uint64_t epoch,
+                                          uint64_t seq) const {
+  SessionAnswer out;
+  out.value = sa.value;
+  out.outcome = SolveOutcome::kCompleted;  // only completed models publish
+  out.status = StatusFromValue(sa.value);
+  out.true_stage = sa.true_stage;
+  out.false_stage = sa.false_stage;
+  if (out.status == GoalStatus::kSuccessful && sa.true_stage > 0) {
+    out.level = Ordinal::Finite(sa.true_stage);
+  } else if (out.status == GoalStatus::kFailed && sa.false_stage > 0) {
+    out.level = Ordinal::Finite(sa.false_stage);
+  }
+  out.epoch = epoch;
+  out.seq = seq;
+  return out;
+}
+
+SessionAnswer Session::Query(const Term* ground_atom) {
+  if (server_ != nullptr) {
+    uint64_t epoch = 0;
+    uint64_t seq = 0;
+    serve::SnapshotAnswer sa = server_->Read(reader_, ground_atom, &epoch,
+                                             &seq);
+    return FromSnapshotAnswer(sa, epoch, seq);
+  }
+  return FromQueryAnswer(direct_->QueryAtom(ground_atom));
+}
+
+SessionAnswer Session::Query(AtomId atom) {
+  if (server_ != nullptr) {
+    serve::EpochStore::ReadGuard g(server_->epochs(), reader_);
+    return FromSnapshotAnswer(g->Query(atom), g.epoch(), g->seq());
+  }
+  return FromQueryAnswer(direct_->QueryAtom(atom));
+}
+
+void Session::Flush() {
+  if (server_ != nullptr) server_->Flush();
+}
+
+std::shared_ptr<const serve::Snapshot> Session::SnapshotNow() {
+  if (server_ != nullptr) {
+    serve::EpochStore::ReadGuard g(server_->epochs(), reader_);
+    // Re-acquire shared ownership for the caller: the guard's pin keeps
+    // the ring slot alive while we copy the shared_ptr out of it.
+    return server_->epochs().SnapshotAt(g.epoch());
+  }
+  direct_->Model();
+  IncrementalSolver::ResolveLog log;
+  log.all_atoms = true;
+  serve::SnapshotBuilder builder;
+  return builder.Build(*direct_, std::move(log), /*epoch=*/0,
+                       /*seq=*/direct_->stats().deltas);
+}
+
+void Session::SetDeadlineNs(uint64_t deadline_ns) {
+  solver().SetDeadlineNs(deadline_ns);
+}
+
+void Session::SetStepBudget(uint64_t step_budget) {
+  solver().SetStepBudget(step_budget);
+}
+
+}  // namespace gsls

@@ -319,7 +319,14 @@ void IncrementalSolver::EnsureParallelRuntime() {
 }
 
 void IncrementalSolver::SyncMirror(uint32_t comp) {
+  // SyncMirror runs for exactly the components a pass (re)finalized, so it
+  // doubles as the resolve log's append point (always on the owner thread:
+  // parallel passes call it from the post-barrier merge loop).
+  const bool log = resolve_log_enabled_ && !resolve_log_.all_atoms;
   for (AtomId a : cond_->graph().Atoms(comp)) {
+    if (log) {
+      resolve_log_.atoms.push_back(a);
+    }
     tape_.CopyAtomTo(a, &model_.model);
     if (opts_.compute_levels) {
       model_.true_stage[a] = stape_.true_stage[a];
@@ -394,6 +401,11 @@ const WfsModel& IncrementalSolver::Model() {
     // second from-scratch pass.
     solved_ = true;
     dirty_.clear();
+    // The full branch writes the tape wholesale (no per-component
+    // SyncMirror), so the resolve log can only be conservative here.
+    if (resolve_log_enabled_) {
+      resolve_log_.all_atoms = true;
+    }
     if (!aborted) {
       // Everything just finalized: the query memo serves every component.
       memo_.MarkAllValid();
@@ -1231,6 +1243,12 @@ void IncrementalSolver::InvalidateMemo() {
   stale_reps_.clear();
   dirty_.clear();
   solved_ = false;
+}
+
+IncrementalSolver::ResolveLog IncrementalSolver::TakeResolveLog() {
+  ResolveLog out = std::move(resolve_log_);
+  resolve_log_ = ResolveLog{};
+  return out;
 }
 
 }  // namespace gsls

@@ -274,6 +274,39 @@ class IncrementalSolver {
   /// Diagnostics and test surface.
   const solver::ComponentMemo& memo() const { return memo_; }
 
+  // --- Snapshot export hooks (the MVCC serving layer, src/serve/) ---
+
+  /// Read-only views of the primary stores the serving layer versions
+  /// into copy-on-write pages: the flat truth tape, the V_P stage tape
+  /// (`compute_levels` only), and the per-rule disabled mask. Stable
+  /// between passes; a solve pass mutates them in place, so the serving
+  /// writer reads them only after its own `Model()` call returns.
+  const solver::TruthTape& tape() const { return tape_; }
+  const solver::StageTape& stage_tape() const { return stape_; }
+  const std::vector<uint8_t>& disabled_mask() const { return disabled_; }
+
+  /// Atoms whose tape/stage entries a pass may have rewritten since the
+  /// last `TakeResolveLog`, by stable atom id (component ids shift under
+  /// recondensation windows, atom ids never do); `all_atoms` replaces the
+  /// list when a from-scratch solve rewrote everything. Conservative by
+  /// design — a component re-solved to identical values still logs its
+  /// atoms — so "not logged" always means "byte-identical since the last
+  /// take". Entries accumulate across aborted passes until taken: a
+  /// publish after a resumed pass still covers every atom touched since
+  /// the previous publish.
+  struct ResolveLog {
+    std::vector<AtomId> atoms;
+    bool all_atoms = false;
+  };
+
+  /// Starts appending to the resolve log. Off by default: the log costs a
+  /// push per re-solved atom and only the serving layer consumes it.
+  void EnableResolveLog() { resolve_log_enabled_ = true; }
+
+  /// Returns and clears the accumulated log (the serving writer's
+  /// dirty-page source, drained once per completed publish).
+  ResolveLog TakeResolveLog();
+
   /// From-scratch masked solve of the current program, including
   /// condensation construction — the exact work a non-incremental caller
   /// would pay per delta. Always sequential: the agreement oracle and
@@ -415,6 +448,11 @@ class IncrementalSolver {
   /// query passes that changed values out-of-cone dependents must see;
   /// consumed by both `Model()` (whole set) and `QueryAtom` (cone ∩ set).
   std::vector<AtomId> stale_reps_;
+  /// Atoms whose tape entries passes may have rewritten since the last
+  /// `TakeResolveLog` (appended by `SyncMirror`; see the public
+  /// `ResolveLog` contract). Only populated after `EnableResolveLog`.
+  ResolveLog resolve_log_;
+  bool resolve_log_enabled_ = false;
   /// Scratch for SolveDownCone, persistent across queries like the
   /// up-cone scratch: per-component membership cleared per pass.
   std::vector<uint32_t> down_cone_;    ///< BFS order, then sorted ascending

